@@ -1,0 +1,356 @@
+//! The software/hardware interface of Fig. 8: reconfigurability.
+//!
+//! GCoD supports new tasks after deployment through a one-time hardware
+//! compilation step: a network parser extracts the layer dimensions of the
+//! GCN, the compiler fills the parameterised C/Verilog templates (number of
+//! chunks, PEs per chunk, buffer sizes), and the resulting configuration is
+//! handed to the platform tools for bitstream generation. This module
+//! reproduces that flow as a [`HardwareCompiler`] that maps a model + GCoD
+//! split onto a [`crate::config::AcceleratorConfig`]-compatible resource plan
+//! and checks it against the FPGA budget.
+
+use crate::chunk::{allocate_chunks, ChunkAllocation};
+use crate::config::AcceleratorConfig;
+use gcod_core::SplitWorkload;
+use gcod_nn::models::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// The layer dimensions the network parser extracts from a GCN description
+/// (Fig. 8's "Aggregation, Combination, Partition, FC, N, M, F, H, O").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParsedNetwork {
+    /// Model name.
+    pub model: String,
+    /// Number of nodes `N`.
+    pub nodes: usize,
+    /// Number of directed edges `M`.
+    pub edges: usize,
+    /// Input feature dimension `F`.
+    pub input_dim: usize,
+    /// Hidden dimension `H`.
+    pub hidden_dim: usize,
+    /// Output dimension `O`.
+    pub output_dim: usize,
+    /// Per-layer `(in, out)` dimensions.
+    pub layer_dims: Vec<(usize, usize)>,
+}
+
+/// Parses a model configuration plus graph statistics into the quantities the
+/// hardware compiler consumes.
+pub fn parse_network(config: &ModelConfig, nodes: usize, edges: usize) -> ParsedNetwork {
+    ParsedNetwork {
+        model: config.kind.name().to_string(),
+        nodes,
+        edges,
+        input_dim: config.input_dim,
+        hidden_dim: config.effective_hidden_dim(),
+        output_dim: config.output_dim,
+        layer_dims: config.layer_dims(),
+    }
+}
+
+/// FPGA resource budget the compiled design must fit (VCU128 by default).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceBudget {
+    /// Available DSP slices.
+    pub dsps: usize,
+    /// Available on-chip memory in bytes (BRAM + URAM).
+    pub on_chip_bytes: u64,
+    /// DSPs consumed per PE at the configured precision.
+    pub dsps_per_pe: f64,
+}
+
+impl ResourceBudget {
+    /// The Xilinx VCU128 board used by the paper: 9024 DSPs, 42 MB on-chip.
+    pub fn vcu128() -> Self {
+        Self {
+            dsps: 9_024,
+            on_chip_bytes: 42 * 1024 * 1024,
+            dsps_per_pe: 2.0,
+        }
+    }
+
+    /// The same board with INT8 PEs (the paper notes 10240 PEs ≈ 5200 DSPs,
+    /// i.e. roughly half a DSP per PE).
+    pub fn vcu128_int8() -> Self {
+        Self {
+            dsps_per_pe: 0.5,
+            ..Self::vcu128()
+        }
+    }
+}
+
+/// One filled-in hardware template parameter, as it would appear in the
+/// generated configuration header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemplateParameter {
+    /// Parameter name (e.g. `NUM_CHUNKS`).
+    pub name: String,
+    /// Value.
+    pub value: u64,
+}
+
+/// The compiled hardware plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledDesign {
+    /// Number of denser-branch chunks (= degree classes).
+    pub num_chunks: usize,
+    /// PEs per chunk, plus the sparser-branch engine as the last entry.
+    pub pes_per_engine: Vec<usize>,
+    /// Buffer bytes per engine (same ordering).
+    pub buffer_bytes_per_engine: Vec<u64>,
+    /// Estimated DSP usage.
+    pub dsps_used: usize,
+    /// Estimated on-chip memory usage in bytes.
+    pub on_chip_bytes_used: u64,
+    /// Whether the design fits the budget.
+    pub fits: bool,
+    /// The filled template parameters, ready to be emitted into the code
+    /// templates of Fig. 8.
+    pub parameters: Vec<TemplateParameter>,
+}
+
+impl CompiledDesign {
+    /// DSP utilization fraction of the budget.
+    pub fn dsp_utilization(&self, budget: &ResourceBudget) -> f64 {
+        self.dsps_used as f64 / budget.dsps.max(1) as f64
+    }
+
+    /// Renders the parameters as a `name = value` listing (the text that
+    /// would be substituted into the C/Verilog templates).
+    pub fn render_parameters(&self) -> String {
+        self.parameters
+            .iter()
+            .map(|p| format!("{} = {}", p.name, p.value))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// The hardware compiler of Fig. 8.
+#[derive(Debug, Clone)]
+pub struct HardwareCompiler {
+    accelerator: AcceleratorConfig,
+    budget: ResourceBudget,
+}
+
+impl HardwareCompiler {
+    /// Creates a compiler targeting `accelerator` within `budget`.
+    pub fn new(accelerator: AcceleratorConfig, budget: ResourceBudget) -> Self {
+        Self {
+            accelerator,
+            budget,
+        }
+    }
+
+    /// Compiler for the paper's default VCU128 configuration.
+    pub fn vcu128() -> Self {
+        Self::new(AcceleratorConfig::vcu128(), ResourceBudget::vcu128())
+    }
+
+    /// Compiles a parsed network plus its GCoD workload split into a concrete
+    /// resource plan. This is the per-task, one-time reconfiguration step.
+    pub fn compile(&self, network: &ParsedNetwork, split: &SplitWorkload) -> CompiledDesign {
+        // The widest layer drives the per-non-zero aggregation work.
+        let max_out_dim = network
+            .layer_dims
+            .iter()
+            .map(|&(_, out)| out)
+            .max()
+            .unwrap_or(network.output_dim)
+            .max(1);
+        let element_bytes = self.accelerator.precision.bytes() as u64;
+
+        let nnz_per_class = split.nnz_per_class();
+        let macs_per_class: Vec<u64> = nnz_per_class
+            .iter()
+            .map(|&n| n as u64 * max_out_dim as u64)
+            .collect();
+        let bytes_per_class: Vec<u64> = split
+            .blocks
+            .iter()
+            .fold(vec![0u64; split.num_classes], |mut acc, b| {
+                acc[b.class] += b.nnz as u64 * (8 + element_bytes)
+                    + b.len as u64 * max_out_dim as u64 * element_bytes;
+                acc
+            });
+        let chunks: Vec<ChunkAllocation> =
+            allocate_chunks(&self.accelerator, &macs_per_class, &bytes_per_class);
+
+        let mut pes_per_engine: Vec<usize> = chunks.iter().map(|c| c.pes).collect();
+        let mut buffer_bytes: Vec<u64> = chunks.iter().map(|c| c.buffer_bytes).collect();
+        // The sparser branch is one more engine with the remaining PEs and a
+        // quarter of the on-chip memory (it keeps its CSC workload resident).
+        pes_per_engine.push(self.accelerator.sparser_pes());
+        buffer_bytes.push(self.accelerator.on_chip_bytes / 4);
+
+        let total_pes: usize = pes_per_engine.iter().sum();
+        let dsps_used = (total_pes as f64 * self.budget.dsps_per_pe).ceil() as usize;
+        let on_chip_used: u64 = buffer_bytes.iter().sum();
+        let fits = dsps_used <= self.budget.dsps && on_chip_used <= self.budget.on_chip_bytes;
+
+        let mut parameters = vec![
+            TemplateParameter {
+                name: "NUM_CHUNKS".to_string(),
+                value: chunks.len() as u64,
+            },
+            TemplateParameter {
+                name: "NUM_NODES".to_string(),
+                value: network.nodes as u64,
+            },
+            TemplateParameter {
+                name: "NUM_EDGES".to_string(),
+                value: network.edges as u64,
+            },
+            TemplateParameter {
+                name: "FEATURE_DIM".to_string(),
+                value: network.input_dim as u64,
+            },
+            TemplateParameter {
+                name: "HIDDEN_DIM".to_string(),
+                value: network.hidden_dim as u64,
+            },
+            TemplateParameter {
+                name: "OUTPUT_DIM".to_string(),
+                value: network.output_dim as u64,
+            },
+            TemplateParameter {
+                name: "PRECISION_BITS".to_string(),
+                value: (element_bytes * 8) as u64,
+            },
+        ];
+        for (i, (&pes, &buf)) in pes_per_engine.iter().zip(&buffer_bytes).enumerate() {
+            let engine = if i < chunks.len() {
+                format!("CHUNK{i}")
+            } else {
+                "SPARSER".to_string()
+            };
+            parameters.push(TemplateParameter {
+                name: format!("{engine}_PES"),
+                value: pes as u64,
+            });
+            parameters.push(TemplateParameter {
+                name: format!("{engine}_BUFFER_BYTES"),
+                value: buf,
+            });
+        }
+
+        CompiledDesign {
+            num_chunks: chunks.len(),
+            pes_per_engine,
+            buffer_bytes_per_engine: buffer_bytes,
+            dsps_used,
+            on_chip_bytes_used: on_chip_used,
+            fits,
+            parameters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcod_core::{GcodConfig, SplitWorkload, SubgraphLayout};
+    use gcod_graph::{DatasetProfile, GraphGenerator};
+    use gcod_nn::models::{ModelConfig, ModelKind};
+
+    fn setup() -> (ParsedNetwork, SplitWorkload) {
+        let g = GraphGenerator::new(111)
+            .generate(&DatasetProfile::custom("compile", 400, 1600, 32, 4))
+            .unwrap();
+        let cfg = GcodConfig {
+            num_classes: 2,
+            num_subgraphs: 8,
+            num_groups: 2,
+            ..GcodConfig::default()
+        };
+        let layout = SubgraphLayout::build(&g, &cfg, 0).unwrap();
+        let permuted = layout.apply(&g);
+        let split = SplitWorkload::extract(permuted.adjacency(), &layout);
+        let model_cfg = ModelConfig::for_kind(ModelKind::Gcn, &permuted);
+        let network = parse_network(&model_cfg, permuted.num_nodes(), permuted.num_edges());
+        (network, split)
+    }
+
+    #[test]
+    fn parser_extracts_dimensions() {
+        let (network, _) = setup();
+        assert_eq!(network.model, "gcn");
+        assert_eq!(network.nodes, 400);
+        assert_eq!(network.input_dim, 32);
+        assert_eq!(network.layer_dims.len(), 2);
+        assert_eq!(network.layer_dims[0].0, 32);
+        assert_eq!(network.layer_dims[1].1, 4);
+    }
+
+    #[test]
+    fn compiled_design_fits_the_vcu128() {
+        let (network, split) = setup();
+        let design = HardwareCompiler::vcu128().compile(&network, &split);
+        assert!(design.fits, "paper configuration must fit its own board");
+        assert_eq!(design.num_chunks, split.num_classes);
+        // One engine per chunk plus the sparser branch.
+        assert_eq!(design.pes_per_engine.len(), design.num_chunks + 1);
+        assert!(design.dsps_used > 0);
+        assert!(design.dsp_utilization(&ResourceBudget::vcu128()) <= 1.0);
+    }
+
+    #[test]
+    fn int8_budget_affords_more_pes_per_dsp() {
+        let (network, split) = setup();
+        let fp32 = HardwareCompiler::new(AcceleratorConfig::vcu128(), ResourceBudget::vcu128())
+            .compile(&network, &split);
+        let int8 = HardwareCompiler::new(
+            AcceleratorConfig::vcu128_int8(),
+            ResourceBudget::vcu128_int8(),
+        )
+        .compile(&network, &split);
+        let fp32_total: usize = fp32.pes_per_engine.iter().sum();
+        let int8_total: usize = int8.pes_per_engine.iter().sum();
+        assert!(int8_total > fp32_total);
+        assert!(int8.fits, "the 8-bit design must also fit (≈5200 DSPs)");
+        assert!(int8.dsps_used < 6_000);
+    }
+
+    #[test]
+    fn tiny_budget_is_rejected() {
+        let (network, split) = setup();
+        let compiler = HardwareCompiler::new(
+            AcceleratorConfig::vcu128(),
+            ResourceBudget {
+                dsps: 10,
+                on_chip_bytes: 1024,
+                dsps_per_pe: 2.0,
+            },
+        );
+        let design = compiler.compile(&network, &split);
+        assert!(!design.fits);
+    }
+
+    #[test]
+    fn template_parameters_are_rendered() {
+        let (network, split) = setup();
+        let design = HardwareCompiler::vcu128().compile(&network, &split);
+        let rendered = design.render_parameters();
+        assert!(rendered.contains("NUM_CHUNKS = 2"));
+        assert!(rendered.contains("HIDDEN_DIM = 16"));
+        assert!(rendered.contains("SPARSER_PES ="));
+        assert!(rendered.contains("CHUNK0_BUFFER_BYTES ="));
+        assert!(rendered.contains("PRECISION_BITS = 32"));
+    }
+
+    #[test]
+    fn recompiling_for_a_wider_task_changes_the_parameters() {
+        // Reconfigurability: a different task (different hidden width) yields
+        // a different filled template, without touching the hardware model.
+        let (network, split) = setup();
+        let compiler = HardwareCompiler::vcu128();
+        let base = compiler.compile(&network, &split);
+        let mut wider = network.clone();
+        wider.hidden_dim = 256;
+        wider.layer_dims = vec![(wider.input_dim, 256), (256, wider.output_dim)];
+        let recompiled = compiler.compile(&wider, &split);
+        assert_ne!(base.parameters, recompiled.parameters);
+        assert_eq!(base.num_chunks, recompiled.num_chunks);
+    }
+}

@@ -1,0 +1,86 @@
+//! Simulation result types.
+
+use crate::energy::EnergyBreakdown;
+use crate::memory::TrafficCounter;
+use serde::{Deserialize, Serialize};
+
+/// Performance report of one inference simulation on one platform.
+///
+/// This is the common currency of the benchmark harness: the GCoD
+/// accelerator, the baseline accelerators and the CPU/GPU models all produce
+/// one of these, and the figure/table generators compare them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Platform name (e.g. "gcod", "hygcn", "pyg-cpu").
+    pub platform: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Model name.
+    pub model: String,
+    /// End-to-end inference latency in milliseconds.
+    pub latency_ms: f64,
+    /// Total clock cycles (0 for platforms modelled without a cycle notion).
+    pub cycles: u64,
+    /// Total off-chip traffic in bytes.
+    pub off_chip_bytes: u64,
+    /// Number of off-chip accesses (64-byte bursts).
+    pub off_chip_accesses: u64,
+    /// Peak off-chip bandwidth demanded, in GB/s.
+    pub peak_bandwidth_gbps: f64,
+    /// Average PE / compute utilization in [0, 1].
+    pub utilization: f64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Raw traffic counters.
+    pub traffic: TrafficCounter,
+}
+
+impl PerfReport {
+    /// Speedup of this report relative to a reference latency.
+    pub fn speedup_over(&self, reference_latency_ms: f64) -> f64 {
+        if self.latency_ms <= 0.0 {
+            0.0
+        } else {
+            reference_latency_ms / self.latency_ms
+        }
+    }
+
+    /// Total energy in joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.energy.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(latency: f64) -> PerfReport {
+        PerfReport {
+            platform: "x".to_string(),
+            dataset: "cora".to_string(),
+            model: "gcn".to_string(),
+            latency_ms: latency,
+            cycles: 100,
+            off_chip_bytes: 1000,
+            off_chip_accesses: 16,
+            peak_bandwidth_gbps: 1.0,
+            utilization: 0.9,
+            energy: EnergyBreakdown::default(),
+            traffic: TrafficCounter::new(),
+        }
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_latencies() {
+        let fast = dummy(2.0);
+        assert_eq!(fast.speedup_over(20.0), 10.0);
+        assert_eq!(dummy(0.0).speedup_over(20.0), 0.0);
+    }
+
+    #[test]
+    fn energy_total_passthrough() {
+        let r = dummy(1.0);
+        assert_eq!(r.energy_joules(), 0.0);
+    }
+}

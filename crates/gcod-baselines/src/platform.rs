@@ -1,0 +1,294 @@
+//! The shared analytical platform model.
+//!
+//! Every baseline is described by a [`PlatformSpec`]: peak compute, memory
+//! system, phase-level efficiency factors and the aggregation dataflow style.
+//! [`Platform::simulate`] turns a spec plus an
+//! [`InferenceWorkload`] into a [`PerfReport`] using a two-phase roofline:
+//! each phase takes `max(compute time, memory time)` where the memory time
+//! follows from the traffic the dataflow style implies.
+
+use gcod_accel::energy::{EnergyBreakdown, EnergyModel};
+use gcod_accel::memory::{Phase, TrafficCounter};
+use gcod_accel::report::PerfReport;
+use gcod_nn::workload::InferenceWorkload;
+use serde::{Deserialize, Serialize};
+
+/// How a platform performs the aggregation SpMM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AggregationStyle {
+    /// Gathered aggregation (HyGCN): neighbour feature vectors are fetched
+    /// per edge; a locality factor models how much of that traffic the
+    /// platform's caching / window sliding absorbs.
+    Gathered {
+        /// Fraction of per-edge feature fetches served on chip.
+        locality: f64,
+        /// Block-wise adjacency fetching reads this multiple of the useful
+        /// adjacency bytes (ultra-sparse matrices make the sliding window
+        /// fetch mostly zeros).
+        overfetch: f64,
+    },
+    /// Distributed aggregation (AWB-GCN, CPUs/GPUs with CSR SpMM): the
+    /// combined features are streamed once, but the full aggregation output
+    /// must be buffered and spills off chip when it exceeds the on-chip
+    /// capacity.
+    Distributed,
+}
+
+/// Analytical description of one baseline platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Platform name used in reports (e.g. "pyg-cpu").
+    pub name: String,
+    /// Peak multiply-accumulate throughput in MACs per second.
+    pub peak_macs_per_second: f64,
+    /// Off-chip bandwidth in GB/s.
+    pub off_chip_gbps: f64,
+    /// On-chip (cache / scratchpad) capacity in bytes.
+    pub on_chip_bytes: u64,
+    /// Fraction of peak compute achieved on the dense combination phase.
+    pub combination_efficiency: f64,
+    /// Fraction of peak compute achieved on the sparse aggregation phase
+    /// (captures framework overhead, irregular access, load imbalance).
+    pub aggregation_efficiency: f64,
+    /// Aggregation dataflow style.
+    pub style: AggregationStyle,
+    /// Fixed software/framework overhead added per layer (kernel launches,
+    /// Python dispatch, graph bookkeeping). Zero for dedicated accelerators;
+    /// this is what makes PyG/DGL latencies on small citation graphs orders
+    /// of magnitude larger than their roofline times.
+    pub per_layer_overhead_s: f64,
+    /// Energy constants.
+    pub energy: EnergyModel,
+    /// Nominal board/device power in watts (reported, not derived).
+    pub power_watts: f64,
+}
+
+/// A platform that can simulate an inference workload.
+pub trait Platform: std::fmt::Debug {
+    /// Platform name.
+    fn name(&self) -> &str;
+
+    /// Simulates one inference of `workload` and reports latency, traffic and
+    /// energy.
+    fn simulate(&self, workload: &InferenceWorkload) -> PerfReport;
+}
+
+impl Platform for PlatformSpec {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn simulate(&self, workload: &InferenceWorkload) -> PerfReport {
+        let mut traffic = TrafficCounter::new();
+        let mut total_seconds = 0.0f64;
+        let mut peak_bandwidth: f64 = 0.0;
+        let bytes_per_second = self.off_chip_gbps * 1.0e9;
+        let element_bytes = workload.precision.bytes() as u64;
+
+        for layer in &workload.layers {
+            // ---- Combination phase.
+            let comb_macs = layer.combination_macs as f64;
+            let comb_compute_s =
+                comb_macs / (self.peak_macs_per_second * self.combination_efficiency).max(1.0);
+            // The intermediate (X·W) matrix stays on chip when it fits in
+            // half the platform's cache/scratchpad; otherwise it spills and
+            // has to be re-read during aggregation.
+            let intermediate_spills = layer.intermediate_bytes > self.on_chip_bytes / 2;
+            let input_spills = layer.input_feature_bytes > self.on_chip_bytes / 2;
+            let input_bytes = if layer.index == 0 {
+                (layer.input_feature_bytes as f64 * workload.feature_density.max(0.001)) as u64
+            } else if input_spills {
+                layer.input_feature_bytes
+            } else {
+                0
+            };
+            traffic.read_off_chip(Phase::Combination, input_bytes + layer.weight_bytes);
+            let mut comb_bytes = input_bytes + layer.weight_bytes;
+            if intermediate_spills {
+                traffic.write_off_chip(Phase::Combination, layer.intermediate_bytes);
+                comb_bytes += layer.intermediate_bytes;
+            } else {
+                traffic.move_on_chip(Phase::Combination, layer.intermediate_bytes);
+            }
+            let comb_memory_s = comb_bytes as f64 / bytes_per_second;
+            let comb_s = comb_compute_s.max(comb_memory_s);
+
+            // ---- Aggregation phase.
+            let agg_macs = layer.aggregation_macs as f64;
+            let agg_compute_s =
+                agg_macs / (self.peak_macs_per_second * self.aggregation_efficiency).max(1.0);
+            let adjacency_bytes = layer.adjacency_bytes;
+            traffic.read_off_chip(Phase::Aggregation, adjacency_bytes);
+            let mut agg_bytes = adjacency_bytes;
+            match self.style {
+                AggregationStyle::Gathered { locality, overfetch } => {
+                    // One feature row per edge, partially served on chip.
+                    let per_edge = layer.adjacency_nnz as u64 * layer.out_dim as u64 * element_bytes;
+                    let off_chip = (per_edge as f64 * (1.0 - locality.clamp(0.0, 1.0))) as u64;
+                    traffic.read_off_chip(Phase::Aggregation, off_chip);
+                    traffic.move_on_chip(Phase::Aggregation, per_edge - off_chip);
+                    agg_bytes += off_chip;
+                    // Block-wise scheduling overfetches the sparse adjacency.
+                    let extra_adj = (adjacency_bytes as f64 * (overfetch.max(1.0) - 1.0)) as u64;
+                    traffic.read_off_chip(Phase::Aggregation, extra_adj);
+                    agg_bytes += extra_adj;
+                }
+                AggregationStyle::Distributed => {
+                    // Combined features streamed once: from HBM/DRAM when they
+                    // spilled, from the on-chip buffer otherwise.
+                    if intermediate_spills {
+                        traffic.read_off_chip(Phase::Aggregation, layer.intermediate_bytes);
+                        agg_bytes += layer.intermediate_bytes;
+                    } else {
+                        traffic.move_on_chip(Phase::Aggregation, layer.intermediate_bytes);
+                    }
+                    // Aggregation output buffer spills when it does not fit.
+                    if layer.output_feature_bytes > self.on_chip_bytes {
+                        // Partial results are written and re-read roughly once.
+                        let spill = 2 * layer.output_feature_bytes;
+                        traffic.write_off_chip(Phase::Aggregation, spill / 2);
+                        traffic.read_off_chip(Phase::Aggregation, spill / 2);
+                        agg_bytes += spill;
+                    } else {
+                        traffic.move_on_chip(Phase::Aggregation, layer.output_feature_bytes);
+                    }
+                }
+            }
+            // The aggregation output feeds the next layer; it only causes
+            // off-chip traffic when it exceeds the on-chip capacity (or for
+            // the final logits, which are negligible either way).
+            if layer.output_feature_bytes > self.on_chip_bytes / 2 {
+                traffic.write_off_chip(Phase::Aggregation, layer.output_feature_bytes);
+                agg_bytes += layer.output_feature_bytes;
+            } else {
+                traffic.move_on_chip(Phase::Aggregation, layer.output_feature_bytes);
+            }
+            let agg_memory_s = agg_bytes as f64 / bytes_per_second;
+            let agg_s = agg_compute_s.max(agg_memory_s);
+
+            // Bandwidth *requirement*: traffic over the compute-only time of
+            // the phase (what the memory system would have to deliver to keep
+            // the compute units busy).
+            for (bytes, seconds) in [(comb_bytes, comb_compute_s), (agg_bytes, agg_compute_s)] {
+                if seconds > 0.0 {
+                    peak_bandwidth = peak_bandwidth.max(bytes as f64 / seconds / 1.0e9);
+                }
+            }
+            total_seconds += comb_s + agg_s + self.per_layer_overhead_s;
+        }
+
+        let energy = EnergyBreakdown::from_counts(
+            &self.energy,
+            workload.combination_macs(),
+            workload.aggregation_macs(),
+            &traffic,
+        );
+        let compute_seconds: f64 = workload.total_macs() as f64 / self.peak_macs_per_second;
+        PerfReport {
+            platform: self.name.clone(),
+            dataset: workload.dataset.clone(),
+            model: workload.model.clone(),
+            latency_ms: total_seconds * 1.0e3,
+            cycles: 0,
+            off_chip_bytes: traffic.total_off_chip(),
+            off_chip_accesses: traffic.off_chip_accesses(64),
+            peak_bandwidth_gbps: peak_bandwidth,
+            utilization: (compute_seconds / total_seconds.max(1e-12)).min(1.0),
+            energy,
+            traffic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcod_graph::{DatasetProfile, GraphGenerator};
+    use gcod_nn::models::ModelConfig;
+    use gcod_nn::quant::Precision;
+
+    fn workload() -> InferenceWorkload {
+        let g = GraphGenerator::new(1)
+            .generate(&DatasetProfile::custom("p", 300, 1200, 32, 4))
+            .unwrap();
+        InferenceWorkload::build(&g, &ModelConfig::gcn(&g), Precision::Fp32)
+    }
+
+    fn spec(style: AggregationStyle) -> PlatformSpec {
+        PlatformSpec {
+            name: "test".to_string(),
+            peak_macs_per_second: 1.0e11,
+            off_chip_gbps: 50.0,
+            on_chip_bytes: 1 << 20,
+            combination_efficiency: 0.5,
+            aggregation_efficiency: 0.05,
+            style,
+            per_layer_overhead_s: 0.0,
+            energy: EnergyModel::default(),
+            power_watts: 100.0,
+        }
+    }
+
+    #[test]
+    fn simulation_is_positive_and_consistent() {
+        let w = workload();
+        let report = spec(AggregationStyle::Distributed).simulate(&w);
+        assert!(report.latency_ms > 0.0);
+        assert!(report.off_chip_bytes > 0);
+        assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+        assert_eq!(report.platform, "test");
+    }
+
+    #[test]
+    fn gathered_with_poor_locality_moves_more_bytes() {
+        let w = workload();
+        let gathered = spec(AggregationStyle::Gathered { locality: 0.1, overfetch: 1.0 }).simulate(&w);
+        let distributed = spec(AggregationStyle::Distributed).simulate(&w);
+        assert!(
+            gathered.off_chip_bytes > distributed.off_chip_bytes,
+            "gathered {} vs distributed {}",
+            gathered.off_chip_bytes,
+            distributed.off_chip_bytes
+        );
+    }
+
+    #[test]
+    fn better_locality_reduces_traffic() {
+        let w = workload();
+        let poor = spec(AggregationStyle::Gathered { locality: 0.0, overfetch: 1.0 }).simulate(&w);
+        let good = spec(AggregationStyle::Gathered { locality: 0.9, overfetch: 1.0 }).simulate(&w);
+        assert!(good.off_chip_bytes < poor.off_chip_bytes);
+    }
+
+    #[test]
+    fn faster_compute_reduces_latency_until_memory_bound() {
+        let w = workload();
+        let mut slow = spec(AggregationStyle::Distributed);
+        slow.peak_macs_per_second = 1.0e9;
+        let mut fast = spec(AggregationStyle::Distributed);
+        fast.peak_macs_per_second = 1.0e13;
+        let slow_r = slow.simulate(&w);
+        let fast_r = fast.simulate(&w);
+        assert!(fast_r.latency_ms < slow_r.latency_ms);
+    }
+
+    #[test]
+    fn higher_aggregation_efficiency_helps() {
+        let w = workload();
+        let mut ineff = spec(AggregationStyle::Distributed);
+        ineff.aggregation_efficiency = 0.001;
+        let mut eff = spec(AggregationStyle::Distributed);
+        eff.aggregation_efficiency = 0.5;
+        assert!(eff.simulate(&w).latency_ms < ineff.simulate(&w).latency_ms);
+    }
+
+    #[test]
+    fn small_on_chip_capacity_spills_the_output() {
+        let w = workload();
+        let mut tiny = spec(AggregationStyle::Distributed);
+        tiny.on_chip_bytes = 16;
+        let mut big = spec(AggregationStyle::Distributed);
+        big.on_chip_bytes = 1 << 30;
+        assert!(tiny.simulate(&w).off_chip_bytes > big.simulate(&w).off_chip_bytes);
+    }
+}

@@ -1,0 +1,91 @@
+//! The full baseline suite, in the order the paper's figures enumerate the
+//! platforms.
+
+use crate::{awbgcn, cpu, fpga, gpu, hygcn, PlatformSpec};
+
+/// All nine baseline platforms of Fig. 9/10: PyG/DGL on CPU and GPU, HyGCN,
+/// AWB-GCN and the three Deepburning-GL FPGAs.
+pub fn all_baselines() -> Vec<PlatformSpec> {
+    vec![
+        cpu::pyg_cpu(),
+        cpu::dgl_cpu(),
+        gpu::pyg_gpu(),
+        gpu::dgl_gpu(),
+        hygcn::hygcn(),
+        awbgcn::awb_gcn(),
+        fpga::zc706(),
+        fpga::kcu1500(),
+        fpga::alveo_u50(),
+    ]
+}
+
+/// The reference platform every speedup in the paper is normalized to.
+pub fn reference_platform() -> PlatformSpec {
+    cpu::pyg_cpu()
+}
+
+/// Looks a baseline up by its report name.
+pub fn by_name(name: &str) -> Option<PlatformSpec> {
+    all_baselines()
+        .into_iter()
+        .find(|p| p.name == name.to_ascii_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Platform;
+    use gcod_graph::{DatasetProfile, GraphGenerator};
+    use gcod_nn::models::ModelConfig;
+    use gcod_nn::quant::Precision;
+    use gcod_nn::workload::InferenceWorkload;
+
+    #[test]
+    fn suite_has_nine_platforms_with_unique_names() {
+        let suite = all_baselines();
+        assert_eq!(suite.len(), 9);
+        let names: std::collections::HashSet<&str> =
+            suite.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn lookup_by_name_round_trips() {
+        for p in all_baselines() {
+            assert_eq!(by_name(&p.name).unwrap().name, p.name);
+        }
+        assert!(by_name("tpu").is_none());
+    }
+
+    #[test]
+    fn reference_is_pyg_cpu_and_is_the_slowest_general_platform() {
+        let reference = reference_platform();
+        assert_eq!(reference.name, "pyg-cpu");
+        let g = GraphGenerator::new(13)
+            .generate(&DatasetProfile::custom("suite", 500, 2000, 32, 4))
+            .unwrap();
+        let w = InferenceWorkload::build(&g, &ModelConfig::gcn(&g), Precision::Fp32);
+        let ref_latency = reference.simulate(&w).latency_ms;
+        for p in all_baselines() {
+            let lat = p.simulate(&w).latency_ms;
+            assert!(
+                lat <= ref_latency * 1.001,
+                "{} is slower than the PyG-CPU anchor ({lat} vs {ref_latency})",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn dedicated_accelerators_beat_general_platforms() {
+        let g = GraphGenerator::new(17)
+            .generate(&DatasetProfile::custom("acc", 600, 2400, 64, 4))
+            .unwrap();
+        let w = InferenceWorkload::build(&g, &ModelConfig::gcn(&g), Precision::Fp32);
+        let gpu_latency = by_name("pyg-gpu").unwrap().simulate(&w).latency_ms;
+        for name in ["hygcn", "awb-gcn"] {
+            let lat = by_name(name).unwrap().simulate(&w).latency_ms;
+            assert!(lat < gpu_latency, "{name} should beat the GPU");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Benchmark of the multilevel balanced partitioner (the METIS stand-in used
+//! by GCoD's Step 1) across graph sizes and part counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcod_graph::{DatasetProfile, GraphGenerator, PartitionConfig, Partitioner};
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    for &nodes in &[1_000usize, 4_000] {
+        let profile = DatasetProfile::custom("bench", nodes, nodes * 4, 16, 4);
+        let graph = GraphGenerator::new(3).generate(&profile).expect("generate");
+        for &parts in &[4usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{parts}way"), nodes),
+                &nodes,
+                |b, _| {
+                    b.iter(|| {
+                        Partitioner::new(PartitionConfig::k_way(parts))
+                            .partition(graph.adjacency())
+                            .expect("partition")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Benchmark of the sparsify + polarize graph-tuning step (GCoD Step 2) and
+//! the structural sparsification (Step 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcod_core::{structural_sparsify, GcodConfig, Polarizer, SubgraphLayout};
+use gcod_graph::{DatasetProfile, GraphGenerator};
+
+fn bench_polarize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_tuning");
+    group.sample_size(10);
+    for &nodes in &[1_000usize, 3_000] {
+        let profile = DatasetProfile::custom("bench", nodes, nodes * 4, 16, 4);
+        let graph = GraphGenerator::new(5).generate(&profile).expect("generate");
+        let config = GcodConfig {
+            num_classes: 2,
+            num_subgraphs: 8,
+            num_groups: 2,
+            prune_ratio: 0.1,
+            ..GcodConfig::default()
+        };
+        let layout = SubgraphLayout::build(&graph, &config, 0).expect("layout");
+        let reordered = layout.apply(&graph);
+
+        group.bench_with_input(BenchmarkId::new("sparsify_polarize", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                Polarizer::new(config.clone())
+                    .tune(reordered.adjacency(), &layout)
+                    .expect("tune")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("structural", nodes), &nodes, |b, _| {
+            b.iter(|| structural_sparsify(reordered.adjacency(), &layout, 32, 12));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_polarize);
+criterion_main!(benches);

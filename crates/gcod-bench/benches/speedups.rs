@@ -1,0 +1,28 @@
+//! End-to-end benchmark of the Fig. 9 pipeline for one dataset/model pair:
+//! the GCoD algorithm run on the replica plus the simulation of every
+//! platform. This measures the cost of regenerating one column of the
+//! speedup figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcod_bench::{harness_gcod_config, run_algorithm, simulate_all_platforms, DatasetCase};
+use gcod_nn::models::ModelKind;
+
+fn bench_speedup_column(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_column");
+    group.sample_size(10);
+    let case = DatasetCase::by_name("cora");
+    let config = harness_gcod_config();
+
+    group.bench_function("algorithm_replica_cora", |b| {
+        b.iter(|| run_algorithm(&case, &config, 0));
+    });
+
+    let outcome = run_algorithm(&case, &config, 0);
+    group.bench_function("simulate_all_platforms_cora_gcn", |b| {
+        b.iter(|| simulate_all_platforms(&case, ModelKind::Gcn, &outcome));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup_column);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Kernel-level benchmark of the aggregation SpMM in both traversal orders
+//! (row-wise "gathered" vs column-wise "distributed"), the primitive the
+//! GCoD accelerator's branches model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcod_graph::{DatasetProfile, GraphGenerator};
+use gcod_nn::sparse_ops::{spmm, spmm_csc};
+use gcod_nn::Tensor;
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    for &nodes in &[500usize, 2_000, 8_000] {
+        let profile = DatasetProfile::custom("bench", nodes, nodes * 5, 16, 4);
+        let graph = GraphGenerator::new(1).generate(&profile).expect("generate");
+        let csr = graph.adjacency().clone();
+        let csc = csr.to_csc();
+        let features = Tensor::full(nodes, 16, 0.5);
+
+        group.bench_with_input(BenchmarkId::new("csr_row_wise", nodes), &nodes, |b, _| {
+            b.iter(|| spmm(&csr, &features).expect("spmm"));
+        });
+        group.bench_with_input(BenchmarkId::new("csc_column_wise", nodes), &nodes, |b, _| {
+            b.iter(|| spmm_csc(&csc, &features).expect("spmm_csc"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation of the sparser branch's query-based weight forwarding: how much
+//! off-chip traffic and latency the forwarding hit rate saves.
+//!
+//! Paper expectation: about 63% of the sparser branch's weight reads are
+//! served by forwarding from the denser-branch chunks; disabling it pushes
+//! those reads back to HBM.
+
+use gcod_accel::config::AcceleratorConfig;
+use gcod_accel::simulator::GcodAccelerator;
+use gcod_bench::{harness_gcod_config, print_table, project_split, run_algorithm, DatasetCase};
+use gcod_nn::models::ModelKind;
+use gcod_nn::quant::Precision;
+use gcod_nn::workload::InferenceWorkload;
+
+fn main() {
+    println!("Ablation: query-based weight forwarding hit rate (GCN)\n");
+    let config = harness_gcod_config();
+    let mut rows = Vec::new();
+    for dataset in ["cora", "pubmed", "nell"] {
+        let case = DatasetCase::by_name(dataset);
+        let outcome = run_algorithm(&case, &config, 0);
+        let split = project_split(&case, &outcome);
+        let workload = InferenceWorkload::from_stats(
+            &case.profile.name,
+            case.profile.nodes,
+            split.total_nnz(),
+            case.feature_density,
+            &case.model_config(ModelKind::Gcn),
+            Precision::Fp32,
+        );
+        for rate in [0.0, 0.3, 0.63, 0.9] {
+            let accel_cfg = AcceleratorConfig {
+                weight_forwarding_rate: rate,
+                ..AcceleratorConfig::vcu128()
+            };
+            let report = GcodAccelerator::new(accel_cfg).simulate(&workload, &split);
+            rows.push(vec![
+                dataset.to_string(),
+                format!("{:.0}%", rate * 100.0),
+                format!("{:.1}", report.off_chip_bytes as f64 / 1.0e6),
+                format!("{:.4}", report.latency_ms),
+            ]);
+        }
+    }
+    print_table(
+        &["dataset", "forwarding rate", "off-chip (MB)", "latency (ms)"],
+        &rows,
+    );
+}

@@ -1,0 +1,71 @@
+//! Sec. VI-C ablation: sweep the number of degree classes C (= chunks) and
+//! subgraphs S, measuring the speedup over AWB-GCN and the off-chip bandwidth
+//! reduction.
+//!
+//! Paper expectation: across C in {1,2,3,4} and S in {8,12,16,20}, GCoD stays
+//! 1.8x-2.8x faster than AWB-GCN and needs 26%-53% less bandwidth.
+
+use gcod_baselines::{suite, Platform};
+use gcod_bench::{harness_gcod_config, print_table, project_split, run_algorithm, DatasetCase};
+use gcod_accel::config::AcceleratorConfig;
+use gcod_accel::simulator::GcodAccelerator;
+use gcod_core::GcodConfig;
+use gcod_nn::models::ModelKind;
+use gcod_nn::quant::Precision;
+use gcod_nn::workload::InferenceWorkload;
+
+fn main() {
+    println!("Sec. VI-C ablation: classes C x subgraphs S sweep (GCN)\n");
+    for dataset in ["cora", "pubmed"] {
+        let case = DatasetCase::by_name(dataset);
+        let model_cfg = case.model_config(ModelKind::Gcn);
+        let full_workload = InferenceWorkload::from_stats(
+            &case.profile.name,
+            case.profile.nodes,
+            case.directed_edges(),
+            case.feature_density,
+            &model_cfg,
+            Precision::Fp32,
+        );
+        let awb = suite::by_name("awb-gcn").expect("awb").simulate(&full_workload);
+
+        let mut rows = Vec::new();
+        for classes in [1usize, 2, 3, 4] {
+            for subgraphs in [8usize, 12, 16, 20] {
+                let config = GcodConfig {
+                    num_classes: classes,
+                    num_subgraphs: subgraphs,
+                    num_groups: 2,
+                    ..harness_gcod_config()
+                };
+                let outcome = run_algorithm(&case, &config, 0);
+                let split = project_split(&case, &outcome);
+                let workload = InferenceWorkload::from_stats(
+                    &case.profile.name,
+                    case.profile.nodes,
+                    split.total_nnz(),
+                    case.feature_density,
+                    &model_cfg,
+                    Precision::Fp32,
+                );
+                let report =
+                    GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate(&workload, &split);
+                rows.push(vec![
+                    format!("C={classes}, S={subgraphs}"),
+                    format!("{:.2}", awb.latency_ms / report.latency_ms),
+                    format!(
+                        "{:.0}%",
+                        100.0 * (1.0 - report.off_chip_bytes as f64 / awb.off_chip_bytes.max(1) as f64)
+                    ),
+                    format!("{:.3}", report.utilization),
+                ]);
+            }
+        }
+        println!("== {dataset} ==");
+        print_table(
+            &["config", "speedup vs awb-gcn", "off-chip traffic reduction", "utilization"],
+            &rows,
+        );
+        println!();
+    }
+}

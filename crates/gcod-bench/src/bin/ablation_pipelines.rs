@@ -1,0 +1,56 @@
+//! Tab. II / Fig. 7 ablation: efficiency-aware vs resource-aware inter-phase
+//! pipeline on a small graph (Cora) and a large one (Reddit).
+//!
+//! Paper expectation: the efficiency-aware pipeline wins on small/medium
+//! graphs (more reuse), while on Reddit the aggregation output (~36 MB) no
+//! longer fits on chip, so the resource-aware pipeline avoids the spill and
+//! the extra off-chip accesses stay bounded.
+
+use gcod_accel::config::{AcceleratorConfig, PipelineKind};
+use gcod_accel::simulator::GcodAccelerator;
+use gcod_bench::{harness_gcod_config, print_table, project_split, run_algorithm, DatasetCase};
+use gcod_nn::models::ModelKind;
+use gcod_nn::quant::Precision;
+use gcod_nn::workload::InferenceWorkload;
+
+fn main() {
+    println!("Tab. II ablation: efficiency-aware vs resource-aware pipeline (GCN)\n");
+    let config = harness_gcod_config();
+    let mut rows = Vec::new();
+    for dataset in ["cora", "pubmed", "reddit"] {
+        let case = DatasetCase::by_name(dataset);
+        let outcome = run_algorithm(&case, &config, 0);
+        let split = project_split(&case, &outcome);
+        let model_cfg = case.model_config(ModelKind::Gcn);
+        let workload = InferenceWorkload::from_stats(
+            &case.profile.name,
+            case.profile.nodes,
+            split.total_nnz(),
+            case.feature_density,
+            &model_cfg,
+            Precision::Fp32,
+        );
+        for (label, pipeline) in [
+            ("efficiency-aware", PipelineKind::EfficiencyAware),
+            ("resource-aware", PipelineKind::ResourceAware),
+            ("auto", PipelineKind::Auto),
+        ] {
+            let accel_cfg = AcceleratorConfig {
+                pipeline,
+                ..AcceleratorConfig::vcu128()
+            };
+            let report = GcodAccelerator::new(accel_cfg).simulate(&workload, &split);
+            rows.push(vec![
+                dataset.to_string(),
+                label.to_string(),
+                format!("{:.4}", report.latency_ms),
+                format!("{:.1}", report.off_chip_bytes as f64 / 1.0e6),
+                format!("{:.1}", report.peak_bandwidth_gbps),
+            ]);
+        }
+    }
+    print_table(
+        &["dataset", "pipeline", "latency (ms)", "off-chip (MB)", "peak bw (GB/s)"],
+        &rows,
+    );
+}

@@ -1,0 +1,74 @@
+//! Fig. 11: (a) off-chip memory bandwidth requirement of GCoD vs HyGCN and
+//! (b) normalized off-chip memory accesses of GCoD vs HyGCN vs AWB-GCN.
+//!
+//! Paper expectation: GCoD needs on average ~48% of HyGCN's bandwidth (26%
+//! for the 8-bit variant) and far fewer off-chip accesses than both
+//! baselines, with Reddit showing relatively more accesses because the
+//! resource-aware pipeline trades reuse for buffer capacity.
+
+use gcod_bench::{
+    harness_gcod_config, print_table, run_algorithm, simulate_all_platforms, DatasetCase,
+};
+use gcod_nn::models::ModelKind;
+
+fn main() {
+    let config = harness_gcod_config();
+    let mut bw_rows = Vec::new();
+    let mut acc_rows = Vec::new();
+    let mut bw_ratio_sum = 0.0;
+    let mut bw8_ratio_sum = 0.0;
+    let mut count = 0usize;
+
+    for case in DatasetCase::table6_datasets() {
+        let outcome = run_algorithm(&case, &config, 0);
+        let results = simulate_all_platforms(&case, ModelKind::Gcn, &outcome);
+        let get = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.platform == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        let hygcn = get("hygcn");
+        let awb = get("awb-gcn");
+        let gcod = get("gcod");
+        let gcod8 = get("gcod-8bit");
+
+        bw_rows.push(vec![
+            case.profile.name.clone(),
+            format!("{:.1}", hygcn.report.peak_bandwidth_gbps),
+            format!("{:.1}", gcod.report.peak_bandwidth_gbps),
+            format!("{:.1}", gcod8.report.peak_bandwidth_gbps),
+            format!(
+                "{:.0}%",
+                100.0 * gcod.report.peak_bandwidth_gbps / hygcn.report.peak_bandwidth_gbps.max(1e-9)
+            ),
+        ]);
+        bw_ratio_sum += gcod.report.peak_bandwidth_gbps / hygcn.report.peak_bandwidth_gbps.max(1e-9);
+        bw8_ratio_sum +=
+            gcod8.report.peak_bandwidth_gbps / hygcn.report.peak_bandwidth_gbps.max(1e-9);
+        count += 1;
+
+        let norm = gcod.report.off_chip_accesses.max(1) as f64;
+        acc_rows.push(vec![
+            case.profile.name.clone(),
+            format!("{:.2}", hygcn.report.off_chip_accesses as f64 / norm),
+            format!("{:.2}", awb.report.off_chip_accesses as f64 / norm),
+            "1.00".to_string(),
+            format!("{:.2}", gcod8.report.off_chip_accesses as f64 / norm),
+        ]);
+    }
+
+    println!("Fig. 11 (a): peak off-chip bandwidth requirement (GB/s), GCN\n");
+    print_table(
+        &["dataset", "hygcn", "gcod", "gcod-8bit", "gcod/hygcn"],
+        &bw_rows,
+    );
+    println!(
+        "\naverage bandwidth ratio: gcod/hygcn = {:.0}%, gcod-8bit/hygcn = {:.0}% (paper: 48% / 26%)\n",
+        100.0 * bw_ratio_sum / count as f64,
+        100.0 * bw8_ratio_sum / count as f64
+    );
+
+    println!("Fig. 11 (b): off-chip memory accesses normalized to GCoD, GCN\n");
+    print_table(&["dataset", "hygcn", "awb-gcn", "gcod", "gcod-8bit"], &acc_rows);
+}

@@ -1,0 +1,55 @@
+//! Fig. 12: energy breakdown of the GCoD accelerator across computation,
+//! on-chip accesses and off-chip accesses, separately for the combination and
+//! aggregation phases, on four models and five datasets.
+//!
+//! Paper expectation: unlike CPU execution (where aggregation takes 80-99% of
+//! the time), GCoD's combination phase dominates the energy, and the off-chip
+//! share stays modest as graphs grow.
+
+use gcod_bench::{
+    harness_gcod_config, print_table, run_algorithm, simulate_all_platforms, DatasetCase,
+};
+use gcod_nn::models::ModelKind;
+
+fn main() {
+    let config = harness_gcod_config();
+    println!("Fig. 12: GCoD energy breakdown (% of total energy)\n");
+    let mut rows = Vec::new();
+    for model in [ModelKind::Gcn, ModelKind::GraphSage, ModelKind::Gin, ModelKind::Gat] {
+        for case in DatasetCase::table6_datasets() {
+            let outcome = run_algorithm(&case, &config, 0);
+            let results = simulate_all_platforms(&case, model, &outcome);
+            let gcod = results
+                .iter()
+                .find(|r| r.platform == "gcod")
+                .expect("gcod report");
+            let fractions = gcod.report.energy.fractions();
+            rows.push(vec![
+                model.name().to_string(),
+                case.profile.name.clone(),
+                format!("{:.1}", fractions[0] * 100.0),
+                format!("{:.1}", fractions[1] * 100.0),
+                format!("{:.1}", fractions[2] * 100.0),
+                format!("{:.1}", fractions[3] * 100.0),
+                format!("{:.1}", fractions[4] * 100.0),
+                format!("{:.1}", fractions[5] * 100.0),
+                format!("{:.2}", gcod.report.energy.combination_total()
+                    / gcod.report.energy.total().max(1e-18)),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "model",
+            "dataset",
+            "comb compute",
+            "comb on-chip",
+            "comb off-chip",
+            "aggr compute",
+            "aggr on-chip",
+            "aggr off-chip",
+            "comb share",
+        ],
+        &rows,
+    );
+}

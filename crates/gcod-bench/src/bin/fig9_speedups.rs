@@ -1,0 +1,56 @@
+//! Fig. 9: normalized inference speedups (vs PyG-CPU) on the three citation
+//! graphs for GCN, GIN, GAT and GraphSAGE across all platforms.
+//!
+//! The paper's headline averages: GCoD achieves 15286x over PyG-CPU, 294x
+//! over PyG-GPU, 7.8x over HyGCN and 2.5x over AWB-GCN. The absolute factors
+//! here come from analytical platform models, so the numbers differ, but the
+//! ordering and rough magnitudes are expected to hold.
+
+use gcod_bench::{
+    fmt_speedup, harness_gcod_config, print_table, run_algorithm, simulate_all_platforms,
+    DatasetCase,
+};
+use gcod_nn::models::ModelKind;
+
+fn main() {
+    let models = [ModelKind::Gcn, ModelKind::Gin, ModelKind::Gat, ModelKind::GraphSage];
+    let config = harness_gcod_config();
+    println!("Fig. 9: normalized speedups over PyG-CPU (citation graphs)\n");
+
+    let mut geo_means: std::collections::HashMap<String, (f64, usize)> =
+        std::collections::HashMap::new();
+
+    for model in models {
+        let mut rows = Vec::new();
+        let mut headers = vec!["dataset".to_string()];
+        for case in DatasetCase::citation_graphs() {
+            let outcome = run_algorithm(&case, &config, 0);
+            let results = simulate_all_platforms(&case, model, &outcome);
+            if headers.len() == 1 {
+                headers.extend(results.iter().map(|r| r.platform.clone()));
+            }
+            let mut row = vec![case.profile.name.clone()];
+            for result in &results {
+                row.push(fmt_speedup(result.speedup_over_cpu));
+                let entry = geo_means.entry(result.platform.clone()).or_insert((0.0, 0));
+                entry.0 += result.speedup_over_cpu.max(1e-9).ln();
+                entry.1 += 1;
+            }
+            rows.push(row);
+        }
+        println!("== {} ==", model.name().to_uppercase());
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(&header_refs, &rows);
+        println!();
+    }
+
+    println!("Geometric-mean speedup over PyG-CPU across all model/dataset pairs:");
+    let mut summary: Vec<(String, f64)> = geo_means
+        .into_iter()
+        .map(|(name, (sum, n))| (name, (sum / n as f64).exp()))
+        .collect();
+    summary.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    for (name, speedup) in summary {
+        println!("  {name:>10}: {}x", fmt_speedup(speedup));
+    }
+}

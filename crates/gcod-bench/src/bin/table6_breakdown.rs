@@ -1,0 +1,101 @@
+//! Table VI: speedup breakdown of the GCoD accelerator with and without
+//! sparsification (SP.) and quantization (Quant.), normalized to PyG-CPU.
+//!
+//! Paper expectation: the two-pronged accelerator alone gives ~2.29x over
+//! AWB-GCN, sparsification another ~1.09x, and quantization another ~2.02x.
+
+use gcod_accel::config::AcceleratorConfig;
+use gcod_accel::simulator::GcodAccelerator;
+use gcod_baselines::{suite, Platform};
+use gcod_bench::{
+    fmt_speedup, harness_gcod_config, print_table, project_split, run_algorithm, DatasetCase,
+};
+use gcod_core::GcodConfig;
+use gcod_nn::models::ModelKind;
+use gcod_nn::quant::Precision;
+use gcod_nn::workload::InferenceWorkload;
+
+fn main() {
+    let config = harness_gcod_config();
+    // "Without sparsification": the same layout/split but no pruning at all.
+    let no_prune_config = GcodConfig {
+        prune_ratio: 0.0,
+        patch_threshold: 0,
+        ..config.clone()
+    };
+
+    println!("Table VI: speedup breakdown over PyG-CPU (GCN)\n");
+    let mut rows = Vec::new();
+    for case in DatasetCase::table6_datasets() {
+        let model_cfg = case.model_config(ModelKind::Gcn);
+        let full_workload = InferenceWorkload::from_stats(
+            &case.profile.name,
+            case.profile.nodes,
+            case.directed_edges(),
+            case.feature_density,
+            &model_cfg,
+            Precision::Fp32,
+        );
+        let cpu_latency = suite::reference_platform().simulate(&full_workload).latency_ms;
+        let awb_latency = suite::by_name("awb-gcn")
+            .expect("awb-gcn")
+            .simulate(&full_workload)
+            .latency_ms;
+
+        // GCoD accelerator without sparsification.
+        let outcome_plain = run_algorithm(&case, &no_prune_config, 0);
+        let split_plain = project_split(&case, &outcome_plain);
+        let accel = GcodAccelerator::new(AcceleratorConfig::vcu128());
+        let plain = accel.simulate(&full_workload, &split_plain);
+
+        // With sparsification: pruned adjacency feeds both the workload and
+        // the split.
+        let outcome_sp = run_algorithm(&case, &config, 0);
+        let split_sp = project_split(&case, &outcome_sp);
+        let sp_workload = InferenceWorkload::from_stats(
+            &case.profile.name,
+            case.profile.nodes,
+            split_sp.total_nnz(),
+            case.feature_density,
+            &model_cfg,
+            Precision::Fp32,
+        );
+        let with_sp = accel.simulate(&sp_workload, &split_sp);
+
+        // With sparsification + quantization.
+        let int8_workload = InferenceWorkload::from_stats(
+            &case.profile.name,
+            case.profile.nodes,
+            split_sp.total_nnz(),
+            case.feature_density,
+            &model_cfg,
+            Precision::Int8,
+        );
+        let with_quant =
+            GcodAccelerator::new(AcceleratorConfig::vcu128_int8()).simulate(&int8_workload, &split_sp);
+
+        rows.push(vec![
+            case.profile.name.clone(),
+            fmt_speedup(cpu_latency / awb_latency),
+            fmt_speedup(cpu_latency / plain.latency_ms),
+            fmt_speedup(cpu_latency / with_sp.latency_ms),
+            fmt_speedup(cpu_latency / with_quant.latency_ms),
+            format!("{:.2}", awb_latency / plain.latency_ms),
+            format!("{:.2}", plain.latency_ms / with_sp.latency_ms),
+            format!("{:.2}", with_sp.latency_ms / with_quant.latency_ms),
+        ]);
+    }
+    print_table(
+        &[
+            "dataset",
+            "awb-gcn",
+            "gcod accel",
+            "gcod accel w/ sp",
+            "gcod accel w/ sp+quant",
+            "accel vs awb",
+            "sp gain",
+            "quant gain",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,70 @@
+//! Error type for the GCoD algorithm crate.
+
+use std::fmt;
+
+/// Errors produced by the GCoD training pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GcodError {
+    /// The configuration is internally inconsistent.
+    InvalidConfig {
+        /// Which field is wrong and why.
+        context: String,
+    },
+    /// An underlying graph operation failed.
+    Graph(gcod_graph::GraphError),
+    /// An underlying model/training operation failed.
+    Nn(gcod_nn::NnError),
+}
+
+impl fmt::Display for GcodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcodError::InvalidConfig { context } => write!(f, "invalid GCoD config: {context}"),
+            GcodError::Graph(e) => write!(f, "graph error: {e}"),
+            GcodError::Nn(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GcodError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GcodError::Graph(e) => Some(e),
+            GcodError::Nn(e) => Some(e),
+            GcodError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<gcod_graph::GraphError> for GcodError {
+    fn from(e: gcod_graph::GraphError) -> Self {
+        GcodError::Graph(e)
+    }
+}
+
+impl From<gcod_nn::NnError> for GcodError {
+    fn from(e: gcod_nn::NnError) -> Self {
+        GcodError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_graph_errors() {
+        let err: GcodError = gcod_graph::GraphError::EmptyGraph.into();
+        assert!(err.to_string().contains("graph error"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn config_error_displays_context() {
+        let err = GcodError::InvalidConfig {
+            context: "groups must divide subgraphs".to_string(),
+        };
+        assert!(err.to_string().contains("groups must divide"));
+    }
+}

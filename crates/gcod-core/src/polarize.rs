@@ -1,0 +1,289 @@
+//! Step 2: sparsify and polarize graph tuning.
+//!
+//! The paper minimises `L_graph(A) = L_GCN(A) + L_SP(A) + L_pola(A)` with
+//! ADMM, where `L_SP` drives the adjacency toward a target pruning ratio and
+//! `L_pola = 1/M · Σ |i − j|` pulls the surviving non-zeros toward the
+//! diagonal (i.e. into the block-diagonal subgraphs created by the layout).
+//!
+//! This reproduction replaces the ADMM solver with an equivalent
+//! projection-based scheme: every outer iteration scores each edge with
+//!
+//! * a **task-importance proxy** — the symmetric-normalized weight
+//!   `1/√(d_i d_j)`, which is the magnitude the GCN actually multiplies with
+//!   and which the SGCN-style sparsifiers use as their primary signal,
+//! * a **polarization penalty** proportional to the (normalized) distance of
+//!   the entry from the block diagonal of the current layout, and
+//!
+//! then removes the lowest-scoring slice of edges (the projection step of
+//! ADMM onto the sparsity constraint). Symmetry is preserved by scoring and
+//! pruning undirected edges as units. The observable outcome matches the
+//! paper's: the target ratio of edges disappears, and the ones that go first
+//! are the far-off-diagonal ones, polarizing the matrix into denser diagonal
+//! blocks plus a lighter off-diagonal remainder.
+
+use crate::{GcodConfig, Result, SubgraphLayout};
+use gcod_graph::{CooMatrix, CsrMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Outcome summary of the sparsify + polarize step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolarizeReport {
+    /// Directed non-zeros before tuning.
+    pub nnz_before: usize,
+    /// Directed non-zeros after tuning.
+    pub nnz_after: usize,
+    /// Fraction of edges removed.
+    pub achieved_prune_ratio: f64,
+    /// Fraction of the remaining non-zeros that lie inside the block-diagonal
+    /// subgraphs before tuning.
+    pub diagonal_fraction_before: f64,
+    /// Same fraction after tuning (polarization pushes this up).
+    pub diagonal_fraction_after: f64,
+    /// Mean normalized off-diagonal distance of the non-zeros before tuning
+    /// (the `L_pola` value, Eq. 4).
+    pub polarization_loss_before: f64,
+    /// `L_pola` after tuning.
+    pub polarization_loss_after: f64,
+    /// Number of outer iterations executed.
+    pub iterations: usize,
+}
+
+/// The sparsify + polarize optimiser.
+#[derive(Debug, Clone)]
+pub struct Polarizer {
+    config: GcodConfig,
+}
+
+impl Polarizer {
+    /// Creates a polarizer with the given GCoD configuration.
+    pub fn new(config: GcodConfig) -> Self {
+        Self { config }
+    }
+
+    /// Tunes the (already reordered) adjacency matrix: prunes
+    /// `config.prune_ratio` of the undirected edges, preferring to remove
+    /// far-off-diagonal ones, over `config.tune_iterations` projection steps.
+    ///
+    /// Returns the tuned matrix and a report. The input matrix must be in the
+    /// layout's node order (i.e. already permuted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn tune(&self, adj: &CsrMatrix, layout: &SubgraphLayout) -> Result<(CsrMatrix, PolarizeReport)> {
+        self.config.validate()?;
+        let n = adj.rows();
+        let block_of = block_index(n, layout);
+        let degrees = adj.row_degrees();
+
+        let nnz_before = adj.nnz();
+        let diag_before = diagonal_fraction(adj, &block_of);
+        let pola_before = polarization_loss(adj);
+
+        // Collect undirected edges (i < j) with their scores.
+        let mut current = adj.clone();
+        let total_undirected = undirected_edges(adj).len();
+        let to_remove_total = (total_undirected as f64 * self.config.prune_ratio).floor() as usize;
+        let iterations = self.config.tune_iterations;
+        let mut removed = 0usize;
+
+        for iter in 0..iterations {
+            let mut edges = undirected_edges(&current);
+            if edges.is_empty() {
+                break;
+            }
+            // Score every undirected edge; lower score = pruned first.
+            for edge in &mut edges {
+                let (i, j) = (edge.0, edge.1);
+                let importance =
+                    1.0 / ((degrees[i].max(1) as f64).sqrt() * (degrees[j].max(1) as f64).sqrt());
+                let cross_block = if block_of[i] == block_of[j] { 0.0 } else { 1.0 };
+                let distance = i.abs_diff(j) as f64 / n.max(1) as f64;
+                edge.3 = importance
+                    - self.config.polarization_weight * (cross_block * 0.5 + distance);
+            }
+            // How many undirected edges to remove this iteration (even split of
+            // the total budget across iterations, remainder in the last one).
+            let budget = if iter + 1 == iterations {
+                to_remove_total.saturating_sub(removed)
+            } else {
+                to_remove_total / iterations
+            };
+            if budget == 0 {
+                continue;
+            }
+            edges.sort_by(|a, b| a.3.partial_cmp(&b.3).expect("scores are finite"));
+            let victims: std::collections::HashSet<(usize, usize)> = edges
+                .iter()
+                .take(budget)
+                .map(|&(i, j, _, _)| (i, j))
+                .collect();
+            removed += victims.len();
+            let mut coo = CooMatrix::with_capacity(n, n, current.nnz());
+            for (r, c, v) in current.iter() {
+                let key = (r.min(c), r.max(c));
+                if !victims.contains(&key) {
+                    coo.push(r, c, v).expect("indices already valid");
+                }
+            }
+            current = coo.to_csr();
+        }
+
+        let report = PolarizeReport {
+            nnz_before,
+            nnz_after: current.nnz(),
+            achieved_prune_ratio: if nnz_before > 0 {
+                1.0 - current.nnz() as f64 / nnz_before as f64
+            } else {
+                0.0
+            },
+            diagonal_fraction_before: diag_before,
+            diagonal_fraction_after: diagonal_fraction(&current, &block_of),
+            polarization_loss_before: pola_before,
+            polarization_loss_after: polarization_loss(&current),
+            iterations,
+        };
+        Ok((current, report))
+    }
+}
+
+/// Subgraph-block index of every node position (usize::MAX for positions not
+/// covered by any subgraph, which cannot happen for a complete layout).
+fn block_index(n: usize, layout: &SubgraphLayout) -> Vec<usize> {
+    let mut block_of = vec![usize::MAX; n];
+    for (idx, info) in layout.subgraphs().iter().enumerate() {
+        for pos in info.range() {
+            if pos < n {
+                block_of[pos] = idx;
+            }
+        }
+    }
+    block_of
+}
+
+/// Fraction of non-zeros whose endpoints share a subgraph block.
+fn diagonal_fraction(adj: &CsrMatrix, block_of: &[usize]) -> f64 {
+    if adj.nnz() == 0 {
+        return 0.0;
+    }
+    let intra = adj
+        .iter()
+        .filter(|&(r, c, _)| block_of[r] != usize::MAX && block_of[r] == block_of[c])
+        .count();
+    intra as f64 / adj.nnz() as f64
+}
+
+/// `L_pola = 1/M · Σ |i − j|`, normalized by the matrix dimension so values
+/// are comparable across graph sizes.
+fn polarization_loss(adj: &CsrMatrix) -> f64 {
+    if adj.nnz() == 0 {
+        return 0.0;
+    }
+    let n = adj.rows().max(1) as f64;
+    let total: f64 = adj.iter().map(|(r, c, _)| r.abs_diff(c) as f64).sum();
+    total / (adj.nnz() as f64 * n)
+}
+
+/// Undirected edge list `(i, j, value, score)` with `i < j`.
+fn undirected_edges(adj: &CsrMatrix) -> Vec<(usize, usize, f32, f64)> {
+    adj.iter()
+        .filter(|&(r, c, _)| r < c)
+        .map(|(r, c, v)| (r, c, v, 0.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SubgraphLayout;
+    use gcod_graph::{DatasetProfile, Graph, GraphGenerator};
+
+    fn setup() -> (Graph, SubgraphLayout, GcodConfig) {
+        let g = GraphGenerator::new(23)
+            .generate(&DatasetProfile::custom("pol", 250, 1000, 8, 4))
+            .unwrap();
+        let cfg = GcodConfig {
+            num_classes: 2,
+            num_subgraphs: 8,
+            num_groups: 2,
+            prune_ratio: 0.10,
+            ..GcodConfig::default()
+        };
+        let layout = SubgraphLayout::build(&g, &cfg, 0).unwrap();
+        let permuted = layout.apply(&g);
+        (permuted, layout, cfg)
+    }
+
+    #[test]
+    fn prunes_close_to_the_target_ratio() {
+        let (g, layout, cfg) = setup();
+        let (tuned, report) = Polarizer::new(cfg.clone()).tune(g.adjacency(), &layout).unwrap();
+        assert!(report.achieved_prune_ratio >= cfg.prune_ratio * 0.8);
+        assert!(report.achieved_prune_ratio <= cfg.prune_ratio * 1.2 + 0.01);
+        assert_eq!(tuned.nnz(), report.nnz_after);
+        assert!(tuned.nnz() < g.num_edges());
+    }
+
+    #[test]
+    fn result_stays_symmetric() {
+        let (g, layout, cfg) = setup();
+        let (tuned, _) = Polarizer::new(cfg).tune(g.adjacency(), &layout).unwrap();
+        for (r, c, v) in tuned.iter() {
+            assert_eq!(tuned.get(c, r), v, "asymmetric after pruning at ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn polarization_improves_diagonal_fraction() {
+        let (g, layout, mut cfg) = setup();
+        cfg.prune_ratio = 0.3;
+        cfg.polarization_weight = 1.0;
+        let (_, report) = Polarizer::new(cfg).tune(g.adjacency(), &layout).unwrap();
+        assert!(
+            report.diagonal_fraction_after >= report.diagonal_fraction_before,
+            "diagonal fraction fell: {} -> {}",
+            report.diagonal_fraction_before,
+            report.diagonal_fraction_after
+        );
+        assert!(
+            report.polarization_loss_after <= report.polarization_loss_before + 1e-9,
+            "L_pola increased"
+        );
+    }
+
+    #[test]
+    fn zero_prune_ratio_keeps_everything() {
+        let (g, layout, mut cfg) = setup();
+        cfg.prune_ratio = 0.0;
+        let (tuned, report) = Polarizer::new(cfg).tune(g.adjacency(), &layout).unwrap();
+        assert_eq!(tuned.nnz(), g.num_edges());
+        assert_eq!(report.achieved_prune_ratio, 0.0);
+    }
+
+    #[test]
+    fn heavier_polarization_weight_removes_more_cross_block_edges() {
+        let (g, layout, cfg) = setup();
+        let run = |weight: f64| {
+            let mut c = cfg.clone();
+            c.prune_ratio = 0.3;
+            c.polarization_weight = weight;
+            let (_, report) = Polarizer::new(c).tune(g.adjacency(), &layout).unwrap();
+            report.diagonal_fraction_after
+        };
+        let weak = run(0.0);
+        let strong = run(2.0);
+        assert!(
+            strong >= weak,
+            "stronger polarization should keep more diagonal mass ({weak} vs {strong})"
+        );
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let (g, layout, cfg) = setup();
+        let (_, report) = Polarizer::new(cfg).tune(g.adjacency(), &layout).unwrap();
+        assert_eq!(report.nnz_before, g.num_edges());
+        assert!(report.nnz_after <= report.nnz_before);
+        assert!(report.iterations >= 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Dataset profiles matching Table III of the GCoD paper.
+//!
+//! The paper evaluates on six graph datasets. This reproduction cannot ship
+//! the original data, so each dataset is described by a [`DatasetProfile`]
+//! capturing the statistics that drive both the algorithm behaviour
+//! (size, sparsity, degree distribution, community structure) and the
+//! accelerator behaviour (feature width, number of classes, storage). The
+//! [`crate::GraphGenerator`] turns a profile into a synthetic [`crate::Graph`]
+//! exercising the same code paths as the real data.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a dataset, as reported in Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Node feature dimension.
+    pub features: usize,
+    /// Number of label classes.
+    pub classes: usize,
+    /// Storage of the dataset as reported by the paper, in megabytes.
+    pub storage_mb: f64,
+}
+
+/// A generative profile for one of the paper's datasets (or a custom graph).
+///
+/// `power_law_exponent` and `community_mixing` control the degree skew and
+/// the fraction of inter-community edges of the synthetic graph; they do not
+/// appear in Table III but follow the well-known structure of these datasets
+/// (citation graphs are sparse and modular, Reddit is dense and hub-heavy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Dataset name, lowercase (e.g. "cora").
+    pub name: String,
+    /// Number of nodes to generate.
+    pub nodes: usize,
+    /// Number of undirected edges to generate.
+    pub edges: usize,
+    /// Node feature dimension.
+    pub feature_dim: usize,
+    /// Number of label classes; also used as the number of planted
+    /// communities.
+    pub classes: usize,
+    /// Exponent of the power-law degree tail (larger = less skewed).
+    pub power_law_exponent: f64,
+    /// Fraction of edges that cross community boundaries (0 = perfectly
+    /// modular, 1 = no community structure).
+    pub community_mixing: f64,
+    /// Fraction of nodes placed in the training split.
+    pub train_fraction: f64,
+    /// Fraction of nodes placed in the validation split.
+    pub val_fraction: f64,
+    /// Fraction of nodes placed in the test split.
+    pub test_fraction: f64,
+}
+
+impl DatasetProfile {
+    /// Builds a custom profile with sensible split fractions.
+    pub fn custom(
+        name: impl Into<String>,
+        nodes: usize,
+        edges: usize,
+        feature_dim: usize,
+        classes: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            nodes,
+            edges,
+            feature_dim,
+            classes,
+            power_law_exponent: 2.5,
+            community_mixing: 0.15,
+            train_fraction: 0.4,
+            val_fraction: 0.2,
+            test_fraction: 0.4,
+        }
+    }
+
+    /// The Cora citation graph profile (2,708 nodes / 5,429 edges / 1,433
+    /// features / 7 classes).
+    pub fn cora() -> Self {
+        Self {
+            power_law_exponent: 2.7,
+            community_mixing: 0.19,
+            ..Self::custom("cora", 2_708, 5_429, 1_433, 7)
+        }
+    }
+
+    /// The CiteSeer citation graph profile (3,312 / 4,372 / 3,703 / 6).
+    pub fn citeseer() -> Self {
+        Self {
+            power_law_exponent: 2.9,
+            community_mixing: 0.26,
+            ..Self::custom("citeseer", 3_312, 4_372, 3_703, 6)
+        }
+    }
+
+    /// The Pubmed citation graph profile (19,717 / 44,338 / 500 / 3).
+    pub fn pubmed() -> Self {
+        Self {
+            power_law_exponent: 2.4,
+            community_mixing: 0.2,
+            ..Self::custom("pubmed", 19_717, 44_338, 500, 3)
+        }
+    }
+
+    /// The NELL knowledge graph profile (65,755 / 266,144 / 5,414 / 210).
+    pub fn nell() -> Self {
+        Self {
+            power_law_exponent: 2.1,
+            community_mixing: 0.3,
+            ..Self::custom("nell", 65_755, 266_144, 5_414, 210)
+        }
+    }
+
+    /// The ogbn-arxiv profile (169,343 / 1,166,243 / 128 / 40).
+    pub fn ogbn_arxiv() -> Self {
+        Self {
+            power_law_exponent: 2.2,
+            community_mixing: 0.34,
+            ..Self::custom("ogbn-arxiv", 169_343, 1_166_243, 128, 40)
+        }
+    }
+
+    /// The Reddit post graph profile (232,965 / 114,615,892 / 602 / 41).
+    pub fn reddit() -> Self {
+        Self {
+            power_law_exponent: 1.9,
+            community_mixing: 0.4,
+            ..Self::custom("reddit", 232_965, 114_615_892, 602, 41)
+        }
+    }
+
+    /// Looks a profile up by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "cora" => Some(Self::cora()),
+            "citeseer" => Some(Self::citeseer()),
+            "pubmed" => Some(Self::pubmed()),
+            "nell" => Some(Self::nell()),
+            "ogbn-arxiv" | "arxiv" | "obgn-arxiv" => Some(Self::ogbn_arxiv()),
+            "reddit" => Some(Self::reddit()),
+            _ => None,
+        }
+    }
+
+    /// Returns a copy scaled to `factor` of the original size (nodes, edges
+    /// and feature dimension), keeping at least two nodes per class.
+    ///
+    /// Scaling lets the CI-sized test-suite and the benchmark harness run the
+    /// full pipeline on laptop-scale replicas of the large graphs while the
+    /// analytical accelerator models are still fed the full-size statistics.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let factor = factor.clamp(1e-6, 1.0);
+        let nodes = ((self.nodes as f64 * factor) as usize).max(self.classes * 2).max(8);
+        let avg_degree = 2.0 * self.edges as f64 / self.nodes as f64;
+        let edges = ((nodes as f64 * avg_degree / 2.0) as usize).max(nodes);
+        let feature_dim = ((self.feature_dim as f64 * factor.sqrt()) as usize).clamp(4, self.feature_dim);
+        Self {
+            name: self.name.clone(),
+            nodes,
+            edges,
+            feature_dim,
+            classes: self.classes,
+            ..*self
+        }
+    }
+
+    /// Table III statistics implied by this profile. Storage is estimated as
+    /// the dense feature matrix plus the CSR adjacency, matching the order of
+    /// magnitude reported by the paper.
+    pub fn stats(&self) -> DatasetStats {
+        let feat_bytes = self.nodes * self.feature_dim * 4;
+        let adj_bytes = self.edges * 2 * 8 + (self.nodes + 1) * 8;
+        DatasetStats {
+            nodes: self.nodes,
+            edges: self.edges,
+            features: self.feature_dim,
+            classes: self.classes,
+            storage_mb: (feat_bytes + adj_bytes) as f64 / 1.0e6,
+        }
+    }
+
+    /// Average node degree implied by the profile (`2E/N`).
+    pub fn average_degree(&self) -> f64 {
+        2.0 * self.edges as f64 / self.nodes as f64
+    }
+
+    /// Adjacency sparsity implied by the profile.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - (2.0 * self.edges as f64) / (self.nodes as f64 * self.nodes as f64)
+    }
+}
+
+/// Names of the six datasets used by the paper, in Table III order.
+pub const KNOWN_DATASETS: [&str; 6] = [
+    "cora",
+    "citeseer",
+    "pubmed",
+    "nell",
+    "ogbn-arxiv",
+    "reddit",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_statistics_match_paper() {
+        let cora = DatasetProfile::cora();
+        assert_eq!(cora.nodes, 2_708);
+        assert_eq!(cora.edges, 5_429);
+        assert_eq!(cora.feature_dim, 1_433);
+        assert_eq!(cora.classes, 7);
+
+        let reddit = DatasetProfile::reddit();
+        assert_eq!(reddit.nodes, 232_965);
+        assert_eq!(reddit.edges, 114_615_892);
+        assert_eq!(reddit.classes, 41);
+    }
+
+    #[test]
+    fn all_known_datasets_resolve() {
+        for name in KNOWN_DATASETS {
+            assert!(DatasetProfile::by_name(name).is_some(), "{name} missing");
+        }
+        assert!(DatasetProfile::by_name("imagenet").is_none());
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert_eq!(DatasetProfile::by_name("Cora").unwrap().name, "cora");
+        assert_eq!(DatasetProfile::by_name("ArXiv").unwrap().name, "ogbn-arxiv");
+    }
+
+    #[test]
+    fn pubmed_is_ultra_sparse() {
+        // The paper quotes 99.989% sparsity for Pubmed.
+        let pubmed = DatasetProfile::pubmed();
+        assert!(pubmed.sparsity() > 0.9997);
+    }
+
+    #[test]
+    fn scaling_preserves_average_degree() {
+        let full = DatasetProfile::pubmed();
+        let small = full.scaled(0.05);
+        assert!(small.nodes < full.nodes);
+        let ratio = small.average_degree() / full.average_degree();
+        assert!(ratio > 0.8 && ratio < 1.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn scaling_keeps_nodes_per_class() {
+        let nell = DatasetProfile::nell().scaled(0.001);
+        assert!(nell.nodes >= nell.classes * 2);
+    }
+
+    #[test]
+    fn stats_storage_is_positive_and_ordered() {
+        let cora = DatasetProfile::cora().stats();
+        let reddit = DatasetProfile::reddit().stats();
+        assert!(cora.storage_mb > 1.0);
+        assert!(reddit.storage_mb > cora.storage_mb);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced by the graph substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A sparse matrix was constructed with inconsistent dimensions.
+    DimensionMismatch {
+        /// Human readable description of the mismatch.
+        context: String,
+    },
+    /// An entry referenced a row or column outside the matrix shape.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Exclusive bound the index must stay below.
+        bound: usize,
+        /// Which axis the index refers to.
+        axis: &'static str,
+    },
+    /// A generator or partitioner was configured with an invalid parameter.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Why the value is rejected.
+        reason: String,
+    },
+    /// An operation required a non-empty graph but the graph has no nodes.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            GraphError::IndexOutOfBounds { index, bound, axis } => {
+                write!(f, "{axis} index {index} out of bounds (< {bound} required)")
+            }
+            GraphError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = GraphError::DimensionMismatch {
+            context: "values length 3 != 4".to_string(),
+        };
+        let text = err.to_string();
+        assert!(text.starts_with("dimension mismatch"));
+        assert!(text.contains("values length 3"));
+    }
+
+    #[test]
+    fn display_out_of_bounds_mentions_axis() {
+        let err = GraphError::IndexOutOfBounds {
+            index: 10,
+            bound: 5,
+            axis: "row",
+        };
+        assert_eq!(err.to_string(), "row index 10 out of bounds (< 5 required)");
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

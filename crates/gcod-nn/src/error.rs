@@ -1,0 +1,62 @@
+//! Error type for the neural-network substrate.
+
+use std::fmt;
+
+/// Errors produced by tensors, models and training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human readable description of the incompatibility.
+        context: String,
+    },
+    /// A model was applied to a graph whose dimensions do not match its
+    /// configuration.
+    ModelGraphMismatch {
+        /// Description of which dimension disagrees.
+        context: String,
+    },
+    /// An invalid hyper-parameter was supplied.
+    InvalidHyperparameter {
+        /// Name of the hyper-parameter.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            NnError::ModelGraphMismatch { context } => {
+                write!(f, "model/graph mismatch: {context}")
+            }
+            NnError::InvalidHyperparameter { name, reason } => {
+                write!(f, "invalid hyper-parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let err = NnError::ShapeMismatch {
+            context: "2x3 vs 4x5".to_string(),
+        };
+        assert!(err.to_string().contains("2x3 vs 4x5"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<NnError>();
+    }
+}

@@ -1,0 +1,60 @@
+//! Minimal neural-network substrate for the GCoD reproduction.
+//!
+//! The paper trains five GCN variants (GCN, GIN, GAT, GraphSAGE, ResGCN)
+//! with PyTorch Geometric / DGL. Those frameworks do not exist in Rust, so
+//! this crate provides the pieces the GCoD algorithm actually needs, built
+//! from scratch:
+//!
+//! * a row-major dense [`Tensor`] with the matrix ops GCNs use
+//!   (matmul, transpose, row softmax, ReLU, elementwise arithmetic),
+//! * sparse-dense multiplication ([`spmm`]) against the CSR adjacency,
+//! * Glorot initialisation ([`init`]),
+//! * the model zoo ([`models`]) covering Table IV of the paper,
+//! * manual-gradient training for the two-layer GCN (the model the GCoD
+//!   graph-tuning loss is formulated on), with an [`optim::Adam`] optimiser
+//!   and cross-entropy loss,
+//! * post-training INT8 quantization ([`quant`]) backing the GCoD (8-bit)
+//!   variant,
+//! * workload descriptors ([`workload`]) that feed the accelerator and
+//!   baseline platform models.
+//!
+//! # Example
+//!
+//! ```
+//! use gcod_graph::{DatasetProfile, GraphGenerator};
+//! use gcod_nn::models::{GnnModel, ModelConfig};
+//! use gcod_nn::train::{TrainConfig, Trainer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = GraphGenerator::new(0).generate(&DatasetProfile::cora().scaled(0.03))?;
+//! let mut model = GnnModel::new(ModelConfig::gcn(&graph), 0)?;
+//! let report = Trainer::new(TrainConfig { epochs: 30, ..TrainConfig::default() })
+//!     .fit(&mut model, &graph)?;
+//! assert!(report.final_train_accuracy > 0.3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod models;
+pub mod optim;
+pub mod quant;
+pub mod sampling;
+pub mod sparse_ops;
+mod tensor;
+pub mod train;
+pub mod workload;
+
+pub use error::NnError;
+pub use sparse_ops::spmm;
+pub use tensor::Tensor;
+
+/// Result alias for the neural-network substrate.
+pub type Result<T> = std::result::Result<T, NnError>;

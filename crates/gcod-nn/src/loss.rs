@@ -1,0 +1,130 @@
+//! Masked softmax cross-entropy loss (Eq. 2 of the paper).
+
+use crate::{Result, Tensor};
+use gcod_graph::NodeMask;
+
+/// Value and gradient of the masked cross-entropy loss.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the masked nodes.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits (zero outside the mask).
+    pub grad_logits: Tensor,
+}
+
+/// Computes the masked softmax cross-entropy loss and its gradient.
+///
+/// `logits` is `N × C`, `labels` holds one class id per node, and only nodes
+/// selected by `mask` contribute (the semi-supervised setting of Eq. 2).
+///
+/// # Errors
+///
+/// Returns a shape error if `labels.len()` differs from the number of logit
+/// rows.
+pub fn masked_cross_entropy(
+    logits: &Tensor,
+    labels: &[u32],
+    mask: &NodeMask,
+) -> Result<LossOutput> {
+    if labels.len() != logits.rows() {
+        return Err(crate::NnError::ShapeMismatch {
+            context: format!(
+                "labels length {} != logits rows {}",
+                labels.len(),
+                logits.rows()
+            ),
+        });
+    }
+    let probs = logits.softmax_rows();
+    let mut grad = Tensor::zeros(logits.rows(), logits.cols());
+    let count = mask.count().max(1) as f32;
+    let mut loss = 0.0f32;
+    for node in mask.iter() {
+        let label = labels[node] as usize;
+        let p = probs.get(node, label).max(1e-12);
+        loss -= p.ln();
+        // d(loss)/d(logit) = (softmax - one_hot) / count
+        for c in 0..logits.cols() {
+            let delta = if c == label { 1.0 } else { 0.0 };
+            grad.set(node, c, (probs.get(node, c) - delta) / count);
+        }
+    }
+    Ok(LossOutput {
+        loss: loss / count,
+        grad_logits: grad,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        // Logits strongly favour the correct class.
+        let logits = Tensor::from_vec(2, 2, vec![10.0, -10.0, -10.0, 10.0]).unwrap();
+        let labels = vec![0, 1];
+        let mask = NodeMask::from_indices(2, &[0, 1]);
+        let out = masked_cross_entropy(&logits, &labels, &mask).unwrap();
+        assert!(out.loss < 1e-3);
+    }
+
+    #[test]
+    fn wrong_prediction_has_high_loss() {
+        let logits = Tensor::from_vec(1, 2, vec![-5.0, 5.0]).unwrap();
+        let out = masked_cross_entropy(&logits, &[0], &NodeMask::from_indices(1, &[0])).unwrap();
+        assert!(out.loss > 5.0);
+    }
+
+    #[test]
+    fn gradient_is_zero_outside_mask() {
+        let logits = Tensor::from_vec(3, 2, vec![1.0, 0.0, 0.5, 0.5, 0.0, 1.0]).unwrap();
+        let mask = NodeMask::from_indices(3, &[1]);
+        let out = masked_cross_entropy(&logits, &[0, 1, 0], &mask).unwrap();
+        assert_eq!(out.grad_logits.row(0), &[0.0, 0.0]);
+        assert_eq!(out.grad_logits.row(2), &[0.0, 0.0]);
+        assert!(out.grad_logits.row(1).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        // softmax - one_hot always sums to zero per row.
+        let logits = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let mask = NodeMask::from_indices(2, &[0, 1]);
+        let out = masked_cross_entropy(&logits, &[2, 0], &mask).unwrap();
+        for r in 0..2 {
+            let sum: f32 = out.grad_logits.row(r).iter().sum();
+            assert!(sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(2, 3, vec![0.3, -0.2, 0.9, 1.5, 0.1, -0.4]).unwrap();
+        let labels = vec![1u32, 0u32];
+        let mask = NodeMask::from_indices(2, &[0, 1]);
+        let base = masked_cross_entropy(&logits, &labels, &mask).unwrap();
+        let eps = 1e-3f32;
+        for (r, c) in [(0usize, 0usize), (1, 2)] {
+            let mut plus = logits.clone();
+            plus.set(r, c, logits.get(r, c) + eps);
+            let lp = masked_cross_entropy(&plus, &labels, &mask).unwrap().loss;
+            let mut minus = logits.clone();
+            minus.set(r, c, logits.get(r, c) - eps);
+            let lm = masked_cross_entropy(&minus, &labels, &mask).unwrap().loss;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = base.grad_logits.get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "({r},{c}): {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_length_mismatch_is_rejected() {
+        let logits = Tensor::zeros(3, 2);
+        let mask = NodeMask::new(3);
+        assert!(masked_cross_entropy(&logits, &[0, 1], &mask).is_err());
+    }
+}

@@ -1,0 +1,533 @@
+//! The GNN model zoo of Table IV.
+//!
+//! | Model     | Layers | Hidden | Aggregation | Notes            |
+//! |-----------|--------|--------|-------------|------------------|
+//! | GCN       | 2      | 16/64  | mean (sym.) |                  |
+//! | GIN       | 3      | 16/64  | add         |                  |
+//! | GraphSAGE | 2      | 16/64  | mean        | sampled variant  |
+//! | GAT       | 2      | 8      | attention   | 8 heads          |
+//! | ResGCN    | 28     | 128    | mean (sym.) | residual links   |
+//!
+//! All five share the per-layer template of [`crate::layers`], so a single
+//! [`GnnModel`] type parameterised by [`ModelConfig`] covers the zoo. The
+//! attention coefficients of GAT are recomputed every forward pass from the
+//! current layer inputs and treated as constants during the backward pass
+//! (documented simplification — see DESIGN.md).
+
+use crate::layers::{
+    graph_conv_backward, graph_conv_forward, Activation, DenseLayer, LayerCache, Propagation,
+};
+use crate::{NnError, Result, Tensor};
+use gcod_graph::{CsrMatrix, Graph};
+use serde::{Deserialize, Serialize};
+
+/// Which of the five evaluated architectures a model instance realises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Two-layer GCN (Kipf & Welling).
+    Gcn,
+    /// Three-layer GIN with sum aggregation.
+    Gin,
+    /// Two-layer GraphSAGE with mean aggregation.
+    GraphSage,
+    /// Two-layer GAT with 8 heads.
+    Gat,
+    /// 28-layer residual GCN.
+    ResGcn,
+}
+
+impl ModelKind {
+    /// Lowercase display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Gcn => "gcn",
+            ModelKind::Gin => "gin",
+            ModelKind::GraphSage => "graphsage",
+            ModelKind::Gat => "gat",
+            ModelKind::ResGcn => "resgcn",
+        }
+    }
+
+    /// All five kinds, in the order the paper's figures enumerate them.
+    pub fn all() -> [ModelKind; 5] {
+        [
+            ModelKind::Gcn,
+            ModelKind::Gin,
+            ModelKind::Gat,
+            ModelKind::GraphSage,
+            ModelKind::ResGcn,
+        ]
+    }
+}
+
+/// Hyper-parameters of one model instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Which architecture.
+    pub kind: ModelKind,
+    /// Input feature dimension.
+    pub input_dim: usize,
+    /// Hidden dimension.
+    pub hidden_dim: usize,
+    /// Output dimension (number of classes).
+    pub output_dim: usize,
+    /// Number of layers.
+    pub num_layers: usize,
+    /// Attention heads (GAT only; 1 elsewhere).
+    pub heads: usize,
+    /// GIN epsilon.
+    pub eps: f32,
+    /// Whether residual connections are added between hidden layers.
+    pub residual: bool,
+}
+
+impl ModelConfig {
+    /// Hidden dimension the paper uses for this dataset size: 16 for the
+    /// citation graphs, 64 for NELL/Reddit-scale graphs (Table IV).
+    fn paper_hidden_dim(graph: &Graph) -> usize {
+        if graph.num_nodes() > 20_000 {
+            64
+        } else {
+            16
+        }
+    }
+
+    /// Two-layer GCN configuration for `graph`.
+    pub fn gcn(graph: &Graph) -> Self {
+        Self {
+            kind: ModelKind::Gcn,
+            input_dim: graph.feature_dim(),
+            hidden_dim: Self::paper_hidden_dim(graph),
+            output_dim: graph.num_classes(),
+            num_layers: 2,
+            heads: 1,
+            eps: 0.0,
+            residual: false,
+        }
+    }
+
+    /// Three-layer GIN configuration for `graph`.
+    pub fn gin(graph: &Graph) -> Self {
+        Self {
+            kind: ModelKind::Gin,
+            num_layers: 3,
+            eps: 0.1,
+            ..Self::gcn(graph)
+        }
+    }
+
+    /// Two-layer GraphSAGE configuration for `graph`.
+    pub fn graphsage(graph: &Graph) -> Self {
+        Self {
+            kind: ModelKind::GraphSage,
+            ..Self::gcn(graph)
+        }
+    }
+
+    /// Two-layer, 8-head GAT configuration for `graph`.
+    pub fn gat(graph: &Graph) -> Self {
+        Self {
+            kind: ModelKind::Gat,
+            hidden_dim: 8,
+            heads: 8,
+            ..Self::gcn(graph)
+        }
+    }
+
+    /// 28-layer ResGCN configuration for `graph`.
+    pub fn resgcn(graph: &Graph) -> Self {
+        Self {
+            kind: ModelKind::ResGcn,
+            hidden_dim: 128,
+            num_layers: 28,
+            residual: true,
+            ..Self::gcn(graph)
+        }
+    }
+
+    /// Configuration of `kind` for `graph`.
+    pub fn for_kind(kind: ModelKind, graph: &Graph) -> Self {
+        match kind {
+            ModelKind::Gcn => Self::gcn(graph),
+            ModelKind::Gin => Self::gin(graph),
+            ModelKind::GraphSage => Self::graphsage(graph),
+            ModelKind::Gat => Self::gat(graph),
+            ModelKind::ResGcn => Self::resgcn(graph),
+        }
+    }
+
+    /// The propagation rule implied by the model kind.
+    pub fn propagation(&self) -> Propagation {
+        match self.kind {
+            ModelKind::Gcn | ModelKind::ResGcn => Propagation::SymmetricNormalized,
+            ModelKind::Gin => Propagation::SumWithSelfLoop { eps: self.eps },
+            ModelKind::GraphSage => Propagation::MeanNormalized,
+            ModelKind::Gat => Propagation::Attention { heads: self.heads },
+        }
+    }
+
+    /// Effective hidden width including attention heads (GAT concatenates
+    /// heads, so the combination workload sees `hidden_dim * heads`).
+    pub fn effective_hidden_dim(&self) -> usize {
+        self.hidden_dim * self.heads.max(1)
+    }
+
+    /// Per-layer `(in_dim, out_dim)` shapes.
+    pub fn layer_dims(&self) -> Vec<(usize, usize)> {
+        let hidden = self.effective_hidden_dim();
+        let mut dims = Vec::with_capacity(self.num_layers);
+        for layer in 0..self.num_layers {
+            let in_dim = if layer == 0 { self.input_dim } else { hidden };
+            let out_dim = if layer + 1 == self.num_layers {
+                self.output_dim
+            } else {
+                hidden
+            };
+            dims.push((in_dim, out_dim));
+        }
+        dims
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.num_layers == 0 {
+            return Err(NnError::InvalidHyperparameter {
+                name: "num_layers",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if self.input_dim == 0 || self.hidden_dim == 0 || self.output_dim == 0 {
+            return Err(NnError::InvalidHyperparameter {
+                name: "dims",
+                reason: "input, hidden and output dimensions must be positive".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A graph neural network instance: a stack of graph-convolution layers
+/// following one propagation rule.
+#[derive(Debug, Clone)]
+pub struct GnnModel {
+    config: ModelConfig,
+    layers: Vec<DenseLayer>,
+}
+
+/// Cached activations of a full forward pass (needed for the backward pass).
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// Per-layer caches, in execution order.
+    pub layers: Vec<LayerCache>,
+    /// Final logits.
+    pub logits: Tensor,
+    /// Propagation matrix used (shared by all layers except feature-dependent
+    /// attention, which stores the per-layer matrices instead).
+    pub propagations: Vec<CsrMatrix>,
+}
+
+impl GnnModel {
+    /// Creates a model with Glorot-initialised parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidHyperparameter`] for degenerate
+    /// configurations.
+    pub fn new(config: ModelConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+        let dims = config.layer_dims();
+        let layers = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &(in_dim, out_dim))| {
+                let activation = if i + 1 == dims.len() {
+                    Activation::Linear
+                } else {
+                    Activation::Relu
+                };
+                DenseLayer::new(in_dim, out_dim, activation, seed.wrapping_add(i as u64 * 7919))
+            })
+            .collect();
+        Ok(Self { config, layers })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The architecture kind.
+    pub fn kind(&self) -> ModelKind {
+        self.config.kind
+    }
+
+    /// The dense layers (weights and biases).
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(DenseLayer::num_params).sum()
+    }
+
+    /// Runs inference and returns the logits (`N × classes`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ModelGraphMismatch`] when the graph's feature
+    /// dimension differs from the configured input dimension.
+    pub fn forward(&self, graph: &Graph) -> Result<Tensor> {
+        Ok(self.forward_cached(graph)?.logits)
+    }
+
+    /// Runs inference keeping the per-layer caches needed for the backward
+    /// pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ModelGraphMismatch`] when the graph does not match
+    /// the configuration.
+    pub fn forward_cached(&self, graph: &Graph) -> Result<ForwardCache> {
+        if graph.feature_dim() != self.config.input_dim {
+            return Err(NnError::ModelGraphMismatch {
+                context: format!(
+                    "graph feature dim {} != model input dim {}",
+                    graph.feature_dim(),
+                    self.config.input_dim
+                ),
+            });
+        }
+        if graph.num_classes() != self.config.output_dim {
+            return Err(NnError::ModelGraphMismatch {
+                context: format!(
+                    "graph classes {} != model output dim {}",
+                    graph.num_classes(),
+                    self.config.output_dim
+                ),
+            });
+        }
+        let propagation_rule = self.config.propagation();
+        let mut h =
+            Tensor::from_vec(graph.num_nodes(), graph.feature_dim(), graph.features().to_vec())
+                .expect("graph guarantees feature shape");
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut propagations = Vec::with_capacity(self.layers.len());
+        // Feature-independent propagation matrices are built once and shared.
+        let shared = if propagation_rule.is_feature_dependent() {
+            None
+        } else {
+            Some(propagation_rule.matrix(graph, &h))
+        };
+        for (i, layer) in self.layers.iter().enumerate() {
+            let propagation = match &shared {
+                Some(p) => p.clone(),
+                None => propagation_rule.matrix(graph, &h),
+            };
+            let cache = graph_conv_forward(layer, &propagation, &h)?;
+            let mut output = cache.output.clone();
+            // Residual connection between same-width hidden layers.
+            if self.config.residual && i > 0 && output.shape() == h.shape() {
+                output = output.add(&h)?;
+            }
+            h = output.clone();
+            let mut cache = cache;
+            cache.output = output;
+            caches.push(cache);
+            propagations.push(propagation);
+        }
+        Ok(ForwardCache {
+            logits: h,
+            layers: caches,
+            propagations,
+        })
+    }
+
+    /// Backward pass: gradients of every layer's weight and bias given the
+    /// gradient of the logits. Returned as `(weight_grads, bias_grads)` in
+    /// layer order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layer backward passes.
+    pub fn backward(
+        &self,
+        cache: &ForwardCache,
+        grad_logits: &Tensor,
+    ) -> Result<(Vec<Tensor>, Vec<Tensor>)> {
+        let mut weight_grads = vec![Tensor::zeros(0, 0); self.layers.len()];
+        let mut bias_grads = vec![Tensor::zeros(0, 0); self.layers.len()];
+        let mut grad = grad_logits.clone();
+        for i in (0..self.layers.len()).rev() {
+            let grads = graph_conv_backward(
+                &self.layers[i],
+                &cache.propagations[i],
+                &cache.layers[i],
+                &grad,
+            )?;
+            weight_grads[i] = grads.weight;
+            bias_grads[i] = grads.bias;
+            let mut next_grad = grads.input;
+            // Residual connections add the output gradient straight through.
+            if self.config.residual && i > 0 && next_grad.shape() == grad.shape() {
+                next_grad = next_grad.add(&grad)?;
+            }
+            grad = next_grad;
+        }
+        Ok((weight_grads, bias_grads))
+    }
+
+    /// Applies parameter updates in-place using a visitor so optimisers can
+    /// walk `(weight, weight_grad)` and `(bias, bias_grad)` pairs.
+    pub(crate) fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut params = Vec::with_capacity(self.layers.len() * 2);
+        for layer in &mut self.layers {
+            params.push(&mut layer.weight);
+            params.push(&mut layer.bias);
+        }
+        params
+    }
+
+    /// Collects gradients in the same order as [`GnnModel::parameters_mut`].
+    pub(crate) fn collect_grads(weights: Vec<Tensor>, biases: Vec<Tensor>) -> Vec<Tensor> {
+        let mut grads = Vec::with_capacity(weights.len() * 2);
+        for (w, b) in weights.into_iter().zip(biases) {
+            grads.push(w);
+            grads.push(b);
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcod_graph::{DatasetProfile, GraphGenerator};
+
+    fn graph() -> Graph {
+        GraphGenerator::new(3)
+            .generate(&DatasetProfile::custom("m", 60, 150, 12, 4))
+            .unwrap()
+    }
+
+    #[test]
+    fn table4_configurations() {
+        let g = graph();
+        let gcn = ModelConfig::gcn(&g);
+        assert_eq!(gcn.num_layers, 2);
+        assert_eq!(gcn.hidden_dim, 16);
+        let gin = ModelConfig::gin(&g);
+        assert_eq!(gin.num_layers, 3);
+        let gat = ModelConfig::gat(&g);
+        assert_eq!(gat.heads, 8);
+        assert_eq!(gat.hidden_dim, 8);
+        assert_eq!(gat.effective_hidden_dim(), 64);
+        let res = ModelConfig::resgcn(&g);
+        assert_eq!(res.num_layers, 28);
+        assert_eq!(res.hidden_dim, 128);
+        assert!(res.residual);
+    }
+
+    #[test]
+    fn layer_dims_chain_correctly() {
+        let g = graph();
+        let cfg = ModelConfig::gin(&g);
+        let dims = cfg.layer_dims();
+        assert_eq!(dims.len(), 3);
+        assert_eq!(dims[0].0, g.feature_dim());
+        assert_eq!(dims[2].1, g.num_classes());
+        for w in dims.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn forward_produces_logits_for_all_kinds() {
+        let g = graph();
+        for kind in ModelKind::all() {
+            // ResGCN at 28 layers on a tiny test graph is wasteful; shrink it.
+            let mut cfg = ModelConfig::for_kind(kind, &g);
+            if kind == ModelKind::ResGcn {
+                cfg.num_layers = 4;
+                cfg.hidden_dim = 16;
+            }
+            let model = GnnModel::new(cfg, 0).unwrap();
+            let logits = model.forward(&g).unwrap();
+            assert_eq!(logits.shape(), (g.num_nodes(), g.num_classes()), "{kind:?}");
+            assert!(logits.data().iter().all(|v| v.is_finite()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn forward_rejects_mismatched_graph() {
+        let g = graph();
+        let other = GraphGenerator::new(9)
+            .generate(&DatasetProfile::custom("o", 40, 80, 5, 4))
+            .unwrap();
+        let model = GnnModel::new(ModelConfig::gcn(&g), 0).unwrap();
+        assert!(matches!(
+            model.forward(&other),
+            Err(NnError::ModelGraphMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let g = graph();
+        let mut cfg = ModelConfig::gcn(&g);
+        cfg.num_layers = 0;
+        assert!(GnnModel::new(cfg, 0).is_err());
+        let mut cfg = ModelConfig::gcn(&g);
+        cfg.hidden_dim = 0;
+        assert!(GnnModel::new(cfg, 0).is_err());
+    }
+
+    #[test]
+    fn backward_produces_grads_for_every_layer() {
+        let g = graph();
+        let model = GnnModel::new(ModelConfig::gcn(&g), 1).unwrap();
+        let cache = model.forward_cached(&g).unwrap();
+        let grad_logits = Tensor::full(g.num_nodes(), g.num_classes(), 0.01);
+        let (wgrads, bgrads) = model.backward(&cache, &grad_logits).unwrap();
+        assert_eq!(wgrads.len(), 2);
+        assert_eq!(bgrads.len(), 2);
+        for (layer, wg) in model.layers().iter().zip(&wgrads) {
+            assert_eq!(layer.weight.shape(), wg.shape());
+            assert!(wg.norm() > 0.0, "gradient should be non-zero");
+        }
+    }
+
+    #[test]
+    fn parameter_count_matches_dims() {
+        let g = graph();
+        let cfg = ModelConfig::gcn(&g);
+        let model = GnnModel::new(cfg.clone(), 0).unwrap();
+        let expected: usize = cfg
+            .layer_dims()
+            .iter()
+            .map(|&(i, o)| i * o + o)
+            .sum();
+        assert_eq!(model.num_params(), expected);
+    }
+
+    #[test]
+    fn residual_model_differs_from_plain_stack() {
+        let g = graph();
+        let mut cfg = ModelConfig::resgcn(&g);
+        cfg.num_layers = 3;
+        cfg.hidden_dim = 8;
+        let with_res = GnnModel::new(cfg.clone(), 5).unwrap();
+        let mut cfg_no = cfg;
+        cfg_no.residual = false;
+        let without = GnnModel::new(cfg_no, 5).unwrap();
+        let a = with_res.forward(&g).unwrap();
+        let b = without.forward(&g).unwrap();
+        assert_ne!(a, b, "residual connections must change the output");
+    }
+
+    #[test]
+    fn model_kind_names_are_stable() {
+        assert_eq!(ModelKind::Gcn.name(), "gcn");
+        assert_eq!(ModelKind::ResGcn.name(), "resgcn");
+        assert_eq!(ModelKind::all().len(), 5);
+    }
+}

@@ -1,0 +1,205 @@
+//! Post-training INT8 quantization.
+//!
+//! The paper's GCoD (8-bit) variant quantizes weights and activations to
+//! 8-bit integers, which halves-to-quarters the off-chip bandwidth demand and
+//! lets the accelerator afford 10240 PEs instead of 4096 (Table V footnote).
+//! This module provides symmetric per-tensor quantization, a quantized
+//! matmul, and a whole-model quantization pass whose accuracy can be compared
+//! against the fp32 model (Table VII's "GCoD (8-bit)" rows).
+
+use crate::models::GnnModel;
+use crate::{Result, Tensor};
+use gcod_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// A symmetric, per-tensor quantized matrix: `value ≈ scale * q`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    rows: usize,
+    cols: usize,
+    scale: f32,
+    values: Vec<i8>,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a tensor with a symmetric scale chosen from its max
+    /// absolute value.
+    pub fn quantize(tensor: &Tensor) -> Self {
+        let max_abs = tensor
+            .data()
+            .iter()
+            .fold(0.0f32, |acc, &v| acc.max(v.abs()));
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        let values = tensor
+            .data()
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        Self {
+            rows: tensor.rows(),
+            cols: tensor.cols(),
+            scale,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The quantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Raw INT8 values.
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// Dequantizes back to fp32.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.values.iter().map(|&q| q as f32 * self.scale).collect();
+        Tensor::from_vec(self.rows, self.cols, data).expect("shape preserved")
+    }
+
+    /// Storage footprint in bytes (1 byte per element plus the scale).
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() + std::mem::size_of::<f32>()
+    }
+
+    /// Worst-case absolute quantization error of this tensor.
+    pub fn max_error(&self, original: &Tensor) -> f32 {
+        self.dequantize()
+            .data()
+            .iter()
+            .zip(original.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Bit width used by a model variant; drives the bandwidth model in
+/// `gcod-accel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit fixed/floating point (the paper's default GCoD configuration).
+    Fp32,
+    /// 8-bit integers (the GCoD (8-bit) variant).
+    Int8,
+}
+
+impl Precision {
+    /// Bytes per scalar.
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::Fp32 => 4,
+            Precision::Int8 => 1,
+        }
+    }
+}
+
+/// Runs fp32 inference with weights that have been round-tripped through
+/// INT8, emulating quantized deployment accuracy. Returns the logits.
+///
+/// # Errors
+///
+/// Propagates forward-pass shape errors.
+pub fn quantized_forward(model: &GnnModel, graph: &Graph) -> Result<Tensor> {
+    let mut quantized = model.clone();
+    // Round-trip every parameter through INT8.
+    for param in quantized.parameters_mut() {
+        let q = QuantizedTensor::quantize(param);
+        *param = q.dequantize();
+    }
+    quantized.forward(graph)
+}
+
+/// Accuracy drop (in absolute fraction) between fp32 and INT8 inference on
+/// the test mask. Positive values mean the quantized model is worse.
+///
+/// # Errors
+///
+/// Propagates forward-pass shape errors.
+pub fn quantization_accuracy_drop(model: &GnnModel, graph: &Graph) -> Result<f64> {
+    let fp32 = model.forward(graph)?;
+    let int8 = quantized_forward(model, graph)?;
+    let acc_fp32 = crate::metrics::masked_accuracy(&fp32, graph.labels(), graph.test_mask());
+    let acc_int8 = crate::metrics::masked_accuracy(&int8, graph.labels(), graph.test_mask());
+    Ok(acc_fp32 - acc_int8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelConfig;
+    use crate::train::{TrainConfig, Trainer};
+    use gcod_graph::{DatasetProfile, GraphGenerator};
+
+    #[test]
+    fn quantize_roundtrip_error_is_bounded() {
+        let t = Tensor::from_vec(2, 3, vec![0.5, -1.0, 0.25, 1.27, -0.9, 0.0]).unwrap();
+        let q = QuantizedTensor::quantize(&t);
+        // Error bound of symmetric quantization: scale / 2.
+        assert!(q.max_error(&t) <= q.scale() / 2.0 + 1e-6);
+        assert_eq!(q.rows(), 2);
+        assert_eq!(q.cols(), 3);
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_cleanly() {
+        let t = Tensor::zeros(3, 3);
+        let q = QuantizedTensor::quantize(&t);
+        assert_eq!(q.dequantize(), t);
+    }
+
+    #[test]
+    fn int8_storage_is_about_a_quarter() {
+        let t = Tensor::zeros(64, 64);
+        let q = QuantizedTensor::quantize(&t);
+        let fp32_bytes = t.len() * 4;
+        assert!(q.storage_bytes() * 3 < fp32_bytes);
+    }
+
+    #[test]
+    fn precision_byte_widths() {
+        assert_eq!(Precision::Fp32.bytes(), 4);
+        assert_eq!(Precision::Int8.bytes(), 1);
+    }
+
+    #[test]
+    fn quantized_model_accuracy_close_to_fp32() {
+        let g = GraphGenerator::new(4)
+            .generate(&DatasetProfile::custom("q", 100, 300, 16, 4))
+            .unwrap();
+        let mut model = GnnModel::new(ModelConfig::gcn(&g), 0).unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 40,
+            ..TrainConfig::default()
+        })
+        .fit(&mut model, &g)
+        .unwrap();
+        let drop = quantization_accuracy_drop(&model, &g).unwrap();
+        // Table VII reports sub-1% drops; allow a loose bound for the small
+        // synthetic graph.
+        assert!(drop.abs() < 0.1, "unexpected quantization drop {drop}");
+    }
+
+    #[test]
+    fn quantized_forward_changes_little() {
+        let g = GraphGenerator::new(4)
+            .generate(&DatasetProfile::custom("q2", 60, 150, 8, 3))
+            .unwrap();
+        let model = GnnModel::new(ModelConfig::gcn(&g), 1).unwrap();
+        let fp32 = model.forward(&g).unwrap();
+        let int8 = quantized_forward(&model, &g).unwrap();
+        let diff = fp32.sub(&int8).unwrap().norm() / fp32.norm().max(1e-9);
+        assert!(diff < 0.2, "relative difference {diff}");
+    }
+}

@@ -1,0 +1,287 @@
+//! Neighbour sampling (GraphSAGE-style mini-batch aggregation).
+//!
+//! Table IV specifies GraphSAGE with neighbourhood sample sizes of 25 and 10
+//! for the first and second hop, and the GCoD sub-accelerators carry a
+//! dedicated *sampling unit* ("a linear shift register to randomly pick from
+//! non-zero elements from the adjacency matrices' columns", Sec. V-B). This
+//! module provides the algorithmic counterpart: per-layer fan-out sampling of
+//! the adjacency matrix, producing a thinned propagation matrix whose row
+//! non-zeros are capped at the fan-out.
+
+use crate::Tensor;
+use gcod_graph::{CooMatrix, CsrMatrix, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Fan-out schedule: the maximum number of neighbours sampled per node at
+/// each layer (outermost layer first), e.g. `[25, 10]` for the paper's
+/// GraphSAGE setting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingPlan {
+    fanouts: Vec<usize>,
+}
+
+impl SamplingPlan {
+    /// Creates a plan from per-layer fan-outs.
+    pub fn new(fanouts: Vec<usize>) -> Self {
+        Self { fanouts }
+    }
+
+    /// The paper's GraphSAGE schedule: 25 neighbours at the first hop, 10 at
+    /// the second.
+    pub fn graphsage_default() -> Self {
+        Self::new(vec![25, 10])
+    }
+
+    /// Fan-out of layer `layer` (layers beyond the schedule reuse the last
+    /// entry).
+    pub fn fanout(&self, layer: usize) -> usize {
+        self.fanouts
+            .get(layer)
+            .or_else(|| self.fanouts.last())
+            .copied()
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Number of layers covered explicitly.
+    pub fn len(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    /// Whether the plan has no explicit fan-outs (meaning "no sampling").
+    pub fn is_empty(&self) -> bool {
+        self.fanouts.is_empty()
+    }
+}
+
+/// Samples at most `fanout` neighbours per row of the adjacency matrix,
+/// without replacement, using the shift-register-style uniform selection the
+/// accelerator's sampling unit implements. Rows with at most `fanout`
+/// neighbours are kept untouched. The result is row-normalised so the sampled
+/// aggregation remains an unbiased mean estimate.
+pub fn sample_neighbors(adj: &CsrMatrix, fanout: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(adj.rows(), adj.cols(), adj.nnz());
+    for row in 0..adj.rows() {
+        let (cols, _vals) = adj.row(row);
+        let picked: Vec<usize> = if cols.len() <= fanout {
+            cols.iter().map(|&c| c as usize).collect()
+        } else {
+            // Partial Fisher-Yates over the column indices.
+            let mut indices: Vec<usize> = (0..cols.len()).collect();
+            for i in 0..fanout {
+                let j = rng.gen_range(i..indices.len());
+                indices.swap(i, j);
+            }
+            indices[..fanout].iter().map(|&i| cols[i] as usize).collect()
+        };
+        if picked.is_empty() {
+            continue;
+        }
+        let weight = 1.0 / picked.len() as f32;
+        for c in picked {
+            coo.push(row, c, weight).expect("sampled index within bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+/// Result of sampling a full mini-batch computation graph.
+#[derive(Debug, Clone)]
+pub struct SampledBatch {
+    /// One sampled, row-normalised propagation matrix per layer (outermost
+    /// layer first).
+    pub propagations: Vec<CsrMatrix>,
+    /// Seed nodes of the batch.
+    pub seeds: Vec<usize>,
+}
+
+impl SampledBatch {
+    /// Total number of sampled edges across layers.
+    pub fn sampled_edges(&self) -> usize {
+        self.propagations.iter().map(CsrMatrix::nnz).sum()
+    }
+}
+
+/// Builds the per-layer sampled propagation matrices for a mini-batch of
+/// `seeds` under `plan`. All matrices keep the full node index space (rows
+/// outside the receptive field are simply empty), which keeps them directly
+/// usable with [`crate::sparse_ops::spmm`] and the dense feature matrix.
+pub fn sample_batch(graph: &Graph, seeds: &[usize], plan: &SamplingPlan, seed: u64) -> SampledBatch {
+    let adj = graph.adjacency();
+    let mut frontier: Vec<usize> = seeds.to_vec();
+    let mut propagations = Vec::with_capacity(plan.len().max(1));
+    for layer in 0..plan.len().max(1) {
+        let fanout = plan.fanout(layer);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(layer as u64));
+        let mut coo = CooMatrix::with_capacity(adj.rows(), adj.cols(), frontier.len() * fanout);
+        let mut next_frontier = Vec::new();
+        for &node in &frontier {
+            if node >= adj.rows() {
+                continue;
+            }
+            let (cols, _) = adj.row(node);
+            let picked: Vec<usize> = if cols.len() <= fanout {
+                cols.iter().map(|&c| c as usize).collect()
+            } else {
+                let mut indices: Vec<usize> = (0..cols.len()).collect();
+                for i in 0..fanout {
+                    let j = rng.gen_range(i..indices.len());
+                    indices.swap(i, j);
+                }
+                indices[..fanout].iter().map(|&i| cols[i] as usize).collect()
+            };
+            if picked.is_empty() {
+                continue;
+            }
+            let weight = 1.0 / picked.len() as f32;
+            for c in picked {
+                coo.push(node, c, weight).expect("within bounds");
+                next_frontier.push(c);
+            }
+        }
+        next_frontier.sort_unstable();
+        next_frontier.dedup();
+        propagations.push(coo.to_csr());
+        frontier = next_frontier;
+    }
+    SampledBatch {
+        propagations,
+        seeds: seeds.to_vec(),
+    }
+}
+
+/// Runs a sampled mean-aggregation of the node features for the batch's first
+/// hop — the operation the accelerator's sampling unit feeds into its SpMM
+/// engine.
+///
+/// # Errors
+///
+/// Propagates shape errors from the underlying SpMM.
+pub fn sampled_aggregate(graph: &Graph, batch: &SampledBatch) -> crate::Result<Tensor> {
+    let features = Tensor::from_vec(
+        graph.num_nodes(),
+        graph.feature_dim(),
+        graph.features().to_vec(),
+    )
+    .expect("graph guarantees the feature shape");
+    let first = batch
+        .propagations
+        .first()
+        .cloned()
+        .unwrap_or_else(|| CsrMatrix::zeros(graph.num_nodes(), graph.num_nodes()));
+    crate::sparse_ops::spmm(&first, &features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcod_graph::{DatasetProfile, GraphGenerator};
+
+    fn graph() -> Graph {
+        GraphGenerator::new(77)
+            .generate(&DatasetProfile::custom("sample", 300, 2400, 8, 4))
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_defaults_match_table4() {
+        let plan = SamplingPlan::graphsage_default();
+        assert_eq!(plan.fanout(0), 25);
+        assert_eq!(plan.fanout(1), 10);
+        // Layers beyond the schedule reuse the last fan-out.
+        assert_eq!(plan.fanout(5), 10);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn sampling_caps_row_degree() {
+        let g = graph();
+        let sampled = sample_neighbors(g.adjacency(), 5, 0);
+        assert!(sampled.row_degrees().iter().all(|&d| d <= 5));
+        // Low-degree rows are untouched.
+        for row in 0..g.num_nodes() {
+            let original = g.adjacency().row_nnz(row);
+            if original <= 5 {
+                assert_eq!(sampled.row_nnz(row), original);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_rows_are_mean_normalised() {
+        let g = graph();
+        let sampled = sample_neighbors(g.adjacency(), 4, 1);
+        for row in 0..sampled.rows() {
+            let (_, vals) = sampled.row(row);
+            if !vals.is_empty() {
+                let sum: f32 = vals.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-5, "row {row} sums to {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let g = graph();
+        let a = sample_neighbors(g.adjacency(), 3, 9);
+        let b = sample_neighbors(g.adjacency(), 3, 9);
+        let c = sample_neighbors(g.adjacency(), 3, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sampled_edges_are_a_subset_of_the_graph() {
+        let g = graph();
+        let sampled = sample_neighbors(g.adjacency(), 6, 3);
+        for (r, c, _) in sampled.iter() {
+            assert!(g.adjacency().get(r, c) != 0.0, "({r},{c}) not in the original graph");
+        }
+    }
+
+    #[test]
+    fn batch_sampling_expands_the_frontier() {
+        let g = graph();
+        let plan = SamplingPlan::new(vec![5, 3]);
+        let batch = sample_batch(&g, &[0, 1, 2], &plan, 0);
+        assert_eq!(batch.propagations.len(), 2);
+        assert_eq!(batch.seeds, vec![0, 1, 2]);
+        // First hop only has rows for the seeds.
+        let first = &batch.propagations[0];
+        for row in 0..first.rows() {
+            if ![0, 1, 2].contains(&row) {
+                assert_eq!(first.row_nnz(row), 0);
+            } else {
+                assert!(first.row_nnz(row) <= 5);
+            }
+        }
+        assert!(batch.sampled_edges() > 0);
+        // Second hop covers at least as many rows as the first hop's targets.
+        let second_rows: usize = (0..batch.propagations[1].rows())
+            .filter(|&r| batch.propagations[1].row_nnz(r) > 0)
+            .count();
+        assert!(second_rows >= 1);
+    }
+
+    #[test]
+    fn sampled_aggregation_matches_manual_mean() {
+        let g = graph();
+        let plan = SamplingPlan::new(vec![1000]); // no truncation
+        let batch = sample_batch(&g, &[0], &plan, 0);
+        let aggregated = sampled_aggregate(&g, &batch).unwrap();
+        // Row 0 should be the exact mean of node 0's neighbour features.
+        let (cols, _) = g.adjacency().row(0);
+        let mut expected = vec![0.0f32; g.feature_dim()];
+        for &c in cols {
+            for (e, &v) in expected.iter_mut().zip(g.node_features(c as usize)) {
+                *e += v / cols.len() as f32;
+            }
+        }
+        for (a, e) in aggregated.row(0).iter().zip(&expected) {
+            assert!((a - e).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Sparse-dense operations: the aggregation-phase kernels.
+//!
+//! GCN inference is dominated by the SpMM `Â · X` (aggregation) followed by
+//! the dense `X · W` (combination). This module implements the sparse side in
+//! both traversal orders discussed in the paper's Fig. 5/Fig. 7:
+//! row-wise ("gathered") and column-wise ("distributed"). The numerical
+//! result is identical; both exist so the accelerator models can count work
+//! per dataflow and the tests can cross-check them against each other.
+
+use crate::{NnError, Result, Tensor};
+use gcod_graph::{CscMatrix, CsrMatrix};
+
+/// Sparse × dense multiplication `A · X` walking `A` row by row
+/// (gathered aggregation).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] when `A.cols() != X.rows()`.
+pub fn spmm(a: &CsrMatrix, x: &Tensor) -> Result<Tensor> {
+    if a.cols() != x.rows() {
+        return Err(NnError::ShapeMismatch {
+            context: format!(
+                "spmm: adjacency {}x{} × features {}x{}",
+                a.rows(),
+                a.cols(),
+                x.rows(),
+                x.cols()
+            ),
+        });
+    }
+    let mut out = Tensor::zeros(a.rows(), x.cols());
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row(r);
+        let out_row = out.row_mut(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            let x_row = x.row(c as usize);
+            for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                *o += v * xv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sparse × dense multiplication `A · X` walking `A` column by column
+/// (distributed aggregation): each column of `A` scatters one row of `X`
+/// into the rows of the output, matching the dataflow of the AWB-GCN and
+/// GCoD sparser-branch engines.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] when `A.rows()` (of the logical
+/// matrix) disagrees with `X`.
+pub fn spmm_csc(a: &CscMatrix, x: &Tensor) -> Result<Tensor> {
+    if a.cols() != x.rows() {
+        return Err(NnError::ShapeMismatch {
+            context: format!(
+                "spmm_csc: adjacency {}x{} × features {}x{}",
+                a.rows(),
+                a.cols(),
+                x.rows(),
+                x.cols()
+            ),
+        });
+    }
+    let mut out = Tensor::zeros(a.rows(), x.cols());
+    for col in 0..a.cols() {
+        let (rows, vals) = a.col(col);
+        if rows.is_empty() {
+            continue; // structurally-empty columns are skipped entirely
+        }
+        let x_row = x.row(col).to_vec();
+        for (&r, &v) in rows.iter().zip(vals) {
+            let out_row = out.row_mut(r as usize);
+            for (o, &xv) in out_row.iter_mut().zip(&x_row) {
+                *o += v * xv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Multiplies the transpose of a sparse matrix with a dense matrix:
+/// `Aᵀ · X`. Needed by the manual backward pass of GCN layers
+/// (the adjacency is symmetric for undirected graphs, but the general form
+/// keeps the gradient code honest).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] when `A.rows() != X.rows()`.
+pub fn spmm_transpose(a: &CsrMatrix, x: &Tensor) -> Result<Tensor> {
+    if a.rows() != x.rows() {
+        return Err(NnError::ShapeMismatch {
+            context: format!(
+                "spmm_transpose: adjacency {}x{} (transposed) × features {}x{}",
+                a.rows(),
+                a.cols(),
+                x.rows(),
+                x.cols()
+            ),
+        });
+    }
+    let mut out = Tensor::zeros(a.cols(), x.cols());
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row(r);
+        let x_row = x.row(r).to_vec();
+        for (&c, &v) in cols.iter().zip(vals) {
+            let out_row = out.row_mut(c as usize);
+            for (o, &xv) in out_row.iter_mut().zip(&x_row) {
+                *o += v * xv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Number of multiply-accumulate operations an SpMM performs:
+/// one MAC per stored non-zero per feature column.
+pub fn spmm_macs(nnz: usize, feature_cols: usize) -> u64 {
+    nnz as u64 * feature_cols as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcod_graph::CooMatrix;
+
+    fn small_adj() -> CsrMatrix {
+        let mut coo = CooMatrix::new(4, 4);
+        for (a, b) in [(0usize, 1usize), (1, 2), (2, 3), (0, 3)] {
+            coo.push(a, b, 1.0).unwrap();
+            coo.push(b, a, 1.0).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    fn features() -> Tensor {
+        Tensor::from_vec(
+            4,
+            2,
+            vec![1.0, 0.0, 0.0, 1.0, 2.0, 2.0, -1.0, 3.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let adj = small_adj();
+        let x = features();
+        // Build the dense version of the adjacency matrix.
+        let mut dense = Tensor::zeros(4, 4);
+        for (r, c, v) in adj.iter() {
+            dense.set(r, c, v);
+        }
+        let expected = dense.matmul(&x).unwrap();
+        let got = spmm(&adj, &x).unwrap();
+        for (a, b) in got.data().iter().zip(expected.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn csc_and_csr_spmm_agree() {
+        let adj = small_adj();
+        let x = features();
+        let row_wise = spmm(&adj, &x).unwrap();
+        let col_wise = spmm_csc(&adj.to_csc(), &x).unwrap();
+        for (a, b) in row_wise.data().iter().zip(col_wise.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_spmm_agrees_with_explicit_transpose() {
+        let adj = small_adj();
+        let x = features();
+        let via_helper = spmm_transpose(&adj, &x).unwrap();
+        let via_transpose = spmm(&adj.transpose(), &x).unwrap();
+        for (a, b) in via_helper.data().iter().zip(via_transpose.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let adj = small_adj();
+        let wrong = Tensor::zeros(3, 2);
+        assert!(spmm(&adj, &wrong).is_err());
+        assert!(spmm_csc(&adj.to_csc(), &wrong).is_err());
+        assert!(spmm_transpose(&adj, &wrong).is_err());
+    }
+
+    #[test]
+    fn macs_counter() {
+        assert_eq!(spmm_macs(10, 16), 160);
+        assert_eq!(spmm_macs(0, 16), 0);
+    }
+
+    #[test]
+    fn empty_columns_are_skipped() {
+        // Column 2 has no entries; results must still be correct.
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(2, 0, 1.0).unwrap();
+        let csc = coo.to_csc();
+        let x = Tensor::from_vec(3, 1, vec![1.0, 10.0, 100.0]).unwrap();
+        let out = spmm_csc(&csc, &x).unwrap();
+        assert_eq!(out.data(), &[20.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Accuracy study: how GCoD's graph tuning compares with the compression
+//! baselines of Table VII (random pruning, SGCN sparsification, QAT,
+//! Degree-Quant) on a citation-graph replica.
+//!
+//! Run with `cargo run --release --example compression_study`.
+
+use gcod::core::compression::{evaluate_compression, CompressionMethod};
+use gcod::core::{GcodConfig, GcodPipeline};
+use gcod::graph::{DatasetProfile, GraphGenerator};
+use gcod::nn::models::ModelKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = DatasetProfile::citeseer().scaled(0.06);
+    let graph = GraphGenerator::new(3).generate(&profile)?;
+    println!(
+        "CiteSeer replica: {} nodes, {} directed edges, {} classes",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.num_classes()
+    );
+
+    let epochs = 50;
+    println!("\n{:<16} {:>10} {:>16}", "method", "accuracy", "edges retained");
+    for method in [
+        CompressionMethod::Vanilla,
+        CompressionMethod::RandomPruning { ratio: 0.10 },
+        CompressionMethod::Sgcn { ratio: 0.10 },
+        CompressionMethod::Qat,
+        CompressionMethod::DegreeQuant,
+    ] {
+        let outcome = evaluate_compression(&graph, ModelKind::Gcn, method, epochs, 0)?;
+        println!(
+            "{:<16} {:>9.1}% {:>16}",
+            outcome.method,
+            outcome.test_accuracy * 100.0,
+            outcome.edges_retained
+        );
+    }
+
+    let config = GcodConfig {
+        num_classes: 2,
+        num_subgraphs: 6,
+        num_groups: 2,
+        pretrain_epochs: 30,
+        retrain_epochs: 15,
+        ..GcodConfig::default()
+    };
+    let result = GcodPipeline::new(config).run(&graph, ModelKind::Gcn, 0)?;
+    println!(
+        "{:<16} {:>9.1}% {:>16}",
+        "gcod",
+        result.gcod_accuracy * 100.0,
+        result.graph.num_edges()
+    );
+    println!(
+        "\nGCoD accuracy delta over the vanilla baseline: {:+.1}% (paper: +0.2% to +2.8%)",
+        result.accuracy_delta() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! GCoD: Graph Convolutional Network acceleration via dedicated algorithm
+//! and accelerator co-design — facade crate.
+//!
+//! This crate re-exports the full public API of the workspace so that
+//! downstream users (and the examples and integration tests in this
+//! repository) only need a single dependency:
+//!
+//! * [`graph`] — sparse formats, synthetic datasets, partitioning,
+//! * [`nn`] — the GNN models (GCN, GIN, GAT, GraphSAGE, ResGCN) and training,
+//! * [`core`] — the GCoD split-and-conquer training algorithm,
+//! * [`accel`] — the two-pronged GCoD accelerator simulator,
+//! * [`baselines`] — CPU/GPU/HyGCN/AWB-GCN/FPGA baseline platform models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gcod::graph::{DatasetProfile, GraphGenerator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let profile = DatasetProfile::cora().scaled(0.05);
+//! let graph = GraphGenerator::new(0).generate(&profile)?;
+//! println!("{} nodes, {} edges", graph.num_nodes(), graph.num_edges());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+/// Sparse graph substrate (re-export of `gcod-graph`).
+pub mod graph {
+    pub use gcod_graph::*;
+}
+
+/// GNN models and training (re-export of `gcod-nn`).
+pub mod nn {
+    pub use gcod_nn::*;
+}
+
+/// The GCoD algorithm (re-export of `gcod-core`).
+pub mod core {
+    pub use gcod_core::*;
+}
+
+/// The GCoD accelerator simulator (re-export of `gcod-accel`).
+pub mod accel {
+    pub use gcod_accel::*;
+}
+
+/// Baseline platform models (re-export of `gcod-baselines`).
+pub mod baselines {
+    pub use gcod_baselines::*;
+}
