@@ -50,14 +50,15 @@ pub fn denser_branch(
         .collect();
     // Bytes a chunk touches: its adjacency entries (8 bytes of indices +
     // value) plus the combined-feature rows of its blocks.
-    let bytes_per_class: Vec<u64> = split
-        .blocks
-        .iter()
-        .fold(vec![0u64; split.num_classes], |mut acc, block| {
-            acc[block.class] += block.nnz as u64 * (8 + element_bytes)
-                + block.len as u64 * out_dim as u64 * element_bytes;
-            acc
-        });
+    let bytes_per_class: Vec<u64> =
+        split
+            .blocks
+            .iter()
+            .fold(vec![0u64; split.num_classes], |mut acc, block| {
+                acc[block.class] += block.nnz as u64 * (8 + element_bytes)
+                    + block.len as u64 * out_dim as u64 * element_bytes;
+                acc
+            });
     let allocations = allocate_chunks(config, &macs_per_class, &bytes_per_class);
     let (cycles, utilization) = denser_branch_cycles(&allocations);
 
@@ -95,8 +96,8 @@ pub fn sparser_branch(
 
     // The CSC structure is compact enough to live on chip; it is read from
     // HBM once per layer.
-    let csc_bytes = split.sparser_nnz as u64 * (4 + element_bytes)
-        + (split.sparser.cols() as u64 + 1) * 8;
+    let csc_bytes =
+        split.sparser_nnz as u64 * (4 + element_bytes) + (split.sparser.cols() as u64 + 1) * 8;
     traffic.read_off_chip(Phase::Aggregation, csc_bytes);
 
     // Combined-feature rows: under distributed aggregation each *column* of

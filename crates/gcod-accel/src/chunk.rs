@@ -106,7 +106,10 @@ pub fn denser_branch_cycles(allocations: &[ChunkAllocation]) -> (u64, f64) {
     if allocations.is_empty() {
         return (0, 1.0);
     }
-    let cycles: Vec<u64> = allocations.iter().map(ChunkAllocation::compute_cycles).collect();
+    let cycles: Vec<u64> = allocations
+        .iter()
+        .map(ChunkAllocation::compute_cycles)
+        .collect();
     let critical = cycles.iter().copied().max().unwrap_or(0);
     if critical == 0 {
         return (0, 1.0);

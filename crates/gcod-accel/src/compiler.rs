@@ -166,14 +166,15 @@ impl HardwareCompiler {
             .iter()
             .map(|&n| n as u64 * max_out_dim as u64)
             .collect();
-        let bytes_per_class: Vec<u64> = split
-            .blocks
-            .iter()
-            .fold(vec![0u64; split.num_classes], |mut acc, b| {
-                acc[b.class] += b.nnz as u64 * (8 + element_bytes)
-                    + b.len as u64 * max_out_dim as u64 * element_bytes;
-                acc
-            });
+        let bytes_per_class: Vec<u64> =
+            split
+                .blocks
+                .iter()
+                .fold(vec![0u64; split.num_classes], |mut acc, b| {
+                    acc[b.class] += b.nnz as u64 * (8 + element_bytes)
+                        + b.len as u64 * max_out_dim as u64 * element_bytes;
+                    acc
+                });
         let chunks: Vec<ChunkAllocation> =
             allocate_chunks(&self.accelerator, &macs_per_class, &bytes_per_class);
 
@@ -216,7 +217,7 @@ impl HardwareCompiler {
             },
             TemplateParameter {
                 name: "PRECISION_BITS".to_string(),
-                value: (element_bytes * 8) as u64,
+                value: element_bytes * 8,
             },
         ];
         for (i, (&pes, &buf)) in pes_per_engine.iter().zip(&buffer_bytes).enumerate() {

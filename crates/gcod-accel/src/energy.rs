@@ -139,7 +139,8 @@ mod tests {
         traffic.read_off_chip(Phase::Combination, 1_000_000);
         traffic.read_off_chip(Phase::Aggregation, 2_000_000);
         traffic.move_on_chip(Phase::Combination, 5_000_000);
-        let b = EnergyBreakdown::from_counts(&EnergyModel::default(), 10_000_000, 5_000_000, &traffic);
+        let b =
+            EnergyBreakdown::from_counts(&EnergyModel::default(), 10_000_000, 5_000_000, &traffic);
         let parts = b.combination_total() + b.aggregation_total();
         assert!((parts - b.total()).abs() < 1e-15);
         let fracs = b.fractions();
@@ -149,12 +150,7 @@ mod tests {
 
     #[test]
     fn zero_work_zero_energy() {
-        let b = EnergyBreakdown::from_counts(
-            &EnergyModel::default(),
-            0,
-            0,
-            &TrafficCounter::new(),
-        );
+        let b = EnergyBreakdown::from_counts(&EnergyModel::default(), 0, 0, &TrafficCounter::new());
         assert_eq!(b.total(), 0.0);
         assert_eq!(b.fractions(), [0.0; 6]);
     }

@@ -68,7 +68,10 @@ pub fn plan_layer(config: &AcceleratorConfig, layer: &LayerWorkload) -> Pipeline
         }
         ResolvedPipeline::ResourceAware => {
             // One column of the output: nodes × element size.
-            let column_bytes = (layer.nodes as u64) * (layer.output_feature_bytes / (layer.nodes.max(1) as u64 * layer.out_dim.max(1) as u64)).max(1);
+            let column_bytes = (layer.nodes as u64)
+                * (layer.output_feature_bytes
+                    / (layer.nodes.max(1) as u64 * layer.out_dim.max(1) as u64))
+                    .max(1);
             PipelinePlan {
                 pipeline,
                 output_buffer_bytes: column_bytes,

@@ -88,8 +88,13 @@ impl GcodAccelerator {
             } else {
                 traffic.move_on_chip(Phase::Combination, layer.intermediate_bytes);
             }
-            let comb_offchip = input_bytes + layer.weight_bytes
-                + if plan.output_spills { layer.intermediate_bytes } else { 0 };
+            let comb_offchip = input_bytes
+                + layer.weight_bytes
+                + if plan.output_spills {
+                    layer.intermediate_bytes
+                } else {
+                    0
+                };
             let comb_memory_cycles = bytes_to_cycles(
                 comb_offchip,
                 self.config.off_chip_bytes_per_second(),
@@ -134,7 +139,11 @@ impl GcodAccelerator {
                 + split.sparser_nnz as u64 * (4 + element_bytes)
                 + forwarding_miss_bytes as u64
                 + plan.extra_feature_reads
-                + if plan.output_spills { layer.output_feature_bytes } else { 0 };
+                + if plan.output_spills {
+                    layer.output_feature_bytes
+                } else {
+                    0
+                };
             let agg_memory_cycles = bytes_to_cycles(
                 agg_offchip_this_layer,
                 self.config.off_chip_bytes_per_second(),
@@ -277,7 +286,9 @@ mod tests {
         let layout = SubgraphLayout::build(&g, &cfg, 0).unwrap();
         let permuted = layout.apply(&g);
         let full_split = SplitWorkload::extract(permuted.adjacency(), &layout);
-        let (tuned, _) = Polarizer::new(cfg).tune(permuted.adjacency(), &layout).unwrap();
+        let (tuned, _) = Polarizer::new(cfg)
+            .tune(permuted.adjacency(), &layout)
+            .unwrap();
         let pruned_split = SplitWorkload::extract(&tuned, &layout);
         let model_cfg = ModelConfig::gcn(&permuted);
         let accel = GcodAccelerator::new(AcceleratorConfig::small_test());
@@ -297,7 +308,8 @@ mod tests {
     #[test]
     fn bigger_accelerator_is_not_slower() {
         let (_, split, workload) = setup();
-        let small = GcodAccelerator::new(AcceleratorConfig::small_test()).simulate(&workload, &split);
+        let small =
+            GcodAccelerator::new(AcceleratorConfig::small_test()).simulate(&workload, &split);
         let big = GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate(&workload, &split);
         assert!(big.latency_ms <= small.latency_ms);
     }

@@ -52,7 +52,9 @@ mod tests {
     /// streaming — differentiates the accelerators, as in the paper.
     fn cora_workload() -> InferenceWorkload {
         let profile = DatasetProfile::cora();
-        let tiny = GraphGenerator::new(9).generate(&profile.scaled(0.02)).unwrap();
+        let tiny = GraphGenerator::new(9)
+            .generate(&profile.scaled(0.02))
+            .unwrap();
         let mut cfg = ModelConfig::for_kind(ModelKind::Gcn, &tiny);
         cfg.input_dim = profile.feature_dim;
         cfg.hidden_dim = 16;
@@ -80,7 +82,11 @@ mod tests {
     fn utilization_is_high_thanks_to_rebalancing() {
         let w = cora_workload();
         let report = awb_gcn().simulate(&w);
-        assert!(report.utilization > 0.1, "utilization {}", report.utilization);
+        assert!(
+            report.utilization > 0.1,
+            "utilization {}",
+            report.utilization
+        );
     }
 
     #[test]

@@ -12,7 +12,14 @@
 use crate::{AggregationStyle, PlatformSpec};
 use gcod_accel::energy::EnergyModel;
 
-fn deepburning(name: &str, dsps: f64, clock_hz: f64, on_chip_mb: f64, gbps: f64, watts: f64) -> PlatformSpec {
+fn deepburning(
+    name: &str,
+    dsps: f64,
+    clock_hz: f64,
+    on_chip_mb: f64,
+    gbps: f64,
+    watts: f64,
+) -> PlatformSpec {
     PlatformSpec {
         name: name.to_string(),
         peak_macs_per_second: dsps * clock_hz,
@@ -23,7 +30,10 @@ fn deepburning(name: &str, dsps: f64, clock_hz: f64, on_chip_mb: f64, gbps: f64,
         // hundreds to thousands).
         combination_efficiency: 0.10,
         aggregation_efficiency: 0.015,
-        style: AggregationStyle::Gathered { locality: 0.4, overfetch: 3.0 },
+        style: AggregationStyle::Gathered {
+            locality: 0.4,
+            overfetch: 3.0,
+        },
         per_layer_overhead_s: 0.0,
         energy: EnergyModel {
             pj_per_mac: 2.5,

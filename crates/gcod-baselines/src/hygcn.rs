@@ -27,7 +27,10 @@ pub fn hygcn() -> PlatformSpec {
         // utilization on the irregular aggregation phase.
         combination_efficiency: 0.60,
         aggregation_efficiency: 0.22,
-        style: AggregationStyle::Gathered { locality: 0.45, overfetch: 6.0 },
+        style: AggregationStyle::Gathered {
+            locality: 0.45,
+            overfetch: 6.0,
+        },
         per_layer_overhead_s: 0.0,
         energy: EnergyModel {
             pj_per_mac: 1.2,

@@ -121,9 +121,13 @@ impl Platform for PlatformSpec {
             traffic.read_off_chip(Phase::Aggregation, adjacency_bytes);
             let mut agg_bytes = adjacency_bytes;
             match self.style {
-                AggregationStyle::Gathered { locality, overfetch } => {
+                AggregationStyle::Gathered {
+                    locality,
+                    overfetch,
+                } => {
                     // One feature row per edge, partially served on chip.
-                    let per_edge = layer.adjacency_nnz as u64 * layer.out_dim as u64 * element_bytes;
+                    let per_edge =
+                        layer.adjacency_nnz as u64 * layer.out_dim as u64 * element_bytes;
                     let off_chip = (per_edge as f64 * (1.0 - locality.clamp(0.0, 1.0))) as u64;
                     traffic.read_off_chip(Phase::Aggregation, off_chip);
                     traffic.move_on_chip(Phase::Aggregation, per_edge - off_chip);
@@ -242,7 +246,11 @@ mod tests {
     #[test]
     fn gathered_with_poor_locality_moves_more_bytes() {
         let w = workload();
-        let gathered = spec(AggregationStyle::Gathered { locality: 0.1, overfetch: 1.0 }).simulate(&w);
+        let gathered = spec(AggregationStyle::Gathered {
+            locality: 0.1,
+            overfetch: 1.0,
+        })
+        .simulate(&w);
         let distributed = spec(AggregationStyle::Distributed).simulate(&w);
         assert!(
             gathered.off_chip_bytes > distributed.off_chip_bytes,
@@ -255,8 +263,16 @@ mod tests {
     #[test]
     fn better_locality_reduces_traffic() {
         let w = workload();
-        let poor = spec(AggregationStyle::Gathered { locality: 0.0, overfetch: 1.0 }).simulate(&w);
-        let good = spec(AggregationStyle::Gathered { locality: 0.9, overfetch: 1.0 }).simulate(&w);
+        let poor = spec(AggregationStyle::Gathered {
+            locality: 0.0,
+            overfetch: 1.0,
+        })
+        .simulate(&w);
+        let good = spec(AggregationStyle::Gathered {
+            locality: 0.9,
+            overfetch: 1.0,
+        })
+        .simulate(&w);
         assert!(good.off_chip_bytes < poor.off_chip_bytes);
     }
 

@@ -21,13 +21,17 @@ fn bench_polarize(c: &mut Criterion) {
         let layout = SubgraphLayout::build(&graph, &config, 0).expect("layout");
         let reordered = layout.apply(&graph);
 
-        group.bench_with_input(BenchmarkId::new("sparsify_polarize", nodes), &nodes, |b, _| {
-            b.iter(|| {
-                Polarizer::new(config.clone())
-                    .tune(reordered.adjacency(), &layout)
-                    .expect("tune")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sparsify_polarize", nodes),
+            &nodes,
+            |b, _| {
+                b.iter(|| {
+                    Polarizer::new(config.clone())
+                        .tune(reordered.adjacency(), &layout)
+                        .expect("tune")
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("structural", nodes), &nodes, |b, _| {
             b.iter(|| structural_sparsify(reordered.adjacency(), &layout, 32, 12));
         });

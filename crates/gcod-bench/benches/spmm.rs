@@ -19,9 +19,13 @@ fn bench_spmm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("csr_row_wise", nodes), &nodes, |b, _| {
             b.iter(|| spmm(&csr, &features).expect("spmm"));
         });
-        group.bench_with_input(BenchmarkId::new("csc_column_wise", nodes), &nodes, |b, _| {
-            b.iter(|| spmm_csc(&csc, &features).expect("spmm_csc"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("csc_column_wise", nodes),
+            &nodes,
+            |b, _| {
+                b.iter(|| spmm_csc(&csc, &features).expect("spmm_csc"));
+            },
+        );
     }
     group.finish();
 }

@@ -43,7 +43,12 @@ fn main() {
         }
     }
     print_table(
-        &["dataset", "forwarding rate", "off-chip (MB)", "latency (ms)"],
+        &[
+            "dataset",
+            "forwarding rate",
+            "off-chip (MB)",
+            "latency (ms)",
+        ],
         &rows,
     );
 }

@@ -5,10 +5,10 @@
 //! Paper expectation: across C in {1,2,3,4} and S in {8,12,16,20}, GCoD stays
 //! 1.8x-2.8x faster than AWB-GCN and needs 26%-53% less bandwidth.
 
-use gcod_baselines::{suite, Platform};
-use gcod_bench::{harness_gcod_config, print_table, project_split, run_algorithm, DatasetCase};
 use gcod_accel::config::AcceleratorConfig;
 use gcod_accel::simulator::GcodAccelerator;
+use gcod_baselines::{suite, Platform};
+use gcod_bench::{harness_gcod_config, print_table, project_split, run_algorithm, DatasetCase};
 use gcod_core::GcodConfig;
 use gcod_nn::models::ModelKind;
 use gcod_nn::quant::Precision;
@@ -27,7 +27,9 @@ fn main() {
             &model_cfg,
             Precision::Fp32,
         );
-        let awb = suite::by_name("awb-gcn").expect("awb").simulate(&full_workload);
+        let awb = suite::by_name("awb-gcn")
+            .expect("awb")
+            .simulate(&full_workload);
 
         let mut rows = Vec::new();
         for classes in [1usize, 2, 3, 4] {
@@ -55,7 +57,9 @@ fn main() {
                     format!("{:.2}", awb.latency_ms / report.latency_ms),
                     format!(
                         "{:.0}%",
-                        100.0 * (1.0 - report.off_chip_bytes as f64 / awb.off_chip_bytes.max(1) as f64)
+                        100.0
+                            * (1.0
+                                - report.off_chip_bytes as f64 / awb.off_chip_bytes.max(1) as f64)
                     ),
                     format!("{:.3}", report.utilization),
                 ]);
@@ -63,7 +67,12 @@ fn main() {
         }
         println!("== {dataset} ==");
         print_table(
-            &["config", "speedup vs awb-gcn", "off-chip traffic reduction", "utilization"],
+            &[
+                "config",
+                "speedup vs awb-gcn",
+                "off-chip traffic reduction",
+                "utilization",
+            ],
             &rows,
         );
         println!();

@@ -50,7 +50,13 @@ fn main() {
         }
     }
     print_table(
-        &["dataset", "pipeline", "latency (ms)", "off-chip (MB)", "peak bw (GB/s)"],
+        &[
+            "dataset",
+            "pipeline",
+            "latency (ms)",
+            "off-chip (MB)",
+            "peak bw (GB/s)",
+        ],
         &rows,
     );
 }

@@ -12,7 +12,12 @@ fn main() {
     println!("Fig. 10: normalized speedups over PyG-CPU (large graphs)\n");
 
     // NELL and Reddit with the four shallow models.
-    for model in [ModelKind::Gcn, ModelKind::Gin, ModelKind::Gat, ModelKind::GraphSage] {
+    for model in [
+        ModelKind::Gcn,
+        ModelKind::Gin,
+        ModelKind::Gat,
+        ModelKind::GraphSage,
+    ] {
         let mut rows = Vec::new();
         let mut headers = vec!["dataset".to_string()];
         for name in ["nell", "reddit"] {

@@ -40,10 +40,12 @@ fn main() {
             format!("{:.1}", gcod8.report.peak_bandwidth_gbps),
             format!(
                 "{:.0}%",
-                100.0 * gcod.report.peak_bandwidth_gbps / hygcn.report.peak_bandwidth_gbps.max(1e-9)
+                100.0 * gcod.report.peak_bandwidth_gbps
+                    / hygcn.report.peak_bandwidth_gbps.max(1e-9)
             ),
         ]);
-        bw_ratio_sum += gcod.report.peak_bandwidth_gbps / hygcn.report.peak_bandwidth_gbps.max(1e-9);
+        bw_ratio_sum +=
+            gcod.report.peak_bandwidth_gbps / hygcn.report.peak_bandwidth_gbps.max(1e-9);
         bw8_ratio_sum +=
             gcod8.report.peak_bandwidth_gbps / hygcn.report.peak_bandwidth_gbps.max(1e-9);
         count += 1;
@@ -70,5 +72,8 @@ fn main() {
     );
 
     println!("Fig. 11 (b): off-chip memory accesses normalized to GCoD, GCN\n");
-    print_table(&["dataset", "hygcn", "awb-gcn", "gcod", "gcod-8bit"], &acc_rows);
+    print_table(
+        &["dataset", "hygcn", "awb-gcn", "gcod", "gcod-8bit"],
+        &acc_rows,
+    );
 }

@@ -15,7 +15,12 @@ fn main() {
     let config = harness_gcod_config();
     println!("Fig. 12: GCoD energy breakdown (% of total energy)\n");
     let mut rows = Vec::new();
-    for model in [ModelKind::Gcn, ModelKind::GraphSage, ModelKind::Gin, ModelKind::Gat] {
+    for model in [
+        ModelKind::Gcn,
+        ModelKind::GraphSage,
+        ModelKind::Gin,
+        ModelKind::Gat,
+    ] {
         for case in DatasetCase::table6_datasets() {
             let outcome = run_algorithm(&case, &config, 0);
             let results = simulate_all_platforms(&case, model, &outcome);
@@ -33,8 +38,10 @@ fn main() {
                 format!("{:.1}", fractions[3] * 100.0),
                 format!("{:.1}", fractions[4] * 100.0),
                 format!("{:.1}", fractions[5] * 100.0),
-                format!("{:.2}", gcod.report.energy.combination_total()
-                    / gcod.report.energy.total().max(1e-18)),
+                format!(
+                    "{:.2}",
+                    gcod.report.energy.combination_total() / gcod.report.energy.total().max(1e-18)
+                ),
             ]);
         }
     }

@@ -6,9 +6,7 @@
 //! (CiteSeer) and 3.2x (Pubmed) relative to HyGCN while accuracy is
 //! maintained.
 
-use gcod_bench::{
-    harness_gcod_config, run_algorithm, simulate_all_platforms, DatasetCase,
-};
+use gcod_bench::{harness_gcod_config, run_algorithm, simulate_all_platforms, DatasetCase};
 use gcod_core::{render_adjacency, GcodConfig, GcodPipeline, SubgraphLayout};
 use gcod_graph::GraphGenerator;
 use gcod_nn::models::ModelKind;
@@ -41,10 +39,19 @@ fn main() {
             .run(&graph, ModelKind::Gcn, 0)
             .expect("gcod pipeline");
 
-        println!("before GCoD (reordered only), accuracy {:.1}%:", result.baseline_accuracy * 100.0);
-        println!("{}", render_adjacency(before_view.adjacency(), Some(&result.layout), 56));
+        println!(
+            "before GCoD (reordered only), accuracy {:.1}%:",
+            result.baseline_accuracy * 100.0
+        );
+        println!(
+            "{}",
+            render_adjacency(before_view.adjacency(), Some(&result.layout), 56)
+        );
         println!("after GCoD, accuracy {:.1}%:", result.gcod_accuracy * 100.0);
-        println!("{}", render_adjacency(result.graph.adjacency(), Some(&result.layout), 56));
+        println!(
+            "{}",
+            render_adjacency(result.graph.adjacency(), Some(&result.layout), 56)
+        );
         println!(
             "edges: {} -> {} ({:.1}% pruned), sparser-branch share {:.1}%",
             before_view.num_edges(),

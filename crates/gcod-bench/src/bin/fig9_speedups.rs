@@ -13,7 +13,12 @@ use gcod_bench::{
 use gcod_nn::models::ModelKind;
 
 fn main() {
-    let models = [ModelKind::Gcn, ModelKind::Gin, ModelKind::Gat, ModelKind::GraphSage];
+    let models = [
+        ModelKind::Gcn,
+        ModelKind::Gin,
+        ModelKind::Gat,
+        ModelKind::GraphSage,
+    ];
     let config = harness_gcod_config();
     println!("Fig. 9: normalized speedups over PyG-CPU (citation graphs)\n");
 

@@ -26,7 +26,15 @@ fn main() {
         .collect();
     println!("Table III: adopted graph dataset statistics\n");
     print_table(
-        &["Dataset", "Nodes", "Edges", "Features", "Classes", "Storage", "Adj. sparsity"],
+        &[
+            "Dataset",
+            "Nodes",
+            "Edges",
+            "Features",
+            "Classes",
+            "Storage",
+            "Adj. sparsity",
+        ],
         &rows,
     );
 }

@@ -36,7 +36,9 @@ fn main() {
             &model_cfg,
             Precision::Fp32,
         );
-        let cpu_latency = suite::reference_platform().simulate(&full_workload).latency_ms;
+        let cpu_latency = suite::reference_platform()
+            .simulate(&full_workload)
+            .latency_ms;
         let awb_latency = suite::by_name("awb-gcn")
             .expect("awb-gcn")
             .simulate(&full_workload)
@@ -71,8 +73,8 @@ fn main() {
             &model_cfg,
             Precision::Int8,
         );
-        let with_quant =
-            GcodAccelerator::new(AcceleratorConfig::vcu128_int8()).simulate(&int8_workload, &split_sp);
+        let with_quant = GcodAccelerator::new(AcceleratorConfig::vcu128_int8())
+            .simulate(&int8_workload, &split_sp);
 
         rows.push(vec![
             case.profile.name.clone(),

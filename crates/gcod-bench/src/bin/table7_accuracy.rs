@@ -39,7 +39,12 @@ fn main() {
     println!("Table VII: test accuracy (%) of GCoD vs compression baselines");
     println!("(synthetic dataset replicas; compare orderings, not absolute values)\n");
 
-    for model in [ModelKind::Gcn, ModelKind::Gat, ModelKind::Gin, ModelKind::GraphSage] {
+    for model in [
+        ModelKind::Gcn,
+        ModelKind::Gat,
+        ModelKind::Gin,
+        ModelKind::GraphSage,
+    ] {
         let mut rows = Vec::new();
         for name in ["cora", "citeseer", "pubmed"] {
             let case = DatasetCase::by_name(name);
@@ -68,7 +73,10 @@ fn main() {
                 result.graph.test_mask(),
             );
             row.push(format!("{:.1}", int8_acc * 100.0));
-            row.push(format!("{:+.1}", (result.gcod_accuracy - result.baseline_accuracy) * 100.0));
+            row.push(format!(
+                "{:+.1}",
+                (result.gcod_accuracy - result.baseline_accuracy) * 100.0
+            ));
             rows.push(row);
         }
         println!("== {} ==", model.name().to_uppercase());

@@ -47,8 +47,8 @@ impl DatasetCase {
     ///
     /// Panics if the name is not one of the paper's six datasets.
     pub fn by_name(name: &str) -> Self {
-        let profile = DatasetProfile::by_name(name)
-            .unwrap_or_else(|| panic!("unknown dataset {name}"));
+        let profile =
+            DatasetProfile::by_name(name).unwrap_or_else(|| panic!("unknown dataset {name}"));
         let feature_density = match profile.name.as_str() {
             "cora" => 0.0127,
             "citeseer" => 0.0085,
@@ -66,12 +66,18 @@ impl DatasetCase {
 
     /// The three citation graphs of Fig. 9.
     pub fn citation_graphs() -> Vec<Self> {
-        ["cora", "citeseer", "pubmed"].iter().map(|n| Self::by_name(n)).collect()
+        ["cora", "citeseer", "pubmed"]
+            .iter()
+            .map(|n| Self::by_name(n))
+            .collect()
     }
 
     /// The large graphs of Fig. 10.
     pub fn large_graphs() -> Vec<Self> {
-        ["nell", "reddit", "ogbn-arxiv"].iter().map(|n| Self::by_name(n)).collect()
+        ["nell", "reddit", "ogbn-arxiv"]
+            .iter()
+            .map(|n| Self::by_name(n))
+            .collect()
     }
 
     /// The five datasets of Table VI / Fig. 11 / Fig. 12.
@@ -161,12 +167,8 @@ pub fn run_algorithm(case: &DatasetCase, config: &GcodConfig, seed: u64) -> Algo
     let (tuned, _) = Polarizer::new(config.clone())
         .tune(reordered.adjacency(), &layout)
         .expect("polarize");
-    let (structural, _) = gcod_core::structural_sparsify(
-        &tuned,
-        &layout,
-        config.patch_size,
-        config.patch_threshold,
-    );
+    let (structural, _) =
+        gcod_core::structural_sparsify(&tuned, &layout, config.patch_size, config.patch_threshold);
     let split = SplitWorkload::extract(&structural, &layout);
     let retained = structural.nnz() as f64 / graph.num_edges().max(1) as f64;
     let denser_fraction = 1.0 - split.sparser_fraction();
@@ -202,7 +204,12 @@ pub fn project_split(case: &DatasetCase, outcome: &AlgorithmOutcome) -> SplitWor
     let mut cursor = 0usize;
     for (class, &fraction) in outcome.class_fractions.iter().enumerate() {
         let class_nnz = (denser_nnz as f64 * fraction) as usize;
-        let class_blocks = outcome.blocks_per_class.get(class).copied().unwrap_or(1).max(1);
+        let class_blocks = outcome
+            .blocks_per_class
+            .get(class)
+            .copied()
+            .unwrap_or(1)
+            .max(1);
         let class_nodes = nodes / num_classes;
         for b in 0..class_blocks {
             let len = (class_nodes / class_blocks).max(1);
@@ -252,7 +259,9 @@ pub fn simulate_all_platforms(
         &model_cfg,
         Precision::Fp32,
     );
-    let reference_latency = suite::reference_platform().simulate(&full_workload).latency_ms;
+    let reference_latency = suite::reference_platform()
+        .simulate(&full_workload)
+        .latency_ms;
 
     let mut results = Vec::new();
     for platform in suite::all_baselines() {
@@ -382,7 +391,11 @@ mod tests {
     fn replica_scale_keeps_replicas_small() {
         for case in DatasetCase::large_graphs() {
             let scaled = case.profile.scaled(case.replica_scale());
-            assert!(scaled.nodes <= 2_000, "{} replica too big", case.profile.name);
+            assert!(
+                scaled.nodes <= 2_000,
+                "{} replica too big",
+                case.profile.name
+            );
         }
         // Cora is already small: scale 1.0 leaves it untouched.
         assert!((DatasetCase::by_name("cora").replica_scale() - 0.554).abs() < 0.01);

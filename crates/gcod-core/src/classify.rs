@@ -180,11 +180,7 @@ mod tests {
         let classes = DegreeClasses::compute(g.adjacency(), &config).unwrap();
         let degrees = g.degrees();
         let avg = |class: usize| {
-            let members: Vec<usize> = classes
-                .members()
-                .into_iter()
-                .nth(class)
-                .unwrap();
+            let members: Vec<usize> = classes.members().into_iter().nth(class).unwrap();
             members.iter().map(|&m| degrees[m]).sum::<usize>() as f64 / members.len().max(1) as f64
         };
         assert!(avg(1) > avg(0), "class 1 should contain the hubs");

@@ -99,7 +99,11 @@ pub fn evaluate_compression(
         CompressionMethod::Qat => {
             let logits = quantized_forward(&model, &train_graph)?;
             (
-                gcod_nn::metrics::masked_accuracy(&logits, train_graph.labels(), train_graph.test_mask()),
+                gcod_nn::metrics::masked_accuracy(
+                    &logits,
+                    train_graph.labels(),
+                    train_graph.test_mask(),
+                ),
                 true,
             )
         }
@@ -124,7 +128,11 @@ pub fn evaluate_compression(
         _ => {
             let logits = model.forward(&train_graph)?;
             (
-                gcod_nn::metrics::masked_accuracy(&logits, train_graph.labels(), train_graph.test_mask()),
+                gcod_nn::metrics::masked_accuracy(
+                    &logits,
+                    train_graph.labels(),
+                    train_graph.test_mask(),
+                ),
                 false,
             )
         }
@@ -159,7 +167,11 @@ fn mix_logits(
 fn random_prune(graph: &Graph, ratio: f64, seed: u64) -> Result<Graph> {
     let adj = graph.adjacency();
     let mut rng = StdRng::seed_from_u64(seed);
-    let undirected: Vec<(usize, usize)> = adj.iter().filter(|&(r, c, _)| r < c).map(|(r, c, _)| (r, c)).collect();
+    let undirected: Vec<(usize, usize)> = adj
+        .iter()
+        .filter(|&(r, c, _)| r < c)
+        .map(|(r, c, _)| (r, c))
+        .collect();
     let keep_flags: std::collections::HashMap<(usize, usize), bool> = undirected
         .iter()
         .map(|&e| (e, rng.gen::<f64>() >= ratio))
@@ -259,7 +271,8 @@ mod tests {
         let g = graph();
         let epochs = 30;
         let vanilla =
-            evaluate_compression(&g, ModelKind::Gcn, CompressionMethod::Vanilla, epochs, 0).unwrap();
+            evaluate_compression(&g, ModelKind::Gcn, CompressionMethod::Vanilla, epochs, 0)
+                .unwrap();
         let rp = evaluate_compression(
             &g,
             ModelKind::Gcn,
@@ -282,8 +295,8 @@ mod tests {
         let g = graph();
         let qat = evaluate_compression(&g, ModelKind::Gcn, CompressionMethod::Qat, 15, 0).unwrap();
         assert!(qat.quantized);
-        let dq =
-            evaluate_compression(&g, ModelKind::Gcn, CompressionMethod::DegreeQuant, 15, 0).unwrap();
+        let dq = evaluate_compression(&g, ModelKind::Gcn, CompressionMethod::DegreeQuant, 15, 0)
+            .unwrap();
         assert!(dq.quantized);
         assert_eq!(qat.edges_retained, g.num_edges());
     }

@@ -154,11 +154,15 @@ mod tests {
 
     #[test]
     fn rejects_zero_classes_and_groups() {
-        let mut cfg = GcodConfig::default();
-        cfg.num_classes = 0;
+        let cfg = GcodConfig {
+            num_classes: 0,
+            ..GcodConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = GcodConfig::default();
-        cfg.num_groups = 0;
+        let cfg = GcodConfig {
+            num_groups: 0,
+            ..GcodConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

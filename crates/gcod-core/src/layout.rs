@@ -137,8 +137,12 @@ impl SubgraphLayout {
         // Count intra-subgraph edges in the *reordered* matrix.
         let permuted = adj.permute_symmetric(&permutation);
         for info in &mut infos {
-            info.internal_nnz =
-                permuted.block_nnz(info.start, info.start + info.len, info.start, info.start + info.len);
+            info.internal_nnz = permuted.block_nnz(
+                info.start,
+                info.start + info.len,
+                info.start,
+                info.start + info.len,
+            );
         }
 
         Ok(Self {
@@ -318,6 +322,9 @@ mod tests {
         };
         let layout = SubgraphLayout::build(&g, &cfg, 0).unwrap();
         assert!(layout.subgraphs().len() >= 2);
-        assert!(layout.subgraphs().iter().all(|s| s.class == 0 && s.group == 0));
+        assert!(layout
+            .subgraphs()
+            .iter()
+            .all(|s| s.class == 0 && s.group == 0));
     }
 }

@@ -138,8 +138,7 @@ impl GcodPipeline {
         let layout = SubgraphLayout::build(graph, &self.config, seed)?;
         let reordered = layout.apply(graph);
         let mut model = GnnModel::new(ModelConfig::for_kind(model_kind, &reordered), seed)?;
-        let (pretrain_epochs, early_bird_epoch) =
-            self.pretrain(&mut model, &reordered, seed)?;
+        let (pretrain_epochs, early_bird_epoch) = self.pretrain(&mut model, &reordered, seed)?;
 
         // Step 2: sparsify + polarize the adjacency, retrain to recover.
         let polarizer = Polarizer::new(self.config.clone());
@@ -220,11 +219,7 @@ impl GcodPipeline {
             epochs_run += slice;
             let mask = important_edge_mask(model, graph)?;
             if let Some(prev) = &previous_mask {
-                let changed = prev
-                    .iter()
-                    .zip(&mask)
-                    .filter(|(a, b)| a != b)
-                    .count();
+                let changed = prev.iter().zip(&mask).filter(|(a, b)| a != b).count();
                 let drift = changed as f64 / mask.len().max(1) as f64;
                 if drift <= self.config.early_bird_tolerance {
                     fired_at = Some(epochs_run);
@@ -249,7 +244,11 @@ fn important_edge_mask(model: &GnnModel, graph: &Graph) -> Result<Vec<bool>> {
         if r < c {
             // Edges joining nodes the model currently assigns to the same
             // class are the ones graph tuning would keep.
-            let score = if predictions[r] == predictions[c] { 1.0 } else { 0.0 };
+            let score = if predictions[r] == predictions[c] {
+                1.0
+            } else {
+                0.0
+            };
             scores.push((idx, score));
             idx += 1;
         }
@@ -292,20 +291,27 @@ mod tests {
     #[test]
     fn full_pipeline_produces_consistent_result() {
         let g = graph();
-        let result = GcodPipeline::new(fast_config()).run(&g, ModelKind::Gcn, 0).unwrap();
+        let result = GcodPipeline::new(fast_config())
+            .run(&g, ModelKind::Gcn, 0)
+            .unwrap();
         // The tuned graph must have fewer or equal edges.
         assert!(result.graph.num_edges() <= g.num_edges());
         assert!(result.total_prune_ratio() >= 0.0);
         // The workload split covers the whole tuned adjacency.
         assert_eq!(result.split.total_nnz(), result.graph.num_edges());
         // Reports chain together: structural step starts from the polarize output.
-        assert_eq!(result.structural_report.nnz_before, result.polarize_report.nnz_after);
+        assert_eq!(
+            result.structural_report.nnz_before,
+            result.polarize_report.nnz_after
+        );
     }
 
     #[test]
     fn accuracy_stays_close_to_baseline() {
         let g = graph();
-        let result = GcodPipeline::new(fast_config()).run(&g, ModelKind::Gcn, 1).unwrap();
+        let result = GcodPipeline::new(fast_config())
+            .run(&g, ModelKind::Gcn, 1)
+            .unwrap();
         // Table VII: GCoD matches or improves accuracy. On tiny synthetic
         // graphs we allow a modest drop but no collapse.
         assert!(
@@ -324,7 +330,9 @@ mod tests {
         cfg.pretrain_epochs = 40;
         cfg.early_bird = true;
         cfg.early_bird_tolerance = 0.2; // generous so it fires on a tiny graph
-        let with_eb = GcodPipeline::new(cfg.clone()).run(&g, ModelKind::Gcn, 2).unwrap();
+        let with_eb = GcodPipeline::new(cfg.clone())
+            .run(&g, ModelKind::Gcn, 2)
+            .unwrap();
         cfg.early_bird = false;
         let without = GcodPipeline::new(cfg).run(&g, ModelKind::Gcn, 2).unwrap();
         assert!(
@@ -337,7 +345,9 @@ mod tests {
     #[test]
     fn training_cost_is_comparable_to_standard() {
         let g = graph();
-        let result = GcodPipeline::new(fast_config()).run(&g, ModelKind::Gcn, 3).unwrap();
+        let result = GcodPipeline::new(fast_config())
+            .run(&g, ModelKind::Gcn, 3)
+            .unwrap();
         let overhead = result.training_cost.relative_overhead();
         assert!(
             overhead > 0.3 && overhead < 1.5,

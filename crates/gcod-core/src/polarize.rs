@@ -70,7 +70,11 @@ impl Polarizer {
     /// # Errors
     ///
     /// Propagates configuration validation errors.
-    pub fn tune(&self, adj: &CsrMatrix, layout: &SubgraphLayout) -> Result<(CsrMatrix, PolarizeReport)> {
+    pub fn tune(
+        &self,
+        adj: &CsrMatrix,
+        layout: &SubgraphLayout,
+    ) -> Result<(CsrMatrix, PolarizeReport)> {
         self.config.validate()?;
         let n = adj.rows();
         let block_of = block_index(n, layout);
@@ -99,8 +103,8 @@ impl Polarizer {
                     1.0 / ((degrees[i].max(1) as f64).sqrt() * (degrees[j].max(1) as f64).sqrt());
                 let cross_block = if block_of[i] == block_of[j] { 0.0 } else { 1.0 };
                 let distance = i.abs_diff(j) as f64 / n.max(1) as f64;
-                edge.3 = importance
-                    - self.config.polarization_weight * (cross_block * 0.5 + distance);
+                edge.3 =
+                    importance - self.config.polarization_weight * (cross_block * 0.5 + distance);
             }
             // How many undirected edges to remove this iteration (even split of
             // the total budget across iterations, remainder in the last one).
@@ -217,7 +221,9 @@ mod tests {
     #[test]
     fn prunes_close_to_the_target_ratio() {
         let (g, layout, cfg) = setup();
-        let (tuned, report) = Polarizer::new(cfg.clone()).tune(g.adjacency(), &layout).unwrap();
+        let (tuned, report) = Polarizer::new(cfg.clone())
+            .tune(g.adjacency(), &layout)
+            .unwrap();
         assert!(report.achieved_prune_ratio >= cfg.prune_ratio * 0.8);
         assert!(report.achieved_prune_ratio <= cfg.prune_ratio * 1.2 + 0.01);
         assert_eq!(tuned.nnz(), report.nnz_after);

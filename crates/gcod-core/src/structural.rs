@@ -49,7 +49,9 @@ pub fn structural_sparsify(
     let mut protected = vec![false; grid.grid_rows() * grid.grid_cols()];
     for info in layout.subgraphs() {
         let pr_start = info.start / patch_size;
-        let pr_end = (info.start + info.len).div_ceil(patch_size).min(grid.grid_rows());
+        let pr_end = (info.start + info.len)
+            .div_ceil(patch_size)
+            .min(grid.grid_rows());
         for pr in pr_start..pr_end {
             for pc in pr_start..pr_end {
                 if pc < grid.grid_cols() {
@@ -158,7 +160,12 @@ mod tests {
         // Count remaining intra-subgraph edges.
         let mut after_diag = 0usize;
         for info in layout.subgraphs() {
-            after_diag += pruned.block_nnz(info.start, info.start + info.len, info.start, info.start + info.len);
+            after_diag += pruned.block_nnz(
+                info.start,
+                info.start + info.len,
+                info.start,
+                info.start + info.len,
+            );
         }
         assert_eq!(
             after_diag, before_diag,

@@ -30,10 +30,15 @@ pub fn render_adjacency(
 
     // Boundary positions (in node space) where a subgraph starts.
     let boundaries: Vec<usize> = layout
-        .map(|l| l.subgraphs().iter().map(|s| s.start).filter(|&s| s > 0).collect())
+        .map(|l| {
+            l.subgraphs()
+                .iter()
+                .map(|s| s.start)
+                .filter(|&s| s > 0)
+                .collect()
+        })
         .unwrap_or_default();
-    let is_boundary =
-        |node: usize| boundaries.iter().any(|&b| b / cell == node / cell && b > 0);
+    let is_boundary = |node: usize| boundaries.iter().any(|&b| b / cell == node / cell && b > 0);
 
     let mut out = String::with_capacity((grid.grid_rows() + 2) * (grid.grid_cols() + 2));
     for pr in 0..grid.grid_rows() {

@@ -194,9 +194,9 @@ mod tests {
         let per_class = split.nnz_per_class();
         assert_eq!(per_class.len(), cfg.num_classes);
         assert_eq!(per_class.iter().sum::<usize>(), split.denser_nnz);
-        for class in 0..cfg.num_classes {
+        for (class, &class_nnz) in per_class.iter().enumerate().take(cfg.num_classes) {
             let blocks_sum: usize = split.blocks_of_class(class).iter().map(|b| b.nnz).sum();
-            assert_eq!(blocks_sum, per_class[class]);
+            assert_eq!(blocks_sum, class_nnz);
         }
     }
 

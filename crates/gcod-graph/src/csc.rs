@@ -180,7 +180,9 @@ impl CscMatrix {
 
     /// Converts back to COO.
     pub fn to_coo(&self) -> CooMatrix {
-        self.iter().collect::<CooMatrix>().with_shape(self.rows, self.cols)
+        self.iter()
+            .collect::<CooMatrix>()
+            .with_shape(self.rows, self.cols)
     }
 
     /// Converts to CSR.

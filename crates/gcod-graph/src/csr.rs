@@ -241,7 +241,13 @@ impl CsrMatrix {
     /// Reinterprets this CSR matrix (assumed to be the transpose of the
     /// logical matrix) as a CSC matrix of the original.
     pub(crate) fn into_csc_of_transpose(self) -> CscMatrix {
-        CscMatrix::from_parts_unchecked(self.cols, self.rows, self.indptr, self.indices, self.values)
+        CscMatrix::from_parts_unchecked(
+            self.cols,
+            self.rows,
+            self.indptr,
+            self.indices,
+            self.values,
+        )
     }
 
     /// Extracts the sub-matrix restricted to `row_set` × `col_set`, relabelled
@@ -265,7 +271,8 @@ impl CsrMatrix {
             for (&c, &v) in cols.iter().zip(vals) {
                 let nc = col_pos[c as usize];
                 if nc != usize::MAX {
-                    coo.push(new_r, nc, v).expect("indices are in range by construction");
+                    coo.push(new_r, nc, v)
+                        .expect("indices are in range by construction");
                 }
             }
         }
@@ -274,7 +281,13 @@ impl CsrMatrix {
 
     /// Counts the non-zeros that fall inside the square block
     /// `[row_start, row_end) × [col_start, col_end)`.
-    pub fn block_nnz(&self, row_start: usize, row_end: usize, col_start: usize, col_end: usize) -> usize {
+    pub fn block_nnz(
+        &self,
+        row_start: usize,
+        row_end: usize,
+        col_start: usize,
+        col_end: usize,
+    ) -> usize {
         let mut count = 0;
         for r in row_start..row_end.min(self.rows) {
             let (cols, _) = self.row(r);

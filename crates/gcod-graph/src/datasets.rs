@@ -156,10 +156,13 @@ impl DatasetProfile {
     /// analytical accelerator models are still fed the full-size statistics.
     pub fn scaled(&self, factor: f64) -> Self {
         let factor = factor.clamp(1e-6, 1.0);
-        let nodes = ((self.nodes as f64 * factor) as usize).max(self.classes * 2).max(8);
+        let nodes = ((self.nodes as f64 * factor) as usize)
+            .max(self.classes * 2)
+            .max(8);
         let avg_degree = 2.0 * self.edges as f64 / self.nodes as f64;
         let edges = ((nodes as f64 * avg_degree / 2.0) as usize).max(nodes);
-        let feature_dim = ((self.feature_dim as f64 * factor.sqrt()) as usize).clamp(4, self.feature_dim);
+        let feature_dim =
+            ((self.feature_dim as f64 * factor.sqrt()) as usize).clamp(4, self.feature_dim);
         Self {
             name: self.name.clone(),
             nodes,
@@ -197,14 +200,8 @@ impl DatasetProfile {
 }
 
 /// Names of the six datasets used by the paper, in Table III order.
-pub const KNOWN_DATASETS: [&str; 6] = [
-    "cora",
-    "citeseer",
-    "pubmed",
-    "nell",
-    "ogbn-arxiv",
-    "reddit",
-];
+pub const KNOWN_DATASETS: [&str; 6] =
+    ["cora", "citeseer", "pubmed", "nell", "ogbn-arxiv", "reddit"];
 
 #[cfg(test)]
 mod tests {

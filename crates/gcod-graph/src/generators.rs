@@ -198,9 +198,9 @@ impl GraphGenerator {
         // Guarantee no isolated node: attach any zero-degree node to a random
         // member of its community (or any node).
         let adj_probe = coo.to_csr();
-        for node in 0..n {
+        for (node, &label) in labels.iter().enumerate() {
             if adj_probe.row_nnz(node) == 0 {
-                let c = labels[node] as usize;
+                let c = label as usize;
                 let partner = community_members[c]
                     .iter()
                     .copied()
@@ -245,10 +245,7 @@ impl GraphGenerator {
         let n_val = (n as f64 * va) as usize;
         let n_test = ((n as f64 * te) as usize).min(n - n_train.min(n) - n_val.min(n));
         let train_mask = NodeMask::from_indices(n, &order[..n_train.min(n)]);
-        let val_mask = NodeMask::from_indices(
-            n,
-            &order[n_train.min(n)..(n_train + n_val).min(n)],
-        );
+        let val_mask = NodeMask::from_indices(n, &order[n_train.min(n)..(n_train + n_val).min(n)]);
         let test_mask = NodeMask::from_indices(
             n,
             &order[(n_train + n_val).min(n)..(n_train + n_val + n_test).min(n)],

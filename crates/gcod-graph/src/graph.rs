@@ -25,7 +25,9 @@ pub struct NodeMask {
 impl NodeMask {
     /// A mask of `n` nodes, all unset.
     pub fn new(n: usize) -> Self {
-        Self { bits: vec![false; n] }
+        Self {
+            bits: vec![false; n],
+        }
     }
 
     /// Builds a mask from the listed node indices.

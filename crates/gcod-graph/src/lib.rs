@@ -56,7 +56,7 @@ pub use datasets::{DatasetProfile, DatasetStats, KNOWN_DATASETS};
 pub use error::GraphError;
 pub use generators::{GeneratorConfig, GraphGenerator};
 pub use graph::{Graph, NodeMask, Split};
-pub use normalize::{degree_vector, normalize_symmetric, normalize_row, SelfLoops};
+pub use normalize::{degree_vector, normalize_row, normalize_symmetric, SelfLoops};
 pub use partition::{PartitionConfig, Partitioner, Partitioning};
 pub use permutation::Permutation;
 pub use reorder::{bandwidth, degree_descending_order, rcm_order, Reordering};

@@ -76,7 +76,8 @@ where
 {
     let mut coo = CooMatrix::with_capacity(adj.rows(), adj.cols(), adj.nnz());
     for (r, c, v) in adj.iter() {
-        coo.push(r, c, scale(r, c, v)).expect("indices already valid");
+        coo.push(r, c, scale(r, c, v))
+            .expect("indices already valid");
     }
     coo.to_csr()
 }

@@ -240,7 +240,12 @@ fn coarsen(adj: &CsrMatrix, weights: &[u64], seed: u64) -> (CsrMatrix, Vec<u64>,
     let mut matched = vec![u32::MAX; n];
     let mut order: Vec<usize> = (0..n).collect();
     // Deterministic pseudo-shuffle driven by the seed.
-    order.sort_unstable_by_key(|&i| (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 33);
+    order.sort_unstable_by_key(|&i| {
+        (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(seed)
+            >> 33
+    });
 
     let mut next_coarse = 0u32;
     let mut coarse_of = vec![u32::MAX; n];
@@ -252,10 +257,8 @@ fn coarsen(adj: &CsrMatrix, weights: &[u64], seed: u64) -> (CsrMatrix, Vec<u64>,
         let mut best: Option<(usize, f32)> = None;
         for (&c, &w) in cols.iter().zip(vals) {
             let v = c as usize;
-            if v != u && coarse_of[v] == u32::MAX {
-                if best.map(|(_, bw)| w > bw).unwrap_or(true) {
-                    best = Some((v, w));
-                }
+            if v != u && coarse_of[v] == u32::MAX && best.map(|(_, bw)| w > bw).unwrap_or(true) {
+                best = Some((v, w));
             }
         }
         coarse_of[u] = next_coarse;
@@ -302,7 +305,7 @@ fn initial_partition(adj: &CsrMatrix, weights: &[u64], parts: usize, seed: u64) 
     let mut current_part = 0usize;
     let mut frontier: Vec<usize> = Vec::new();
     let mut cursor = 0usize;
-    while assignment.iter().any(|&a| a == u32::MAX) {
+    while assignment.contains(&u32::MAX) {
         // Pick a seed node for the current part if the frontier is empty.
         if frontier.is_empty() {
             while cursor < n && assignment[order[cursor]] != u32::MAX {

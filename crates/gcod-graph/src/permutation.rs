@@ -137,7 +137,10 @@ impl Permutation {
 
     /// Whether this is the identity permutation.
     pub fn is_identity(&self) -> bool {
-        self.forward.iter().enumerate().all(|(i, &v)| i == v as usize)
+        self.forward
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| i == v as usize)
     }
 }
 

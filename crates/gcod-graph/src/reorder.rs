@@ -31,9 +31,7 @@ impl Reordering {
     pub fn permutation(self, adj: &CsrMatrix) -> Result<Permutation> {
         match self {
             Reordering::Identity => Ok(Permutation::identity(adj.rows())),
-            Reordering::DegreeDescending => {
-                Permutation::from_order(&degree_descending_order(adj))
-            }
+            Reordering::DegreeDescending => Permutation::from_order(&degree_descending_order(adj)),
             Reordering::ReverseCuthillMcKee => Permutation::from_order(&rcm_order(adj)),
         }
     }
@@ -91,10 +89,7 @@ pub fn rcm_order(adj: &CsrMatrix) -> Vec<usize> {
 /// Adjacency matrix bandwidth: the maximum `|i - j|` over stored entries.
 /// Used to quantify the locality improvement from a reordering.
 pub fn bandwidth(adj: &CsrMatrix) -> usize {
-    adj.iter()
-        .map(|(r, c, _)| r.abs_diff(c))
-        .max()
-        .unwrap_or(0)
+    adj.iter().map(|(r, c, _)| r.abs_diff(c)).max().unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -107,9 +107,8 @@ impl PatchGrid {
 
     /// Iterates `(patch_row, patch_col, nnz)` over all patches.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, u32)> + '_ {
-        (0..self.grid_rows).flat_map(move |pr| {
-            (0..self.grid_cols).map(move |pc| (pr, pc, self.count(pr, pc)))
-        })
+        (0..self.grid_rows)
+            .flat_map(move |pr| (0..self.grid_cols).map(move |pc| (pr, pc, self.count(pr, pc))))
     }
 
     /// Patches whose count is positive but below the threshold (candidates
@@ -162,7 +161,11 @@ impl GraphStats {
         let nnz = adj.nnz();
         let degrees = adj.row_degrees();
         let max_degree = degrees.iter().copied().max().unwrap_or(0);
-        let average_degree = if nodes > 0 { nnz as f64 / nodes as f64 } else { 0.0 };
+        let average_degree = if nodes > 0 {
+            nnz as f64 / nodes as f64
+        } else {
+            0.0
+        };
         let degree_gini = gini(&degrees);
         let band = (nodes / 8).max(1);
         let diag_nnz = adj
@@ -248,7 +251,10 @@ mod tests {
         let sparse = grid.sparse_patches(3);
         assert!(sparse.contains(&(0, 1)));
         assert!(sparse.contains(&(0, 0)));
-        assert!(!sparse.contains(&(1, 1)), "empty patches are not candidates");
+        assert!(
+            !sparse.contains(&(1, 1)),
+            "empty patches are not candidates"
+        );
     }
 
     #[test]
@@ -268,7 +274,10 @@ mod tests {
         assert_eq!(stats.nnz, 24);
         assert_eq!(stats.max_degree, 3);
         assert!((stats.average_degree - 3.0).abs() < 1e-9);
-        assert!(stats.degree_gini.abs() < 1e-9, "uniform degrees => zero gini");
+        assert!(
+            stats.degree_gini.abs() < 1e-9,
+            "uniform degrees => zero gini"
+        );
     }
 
     #[test]

@@ -244,7 +244,12 @@ impl GnnModel {
                 } else {
                     Activation::Relu
                 };
-                DenseLayer::new(in_dim, out_dim, activation, seed.wrapping_add(i as u64 * 7919))
+                DenseLayer::new(
+                    in_dim,
+                    out_dim,
+                    activation,
+                    seed.wrapping_add(i as u64 * 7919),
+                )
             })
             .collect();
         Ok(Self { config, layers })
@@ -307,9 +312,12 @@ impl GnnModel {
             });
         }
         let propagation_rule = self.config.propagation();
-        let mut h =
-            Tensor::from_vec(graph.num_nodes(), graph.feature_dim(), graph.features().to_vec())
-                .expect("graph guarantees feature shape");
+        let mut h = Tensor::from_vec(
+            graph.num_nodes(),
+            graph.feature_dim(),
+            graph.features().to_vec(),
+        )
+        .expect("graph guarantees feature shape");
         let mut caches = Vec::with_capacity(self.layers.len());
         let mut propagations = Vec::with_capacity(self.layers.len());
         // Feature-independent propagation matrices are built once and shared.
@@ -501,11 +509,7 @@ mod tests {
         let g = graph();
         let cfg = ModelConfig::gcn(&g);
         let model = GnnModel::new(cfg.clone(), 0).unwrap();
-        let expected: usize = cfg
-            .layer_dims()
-            .iter()
-            .map(|&(i, o)| i * o + o)
-            .sum();
+        let expected: usize = cfg.layer_dims().iter().map(|&(i, o)| i * o + o).sum();
         assert_eq!(model.num_params(), expected);
     }
 

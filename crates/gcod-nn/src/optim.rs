@@ -69,7 +69,11 @@ impl Adam {
             .zip(grads)
             .zip(self.first_moments.iter_mut().zip(&mut self.second_moments))
         {
-            assert_eq!(param.shape(), grad.shape(), "parameter/gradient shape mismatch");
+            assert_eq!(
+                param.shape(),
+                grad.shape(),
+                "parameter/gradient shape mismatch"
+            );
             let pdata = param.data_mut();
             let gdata = grad.data();
             let mdata = m.data_mut();

@@ -74,14 +74,18 @@ pub fn sample_neighbors(adj: &CsrMatrix, fanout: usize, seed: u64) -> CsrMatrix 
                 let j = rng.gen_range(i..indices.len());
                 indices.swap(i, j);
             }
-            indices[..fanout].iter().map(|&i| cols[i] as usize).collect()
+            indices[..fanout]
+                .iter()
+                .map(|&i| cols[i] as usize)
+                .collect()
         };
         if picked.is_empty() {
             continue;
         }
         let weight = 1.0 / picked.len() as f32;
         for c in picked {
-            coo.push(row, c, weight).expect("sampled index within bounds");
+            coo.push(row, c, weight)
+                .expect("sampled index within bounds");
         }
     }
     coo.to_csr()
@@ -108,7 +112,12 @@ impl SampledBatch {
 /// `seeds` under `plan`. All matrices keep the full node index space (rows
 /// outside the receptive field are simply empty), which keeps them directly
 /// usable with [`crate::sparse_ops::spmm`] and the dense feature matrix.
-pub fn sample_batch(graph: &Graph, seeds: &[usize], plan: &SamplingPlan, seed: u64) -> SampledBatch {
+pub fn sample_batch(
+    graph: &Graph,
+    seeds: &[usize],
+    plan: &SamplingPlan,
+    seed: u64,
+) -> SampledBatch {
     let adj = graph.adjacency();
     let mut frontier: Vec<usize> = seeds.to_vec();
     let mut propagations = Vec::with_capacity(plan.len().max(1));
@@ -130,7 +139,10 @@ pub fn sample_batch(graph: &Graph, seeds: &[usize], plan: &SamplingPlan, seed: u
                     let j = rng.gen_range(i..indices.len());
                     indices.swap(i, j);
                 }
-                indices[..fanout].iter().map(|&i| cols[i] as usize).collect()
+                indices[..fanout]
+                    .iter()
+                    .map(|&i| cols[i] as usize)
+                    .collect()
             };
             if picked.is_empty() {
                 continue;
@@ -238,7 +250,10 @@ mod tests {
         let g = graph();
         let sampled = sample_neighbors(g.adjacency(), 6, 3);
         for (r, c, _) in sampled.iter() {
-            assert!(g.adjacency().get(r, c) != 0.0, "({r},{c}) not in the original graph");
+            assert!(
+                g.adjacency().get(r, c) != 0.0,
+                "({r},{c}) not in the original graph"
+            );
         }
     }
 

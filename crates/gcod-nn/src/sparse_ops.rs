@@ -135,12 +135,7 @@ mod tests {
     }
 
     fn features() -> Tensor {
-        Tensor::from_vec(
-            4,
-            2,
-            vec![1.0, 0.0, 0.0, 1.0, 2.0, 2.0, -1.0, 3.0],
-        )
-        .unwrap()
+        Tensor::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 2.0, 2.0, -1.0, 3.0]).unwrap()
     }
 
     #[test]

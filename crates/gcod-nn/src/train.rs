@@ -105,8 +105,7 @@ impl Trainer {
 
         for epoch in 0..self.config.epochs {
             let cache = model.forward_cached(graph)?;
-            let loss_out =
-                masked_cross_entropy(&cache.logits, graph.labels(), graph.train_mask())?;
+            let loss_out = masked_cross_entropy(&cache.logits, graph.labels(), graph.train_mask())?;
             let (wgrads, bgrads) = model.backward(&cache, &loss_out.grad_logits)?;
             let grads = GnnModel::collect_grads(wgrads, bgrads);
             let mut params = model.parameters_mut();
@@ -114,8 +113,7 @@ impl Trainer {
             final_loss = loss_out.loss;
             epochs_run = epoch + 1;
 
-            let should_log =
-                self.config.log_every > 0 && (epoch % self.config.log_every == 0);
+            let should_log = self.config.log_every > 0 && (epoch % self.config.log_every == 0);
             let need_val = should_log || self.config.patience > 0;
             if need_val {
                 let logits = model.forward(graph)?;
@@ -192,7 +190,11 @@ mod tests {
         let before = trainer.evaluate(&model, &g).unwrap().0;
         let report = trainer.fit(&mut model, &g).unwrap();
         assert!(report.final_train_accuracy > before.max(0.5));
-        assert!(report.final_test_accuracy > 0.4, "test acc {}", report.final_test_accuracy);
+        assert!(
+            report.final_test_accuracy > 0.4,
+            "test acc {}",
+            report.final_test_accuracy
+        );
         assert!(report.final_loss.is_finite());
     }
 
@@ -249,7 +251,11 @@ mod tests {
         })
         .fit(&mut model, &g)
         .unwrap();
-        assert!(report.epochs_run < 200, "should stop early, ran {}", report.epochs_run);
+        assert!(
+            report.epochs_run < 200,
+            "should stop early, ran {}",
+            report.epochs_run
+        );
     }
 
     #[test]
@@ -289,7 +295,9 @@ mod tests {
         let g = graph();
         let model = GnnModel::new(ModelConfig::for_kind(ModelKind::Gcn, &g), 0).unwrap();
         let before = model.forward(&g).unwrap();
-        let _ = Trainer::new(TrainConfig::default()).evaluate(&model, &g).unwrap();
+        let _ = Trainer::new(TrainConfig::default())
+            .evaluate(&model, &g)
+            .unwrap();
         let after = model.forward(&g).unwrap();
         assert_eq!(before, after);
     }

@@ -240,8 +240,12 @@ mod tests {
         let g = graph();
         let cfg = ModelConfig::gcn(&g);
         let full = InferenceWorkload::build(&g, &cfg, Precision::Fp32);
-        let pruned =
-            InferenceWorkload::build_with_adjacency_nnz(&g, &cfg, Precision::Fp32, g.num_edges() / 2);
+        let pruned = InferenceWorkload::build_with_adjacency_nnz(
+            &g,
+            &cfg,
+            Precision::Fp32,
+            g.num_edges() / 2,
+        );
         assert!(pruned.aggregation_macs() < full.aggregation_macs());
         assert_eq!(pruned.combination_macs(), full.combination_macs());
     }

@@ -15,9 +15,11 @@ use gcod::nn::quant::Precision;
 use gcod::nn::workload::InferenceWorkload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dataset = std::env::args().nth(1).unwrap_or_else(|| "cora".to_string());
-    let profile = DatasetProfile::by_name(&dataset)
-        .ok_or_else(|| format!("unknown dataset {dataset}"))?;
+    let dataset = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cora".to_string());
+    let profile =
+        DatasetProfile::by_name(&dataset).ok_or_else(|| format!("unknown dataset {dataset}"))?;
 
     // Work on a replica sized for a laptop; the relative platform ordering is
     // what this example demonstrates.
@@ -52,8 +54,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         split.total_nnz(),
     );
 
-    let cpu_latency = suite::reference_platform().simulate(&baseline_workload).latency_ms;
-    println!("\n{:<12} {:>14} {:>14} {:>12}", "platform", "latency (ms)", "speedup", "off-chip MB");
+    let cpu_latency = suite::reference_platform()
+        .simulate(&baseline_workload)
+        .latency_ms;
+    println!(
+        "\n{:<12} {:>14} {:>14} {:>12}",
+        "platform", "latency (ms)", "speedup", "off-chip MB"
+    );
     for platform in suite::all_baselines() {
         let report = platform.simulate(&baseline_workload);
         println!(
@@ -64,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.off_chip_bytes as f64 / 1.0e6
         );
     }
-    for accel_cfg in [AcceleratorConfig::vcu128(), AcceleratorConfig::vcu128_int8()] {
+    for accel_cfg in [
+        AcceleratorConfig::vcu128(),
+        AcceleratorConfig::vcu128_int8(),
+    ] {
         let report = GcodAccelerator::new(accel_cfg).simulate(&gcod_workload, &split);
         println!(
             "{:<12} {:>14.4} {:>13.1}x {:>12.2}",

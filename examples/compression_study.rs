@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let epochs = 50;
-    println!("\n{:<16} {:>10} {:>16}", "method", "accuracy", "edges retained");
+    println!(
+        "\n{:<16} {:>10} {:>16}",
+        "method", "accuracy", "edges retained"
+    );
     for method in [
         CompressionMethod::Vanilla,
         CompressionMethod::RandomPruning { ratio: 0.10 },

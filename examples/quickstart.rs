@@ -65,6 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.sparsity * 100.0,
         stats.diagonal_mass * 100.0
     );
-    println!("{}", render_adjacency(result.graph.adjacency(), Some(&result.layout), 48));
+    println!(
+        "{}",
+        render_adjacency(result.graph.adjacency(), Some(&result.layout), 48)
+    );
     Ok(())
 }

@@ -21,8 +21,8 @@ fn fast_config() -> GcodConfig {
         prune_ratio: 0.10,
         patch_size: 16,
         patch_threshold: 6,
-        pretrain_epochs: 15,
-        retrain_epochs: 10,
+        pretrain_epochs: 10,
+        retrain_epochs: 8,
         ..GcodConfig::default()
     }
 }
@@ -35,7 +35,11 @@ fn full_codesign_flow_on_cora_replica() {
     let result = GcodPipeline::new(fast_config())
         .run(&graph, ModelKind::Gcn, 0)
         .unwrap();
-    assert!(result.gcod_accuracy > 0.3, "accuracy collapsed: {}", result.gcod_accuracy);
+    assert!(
+        result.gcod_accuracy > 0.3,
+        "accuracy collapsed: {}",
+        result.gcod_accuracy
+    );
     assert!(result.total_prune_ratio() > 0.05, "nothing was pruned");
 
     // Hardware: simulate the tuned workload on GCoD and the strongest
@@ -50,8 +54,12 @@ fn full_codesign_flow_on_cora_replica() {
     let baseline_workload = InferenceWorkload::build(&graph, &model_cfg, Precision::Fp32);
     let gcod_report =
         GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate(&gcod_workload, &result.split);
-    let awb_report = suite::by_name("awb-gcn").unwrap().simulate(&baseline_workload);
-    let hygcn_report = suite::by_name("hygcn").unwrap().simulate(&baseline_workload);
+    let awb_report = suite::by_name("awb-gcn")
+        .unwrap()
+        .simulate(&baseline_workload);
+    let hygcn_report = suite::by_name("hygcn")
+        .unwrap()
+        .simulate(&baseline_workload);
     assert!(gcod_report.latency_ms < awb_report.latency_ms);
     assert!(gcod_report.latency_ms < hygcn_report.latency_ms);
     assert!(gcod_report.off_chip_bytes < hygcn_report.off_chip_bytes);
@@ -75,7 +83,9 @@ fn polarization_preserves_trainability() {
     let config = fast_config();
     let layout = SubgraphLayout::build(&graph, &config, 0).unwrap();
     let reordered = layout.apply(&graph);
-    let (tuned, _) = Polarizer::new(config).tune(reordered.adjacency(), &layout).unwrap();
+    let (tuned, _) = Polarizer::new(config)
+        .tune(reordered.adjacency(), &layout)
+        .unwrap();
     let tuned_graph = reordered.with_adjacency(tuned).unwrap();
     let mut tuned_model = GnnModel::new(ModelConfig::gcn(&tuned_graph), 0).unwrap();
     let tuned_report = Trainer::new(TrainConfig {
@@ -105,7 +115,9 @@ fn reordering_and_pruning_reduce_offchip_traffic_on_gcod() {
     let layout = SubgraphLayout::build(&graph, &config, 0).unwrap();
     let reordered = layout.apply(&graph);
     let untouched_split = SplitWorkload::extract(reordered.adjacency(), &layout);
-    let (tuned, _) = Polarizer::new(config).tune(reordered.adjacency(), &layout).unwrap();
+    let (tuned, _) = Polarizer::new(config)
+        .tune(reordered.adjacency(), &layout)
+        .unwrap();
     let tuned_split = SplitWorkload::extract(&tuned, &layout);
 
     let model_cfg = ModelConfig::gcn(&reordered);
@@ -132,7 +144,7 @@ fn degree_classes_survive_the_whole_pipeline() {
     // Every subgraph the pipeline reports must reference a valid class and a
     // valid node range of the final graph, and the workload split must cover
     // exactly the final adjacency.
-    let profile = DatasetProfile::citeseer().scaled(0.05);
+    let profile = DatasetProfile::citeseer().scaled(0.035);
     let graph = GraphGenerator::new(13).generate(&profile).unwrap();
     let result = GcodPipeline::new(fast_config())
         .run(&graph, ModelKind::GraphSage, 1)
@@ -210,8 +222,16 @@ fn graph_statistics_remain_power_law_after_tuning() {
     let config = fast_config();
     let layout = SubgraphLayout::build(&graph, &config, 0).unwrap();
     let reordered = layout.apply(&graph);
-    let (tuned, _) = Polarizer::new(config).tune(reordered.adjacency(), &layout).unwrap();
+    let (tuned, _) = Polarizer::new(config)
+        .tune(reordered.adjacency(), &layout)
+        .unwrap();
     let after = GraphStats::compute(&tuned);
-    assert!(after.degree_gini > before.degree_gini * 0.5, "degree skew flattened");
-    assert!(after.max_degree as f64 > before.max_degree as f64 * 0.5, "hubs destroyed");
+    assert!(
+        after.degree_gini > before.degree_gini * 0.5,
+        "degree skew flattened"
+    );
+    assert!(
+        after.max_degree as f64 > before.max_degree as f64 * 0.5,
+        "hubs destroyed"
+    );
 }

@@ -1,0 +1,184 @@
+//! Offline shim for `criterion` 0.5.
+//!
+//! Implements the subset of the criterion API the workspace benches use:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, bench_with_input, finish}`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is simple wall-clock: a warm-up
+//! iteration followed by `sample_size` timed samples, reporting the median.
+//! No statistics engine, plots, or baseline storage.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.function_name, self.parameter)
+    }
+}
+
+/// Times closures for one benchmark case.
+pub struct Bencher {
+    samples: usize,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` once for warm-up, then `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.measured.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per case.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benches a closure under `id`.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measured: Vec::new(),
+        };
+        f(&mut bencher);
+        self.criterion.report(&label, &mut bencher.measured);
+        self
+    }
+
+    /// Benches a closure that receives `input` by reference.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label());
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measured: Vec::new(),
+        };
+        f(&mut bencher, input);
+        self.criterion.report(&label, &mut bencher.measured);
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    fn report(&mut self, label: &str, measured: &mut [Duration]) {
+        if measured.is_empty() {
+            println!("{label:<60} (no samples)");
+            return;
+        }
+        measured.sort_unstable();
+        let median = measured[measured.len() / 2];
+        let min = measured[0];
+        let max = measured[measured.len() - 1];
+        println!("{label:<60} median {median:>12.3?}  [{min:.3?} .. {max:.3?}]");
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        };
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Benches a closure outside any group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.into();
+        let mut bencher = Bencher {
+            samples: if self.default_sample_size == 0 {
+                10
+            } else {
+                self.default_sample_size
+            },
+            measured: Vec::new(),
+        };
+        f(&mut bencher);
+        self.report(&label, &mut bencher.measured);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- --test` / harness passthrough args are ignored.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace annotates its config and report types with
+//! `#[derive(Serialize, Deserialize)]` but never serializes them (no
+//! `serde_json`/`bincode` in the tree), so these derives expand to nothing.
+//! Swapping in the real `serde_derive` requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
