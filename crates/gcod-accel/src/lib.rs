@@ -17,7 +17,7 @@
 //!   pipelines (Fig. 7, Tab. II),
 //! * [`memory`] — off-chip traffic and bandwidth accounting,
 //! * [`energy`] — the energy breakdown of Fig. 12,
-//! * [`simulator`] — the top-level [`GcodAccelerator`](simulator::GcodAccelerator)
+//! * [`simulator`] — the top-level [`GcodAccelerator`]
 //!   that ties everything together and produces a [`report::PerfReport`].
 //!
 //! # Example
@@ -25,6 +25,7 @@
 //! ```
 //! use gcod_accel::config::AcceleratorConfig;
 //! use gcod_accel::simulator::GcodAccelerator;
+//! use gcod_accel::{Platform, SimRequest};
 //! use gcod_core::{GcodConfig, SubgraphLayout, SplitWorkload};
 //! use gcod_graph::{DatasetProfile, GraphGenerator};
 //! use gcod_nn::models::ModelConfig;
@@ -37,7 +38,8 @@
 //! let reordered = layout.apply(&graph);
 //! let split = SplitWorkload::extract(reordered.adjacency(), &layout);
 //! let workload = InferenceWorkload::build(&reordered, &ModelConfig::gcn(&reordered), Precision::Fp32);
-//! let report = GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate(&workload, &split);
+//! let request = SimRequest::with_split(workload, split);
+//! let report = GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate(&request)?;
 //! assert!(report.latency_ms > 0.0);
 //! # Ok(())
 //! # }
@@ -50,8 +52,14 @@ pub mod branches;
 pub mod chunk;
 pub mod compiler;
 pub mod config;
-pub mod energy;
-pub mod memory;
 pub mod pipeline;
-pub mod report;
 pub mod simulator;
+
+// The traffic, energy and report types started life in this crate and moved
+// to `gcod-platform` when the shared `Platform` contract was introduced; the
+// module paths are re-exported so `gcod_accel::report::PerfReport` et al.
+// keep working.
+pub use gcod_platform::{energy, memory, report};
+
+pub use gcod_platform::{Platform, PlatformError, SimRequest};
+pub use simulator::GcodAccelerator;

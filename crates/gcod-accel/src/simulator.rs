@@ -7,13 +7,14 @@
 
 use crate::branches::{denser_branch, sparser_branch};
 use crate::config::AcceleratorConfig;
-use crate::energy::{EnergyBreakdown, EnergyModel};
-use crate::memory::{Phase, TrafficCounter};
 use crate::pipeline::plan_layer;
-use crate::report::PerfReport;
 use gcod_core::SplitWorkload;
 use gcod_nn::quant::Precision;
 use gcod_nn::workload::InferenceWorkload;
+use gcod_platform::energy::{EnergyBreakdown, EnergyModel};
+use gcod_platform::memory::{Phase, TrafficCounter};
+use gcod_platform::report::PerfReport;
+use gcod_platform::{Platform, PlatformError, SimRequest};
 
 /// The GCoD two-pronged accelerator.
 #[derive(Debug, Clone)]
@@ -42,7 +43,16 @@ impl GcodAccelerator {
 
     /// Simulates one full inference of `workload` whose adjacency has been
     /// split into `split` by the GCoD algorithm.
-    pub fn simulate(&self, workload: &InferenceWorkload, split: &SplitWorkload) -> PerfReport {
+    ///
+    /// This is the split-mandatory entry point backing the [`Platform`]
+    /// implementation; prefer [`Platform::simulate`] with a
+    /// [`SimRequest`] when treating the accelerator uniformly with the
+    /// baseline platforms.
+    pub fn simulate_split(
+        &self,
+        workload: &InferenceWorkload,
+        split: &SplitWorkload,
+    ) -> PerfReport {
         let mut traffic = TrafficCounter::new();
         let mut total_cycles = 0u64;
         let mut utilization_acc = 0.0f64;
@@ -208,6 +218,30 @@ impl GcodAccelerator {
     }
 }
 
+impl Platform for GcodAccelerator {
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn requires_split(&self) -> bool {
+        true
+    }
+
+    fn native_precision(&self) -> Option<Precision> {
+        Some(self.config.precision)
+    }
+
+    fn simulate(&self, request: &SimRequest) -> gcod_platform::Result<PerfReport> {
+        let split = request
+            .split
+            .as_ref()
+            .ok_or_else(|| PlatformError::MissingSplit {
+                platform: self.config.name.clone(),
+            })?;
+        Ok(self.simulate_split(&request.workload, split))
+    }
+}
+
 fn bytes_to_cycles(bytes: u64, bytes_per_second: f64, cycle_seconds: f64) -> u64 {
     if bytes == 0 || bytes_per_second <= 0.0 {
         return 0;
@@ -245,7 +279,8 @@ mod tests {
     #[test]
     fn simulation_produces_positive_metrics() {
         let (_, split, workload) = setup();
-        let report = GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate(&workload, &split);
+        let report =
+            GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate_split(&workload, &split);
         assert!(report.latency_ms > 0.0);
         assert!(report.cycles > 0);
         assert!(report.off_chip_bytes > 0);
@@ -267,8 +302,10 @@ mod tests {
             InferenceWorkload::build(&permuted, &ModelConfig::gcn(&permuted), Precision::Fp32);
         let int8_w =
             InferenceWorkload::build(&permuted, &ModelConfig::gcn(&permuted), Precision::Int8);
-        let fp32 = GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate(&fp32_w, &split);
-        let int8 = GcodAccelerator::new(AcceleratorConfig::vcu128_int8()).simulate(&int8_w, &split);
+        let fp32 =
+            GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate_split(&fp32_w, &split);
+        let int8 =
+            GcodAccelerator::new(AcceleratorConfig::vcu128_int8()).simulate_split(&int8_w, &split);
         assert!(int8.latency_ms <= fp32.latency_ms);
         assert!(int8.off_chip_bytes < fp32.off_chip_bytes);
     }
@@ -299,8 +336,8 @@ mod tests {
             Precision::Fp32,
             pruned_split.total_nnz(),
         );
-        let full = accel.simulate(&full_w, &full_split);
-        let pruned = accel.simulate(&pruned_w, &pruned_split);
+        let full = accel.simulate_split(&full_w, &full_split);
+        let pruned = accel.simulate_split(&pruned_w, &pruned_split);
         assert!(pruned.cycles <= full.cycles);
         assert!(pruned.off_chip_bytes <= full.off_chip_bytes);
     }
@@ -309,22 +346,25 @@ mod tests {
     fn bigger_accelerator_is_not_slower() {
         let (_, split, workload) = setup();
         let small =
-            GcodAccelerator::new(AcceleratorConfig::small_test()).simulate(&workload, &split);
-        let big = GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate(&workload, &split);
+            GcodAccelerator::new(AcceleratorConfig::small_test()).simulate_split(&workload, &split);
+        let big =
+            GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate_split(&workload, &split);
         assert!(big.latency_ms <= small.latency_ms);
     }
 
     #[test]
     fn peak_bandwidth_requirement_is_positive() {
         let (_, split, workload) = setup();
-        let report = GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate(&workload, &split);
+        let report =
+            GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate_split(&workload, &split);
         assert!(report.peak_bandwidth_gbps > 0.0);
     }
 
     #[test]
     fn energy_has_both_phases() {
         let (_, split, workload) = setup();
-        let report = GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate(&workload, &split);
+        let report =
+            GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate_split(&workload, &split);
         assert!(report.energy.combination_total() > 0.0);
         assert!(report.energy.aggregation_total() > 0.0);
     }

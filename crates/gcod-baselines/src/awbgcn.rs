@@ -41,7 +41,7 @@ pub fn awb_gcn() -> PlatformSpec {
 mod tests {
     use super::*;
     use crate::hygcn::hygcn;
-    use crate::Platform;
+    use crate::{Platform, SimRequest};
     use gcod_graph::{DatasetProfile, GraphGenerator};
     use gcod_nn::models::{ModelConfig, ModelKind};
     use gcod_nn::quant::Precision;
@@ -72,16 +72,16 @@ mod tests {
     fn awbgcn_beats_hygcn() {
         // The paper reports AWB-GCN as roughly 3x faster than HyGCN on
         // average; our models must preserve the ordering.
-        let w = cora_workload();
-        let hy = hygcn().simulate(&w).latency_ms;
-        let awb = awb_gcn().simulate(&w).latency_ms;
+        let w = SimRequest::new(cora_workload());
+        let hy = hygcn().simulate(&w).unwrap().latency_ms;
+        let awb = awb_gcn().simulate(&w).unwrap().latency_ms;
         assert!(awb < hy, "awb {awb} !< hygcn {hy}");
     }
 
     #[test]
     fn utilization_is_high_thanks_to_rebalancing() {
-        let w = cora_workload();
-        let report = awb_gcn().simulate(&w);
+        let w = SimRequest::new(cora_workload());
+        let report = awb_gcn().simulate(&w).unwrap();
         assert!(
             report.utilization > 0.1,
             "utilization {}",

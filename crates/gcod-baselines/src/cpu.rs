@@ -56,7 +56,7 @@ fn cpu_energy() -> EnergyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Platform;
+    use crate::{Platform, SimRequest};
     use gcod_graph::{DatasetProfile, GraphGenerator};
     use gcod_nn::models::ModelConfig;
     use gcod_nn::quant::Precision;
@@ -71,9 +71,9 @@ mod tests {
 
     #[test]
     fn dgl_is_faster_than_pyg_on_cpu() {
-        let w = workload();
-        let pyg = pyg_cpu().simulate(&w);
-        let dgl = dgl_cpu().simulate(&w);
+        let w = SimRequest::new(workload());
+        let pyg = pyg_cpu().simulate(&w).unwrap();
+        let dgl = dgl_cpu().simulate(&w).unwrap();
         assert!(
             dgl.latency_ms < pyg.latency_ms,
             "dgl {} !< pyg {}",
@@ -86,8 +86,8 @@ mod tests {
 
     #[test]
     fn small_graph_latency_is_overhead_dominated() {
-        let w = workload();
-        let pyg = pyg_cpu().simulate(&w);
+        let w = SimRequest::new(workload());
+        let pyg = pyg_cpu().simulate(&w).unwrap();
         // Two layers x 30 ms overhead = at least 60 ms.
         assert!(pyg.latency_ms >= 60.0);
     }

@@ -62,7 +62,7 @@ pub fn alveo_u50() -> PlatformSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Platform;
+    use crate::{Platform, SimRequest};
     use gcod_graph::{DatasetProfile, GraphGenerator};
     use gcod_nn::models::ModelConfig;
     use gcod_nn::quant::Precision;
@@ -77,10 +77,10 @@ mod tests {
 
     #[test]
     fn larger_boards_are_faster() {
-        let w = workload();
-        let small = zc706().simulate(&w).latency_ms;
-        let mid = kcu1500().simulate(&w).latency_ms;
-        let big = alveo_u50().simulate(&w).latency_ms;
+        let w = SimRequest::new(workload());
+        let small = zc706().simulate(&w).unwrap().latency_ms;
+        let mid = kcu1500().simulate(&w).unwrap().latency_ms;
+        let big = alveo_u50().simulate(&w).unwrap().latency_ms;
         assert!(mid < small, "kcu1500 {mid} !< zc706 {small}");
         assert!(big <= mid, "alveo {big} !> kcu1500 {mid}");
     }

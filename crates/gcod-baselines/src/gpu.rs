@@ -54,7 +54,7 @@ fn gpu_energy() -> EnergyModel {
 mod tests {
     use super::*;
     use crate::cpu::pyg_cpu;
-    use crate::Platform;
+    use crate::{Platform, SimRequest};
     use gcod_graph::{DatasetProfile, GraphGenerator};
     use gcod_nn::models::ModelConfig;
     use gcod_nn::quant::Precision;
@@ -69,9 +69,9 @@ mod tests {
 
     #[test]
     fn gpu_is_much_faster_than_cpu() {
-        let w = workload();
-        let cpu = pyg_cpu().simulate(&w);
-        let gpu = pyg_gpu().simulate(&w);
+        let w = SimRequest::new(workload());
+        let cpu = pyg_cpu().simulate(&w).unwrap();
+        let gpu = pyg_gpu().simulate(&w).unwrap();
         let speedup = cpu.latency_ms / gpu.latency_ms;
         assert!(speedup > 10.0, "GPU speedup over CPU only {speedup:.1}x");
     }
@@ -80,17 +80,17 @@ mod tests {
     fn pyg_gpu_beats_dgl_gpu_on_small_graphs() {
         // Matches the paper's ordering of speedups (294x vs 460x over the
         // respective backends implies PyG-GPU has the lower latency).
-        let w = workload();
-        let pyg = pyg_gpu().simulate(&w);
-        let dgl = dgl_gpu().simulate(&w);
+        let w = SimRequest::new(workload());
+        let pyg = pyg_gpu().simulate(&w).unwrap();
+        let dgl = dgl_gpu().simulate(&w).unwrap();
         assert!(pyg.latency_ms < dgl.latency_ms);
     }
 
     #[test]
     fn gpu_energy_per_inference_is_lower_than_cpu() {
-        let w = workload();
-        let cpu = pyg_cpu().simulate(&w);
-        let gpu = pyg_gpu().simulate(&w);
+        let w = SimRequest::new(workload());
+        let cpu = pyg_cpu().simulate(&w).unwrap();
+        let gpu = pyg_gpu().simulate(&w).unwrap();
         assert!(gpu.energy_joules() < cpu.energy_joules());
     }
 

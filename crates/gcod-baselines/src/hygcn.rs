@@ -46,7 +46,7 @@ mod tests {
     use super::*;
     use crate::cpu::pyg_cpu;
     use crate::gpu::pyg_gpu;
-    use crate::Platform;
+    use crate::{Platform, SimRequest};
     use gcod_graph::{DatasetProfile, GraphGenerator};
     use gcod_nn::models::ModelConfig;
     use gcod_nn::quant::Precision;
@@ -61,21 +61,21 @@ mod tests {
 
     #[test]
     fn hygcn_beats_cpu_and_gpu() {
-        let w = workload();
-        let cpu = pyg_cpu().simulate(&w).latency_ms;
-        let gpu = pyg_gpu().simulate(&w).latency_ms;
-        let hy = hygcn().simulate(&w).latency_ms;
+        let w = SimRequest::new(workload());
+        let cpu = pyg_cpu().simulate(&w).unwrap().latency_ms;
+        let gpu = pyg_gpu().simulate(&w).unwrap().latency_ms;
+        let hy = hygcn().simulate(&w).unwrap().latency_ms;
         assert!(hy < gpu, "hygcn {hy} !< gpu {gpu}");
         assert!(hy < cpu);
     }
 
     #[test]
     fn gathered_aggregation_generates_feature_traffic() {
-        let w = workload();
-        let report = hygcn().simulate(&w);
+        let w = SimRequest::new(workload());
+        let report = hygcn().simulate(&w).unwrap();
         // Aggregation-phase off-chip traffic should exceed the raw adjacency
         // size because neighbour features are re-fetched.
-        let adjacency_bytes: u64 = w.layers.iter().map(|l| l.adjacency_bytes).sum();
+        let adjacency_bytes: u64 = w.workload.layers.iter().map(|l| l.adjacency_bytes).sum();
         assert!(report.traffic.off_chip_read_aggregation > adjacency_bytes);
     }
 

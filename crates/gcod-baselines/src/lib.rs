@@ -23,7 +23,7 @@
 //! # Example
 //!
 //! ```
-//! use gcod_baselines::{cpu, Platform};
+//! use gcod_baselines::{suite, Platform, SimRequest};
 //! use gcod_graph::{DatasetProfile, GraphGenerator};
 //! use gcod_nn::models::ModelConfig;
 //! use gcod_nn::quant::Precision;
@@ -32,8 +32,12 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let graph = GraphGenerator::new(0).generate(&DatasetProfile::cora().scaled(0.05))?;
 //! let workload = InferenceWorkload::build(&graph, &ModelConfig::gcn(&graph), Precision::Fp32);
-//! let report = cpu::pyg_cpu().simulate(&workload);
-//! assert!(report.latency_ms > 0.0);
+//! let request = SimRequest::new(workload);
+//! for platform in suite::all_platforms() {
+//!     if !platform.requires_split() {
+//!         assert!(platform.simulate(&request)?.latency_ms > 0.0);
+//!     }
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -49,4 +53,5 @@ pub mod hygcn;
 mod platform;
 pub mod suite;
 
-pub use platform::{AggregationStyle, Platform, PlatformSpec};
+pub use gcod_platform::{Platform, PlatformError, SimRequest};
+pub use platform::{AggregationStyle, PlatformSpec};

@@ -2,15 +2,18 @@
 //!
 //! Every baseline is described by a [`PlatformSpec`]: peak compute, memory
 //! system, phase-level efficiency factors and the aggregation dataflow style.
-//! [`Platform::simulate`] turns a spec plus an
-//! [`InferenceWorkload`] into a [`PerfReport`] using a two-phase roofline:
-//! each phase takes `max(compute time, memory time)` where the memory time
-//! follows from the traffic the dataflow style implies.
+//! The [`Platform`] implementation turns a spec plus the
+//! [`InferenceWorkload`] of a [`SimRequest`] into a [`PerfReport`] using a
+//! two-phase roofline: each phase takes `max(compute time, memory time)`
+//! where the memory time follows from the traffic the dataflow style
+//! implies. Baselines run the unmodified graph, so a request's optional GCoD
+//! split is ignored.
 
-use gcod_accel::energy::{EnergyBreakdown, EnergyModel};
-use gcod_accel::memory::{Phase, TrafficCounter};
-use gcod_accel::report::PerfReport;
 use gcod_nn::workload::InferenceWorkload;
+use gcod_platform::energy::{EnergyBreakdown, EnergyModel};
+use gcod_platform::memory::{Phase, TrafficCounter};
+use gcod_platform::report::PerfReport;
+use gcod_platform::{Platform, SimRequest};
 use serde::{Deserialize, Serialize};
 
 /// How a platform performs the aggregation SpMM.
@@ -63,22 +66,19 @@ pub struct PlatformSpec {
     pub power_watts: f64,
 }
 
-/// A platform that can simulate an inference workload.
-pub trait Platform: std::fmt::Debug {
-    /// Platform name.
-    fn name(&self) -> &str;
-
-    /// Simulates one inference of `workload` and reports latency, traffic and
-    /// energy.
-    fn simulate(&self, workload: &InferenceWorkload) -> PerfReport;
-}
-
 impl Platform for PlatformSpec {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn simulate(&self, workload: &InferenceWorkload) -> PerfReport {
+    fn simulate(&self, request: &SimRequest) -> gcod_platform::Result<PerfReport> {
+        Ok(self.roofline(&request.workload))
+    }
+}
+
+impl PlatformSpec {
+    /// The two-phase roofline evaluation of this spec on one workload.
+    fn roofline(&self, workload: &InferenceWorkload) -> PerfReport {
         let mut traffic = TrafficCounter::new();
         let mut total_seconds = 0.0f64;
         let mut peak_bandwidth: f64 = 0.0;
@@ -235,8 +235,8 @@ mod tests {
 
     #[test]
     fn simulation_is_positive_and_consistent() {
-        let w = workload();
-        let report = spec(AggregationStyle::Distributed).simulate(&w);
+        let req = SimRequest::new(workload());
+        let report = spec(AggregationStyle::Distributed).simulate(&req).unwrap();
         assert!(report.latency_ms > 0.0);
         assert!(report.off_chip_bytes > 0);
         assert!(report.utilization > 0.0 && report.utilization <= 1.0);
@@ -245,13 +245,14 @@ mod tests {
 
     #[test]
     fn gathered_with_poor_locality_moves_more_bytes() {
-        let w = workload();
+        let req = SimRequest::new(workload());
         let gathered = spec(AggregationStyle::Gathered {
             locality: 0.1,
             overfetch: 1.0,
         })
-        .simulate(&w);
-        let distributed = spec(AggregationStyle::Distributed).simulate(&w);
+        .simulate(&req)
+        .unwrap();
+        let distributed = spec(AggregationStyle::Distributed).simulate(&req).unwrap();
         assert!(
             gathered.off_chip_bytes > distributed.off_chip_bytes,
             "gathered {} vs distributed {}",
@@ -262,49 +263,54 @@ mod tests {
 
     #[test]
     fn better_locality_reduces_traffic() {
-        let w = workload();
+        let req = SimRequest::new(workload());
         let poor = spec(AggregationStyle::Gathered {
             locality: 0.0,
             overfetch: 1.0,
         })
-        .simulate(&w);
+        .simulate(&req)
+        .unwrap();
         let good = spec(AggregationStyle::Gathered {
             locality: 0.9,
             overfetch: 1.0,
         })
-        .simulate(&w);
+        .simulate(&req)
+        .unwrap();
         assert!(good.off_chip_bytes < poor.off_chip_bytes);
     }
 
     #[test]
     fn faster_compute_reduces_latency_until_memory_bound() {
-        let w = workload();
+        let req = SimRequest::new(workload());
         let mut slow = spec(AggregationStyle::Distributed);
         slow.peak_macs_per_second = 1.0e9;
         let mut fast = spec(AggregationStyle::Distributed);
         fast.peak_macs_per_second = 1.0e13;
-        let slow_r = slow.simulate(&w);
-        let fast_r = fast.simulate(&w);
+        let slow_r = slow.simulate(&req).unwrap();
+        let fast_r = fast.simulate(&req).unwrap();
         assert!(fast_r.latency_ms < slow_r.latency_ms);
     }
 
     #[test]
     fn higher_aggregation_efficiency_helps() {
-        let w = workload();
+        let req = SimRequest::new(workload());
         let mut ineff = spec(AggregationStyle::Distributed);
         ineff.aggregation_efficiency = 0.001;
         let mut eff = spec(AggregationStyle::Distributed);
         eff.aggregation_efficiency = 0.5;
-        assert!(eff.simulate(&w).latency_ms < ineff.simulate(&w).latency_ms);
+        assert!(eff.simulate(&req).unwrap().latency_ms < ineff.simulate(&req).unwrap().latency_ms);
     }
 
     #[test]
     fn small_on_chip_capacity_spills_the_output() {
-        let w = workload();
+        let req = SimRequest::new(workload());
         let mut tiny = spec(AggregationStyle::Distributed);
         tiny.on_chip_bytes = 16;
         let mut big = spec(AggregationStyle::Distributed);
         big.on_chip_bytes = 1 << 30;
-        assert!(tiny.simulate(&w).off_chip_bytes > big.simulate(&w).off_chip_bytes);
+        assert!(
+            tiny.simulate(&req).unwrap().off_chip_bytes
+                > big.simulate(&req).unwrap().off_chip_bytes
+        );
     }
 }

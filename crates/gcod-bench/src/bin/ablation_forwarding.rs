@@ -6,11 +6,11 @@
 //! those reads back to HBM.
 
 use gcod_accel::config::AcceleratorConfig;
-use gcod_accel::simulator::GcodAccelerator;
-use gcod_bench::{harness_gcod_config, print_table, project_split, run_algorithm, DatasetCase};
+use gcod_bench::{
+    harness_gcod_config, print_table, run_algorithm, simulate_accelerator, DatasetCase,
+};
 use gcod_nn::models::ModelKind;
 use gcod_nn::quant::Precision;
-use gcod_nn::workload::InferenceWorkload;
 
 fn main() {
     println!("Ablation: query-based weight forwarding hit rate (GCN)\n");
@@ -19,21 +19,13 @@ fn main() {
     for dataset in ["cora", "pubmed", "nell"] {
         let case = DatasetCase::by_name(dataset);
         let outcome = run_algorithm(&case, &config, 0);
-        let split = project_split(&case, &outcome);
-        let workload = InferenceWorkload::from_stats(
-            &case.profile.name,
-            case.profile.nodes,
-            split.total_nnz(),
-            case.feature_density,
-            &case.model_config(ModelKind::Gcn),
-            Precision::Fp32,
-        );
+        let request = case.gcod_request(ModelKind::Gcn, Precision::Fp32, &outcome);
         for rate in [0.0, 0.3, 0.63, 0.9] {
             let accel_cfg = AcceleratorConfig {
                 weight_forwarding_rate: rate,
                 ..AcceleratorConfig::vcu128()
             };
-            let report = GcodAccelerator::new(accel_cfg).simulate(&workload, &split);
+            let report = simulate_accelerator(accel_cfg, &request);
             rows.push(vec![
                 dataset.to_string(),
                 format!("{:.0}%", rate * 100.0),

@@ -6,30 +6,19 @@
 //! 1.8x-2.8x faster than AWB-GCN and needs 26%-53% less bandwidth.
 
 use gcod_accel::config::AcceleratorConfig;
-use gcod_accel::simulator::GcodAccelerator;
-use gcod_baselines::{suite, Platform};
-use gcod_bench::{harness_gcod_config, print_table, project_split, run_algorithm, DatasetCase};
+use gcod_bench::{
+    harness_gcod_config, print_table, run_algorithm, simulate_accelerator, simulate_baseline,
+    DatasetCase,
+};
 use gcod_core::GcodConfig;
 use gcod_nn::models::ModelKind;
 use gcod_nn::quant::Precision;
-use gcod_nn::workload::InferenceWorkload;
 
 fn main() {
     println!("Sec. VI-C ablation: classes C x subgraphs S sweep (GCN)\n");
     for dataset in ["cora", "pubmed"] {
         let case = DatasetCase::by_name(dataset);
-        let model_cfg = case.model_config(ModelKind::Gcn);
-        let full_workload = InferenceWorkload::from_stats(
-            &case.profile.name,
-            case.profile.nodes,
-            case.directed_edges(),
-            case.feature_density,
-            &model_cfg,
-            Precision::Fp32,
-        );
-        let awb = suite::by_name("awb-gcn")
-            .expect("awb")
-            .simulate(&full_workload);
+        let awb = simulate_baseline("awb-gcn", &case.baseline_request(ModelKind::Gcn));
 
         let mut rows = Vec::new();
         for classes in [1usize, 2, 3, 4] {
@@ -41,17 +30,8 @@ fn main() {
                     ..harness_gcod_config()
                 };
                 let outcome = run_algorithm(&case, &config, 0);
-                let split = project_split(&case, &outcome);
-                let workload = InferenceWorkload::from_stats(
-                    &case.profile.name,
-                    case.profile.nodes,
-                    split.total_nnz(),
-                    case.feature_density,
-                    &model_cfg,
-                    Precision::Fp32,
-                );
-                let report =
-                    GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate(&workload, &split);
+                let request = case.gcod_request(ModelKind::Gcn, Precision::Fp32, &outcome);
+                let report = simulate_accelerator(AcceleratorConfig::vcu128(), &request);
                 rows.push(vec![
                     format!("C={classes}, S={subgraphs}"),
                     format!("{:.2}", awb.latency_ms / report.latency_ms),

@@ -7,11 +7,11 @@
 //! the extra off-chip accesses stay bounded.
 
 use gcod_accel::config::{AcceleratorConfig, PipelineKind};
-use gcod_accel::simulator::GcodAccelerator;
-use gcod_bench::{harness_gcod_config, print_table, project_split, run_algorithm, DatasetCase};
+use gcod_bench::{
+    harness_gcod_config, print_table, run_algorithm, simulate_accelerator, DatasetCase,
+};
 use gcod_nn::models::ModelKind;
 use gcod_nn::quant::Precision;
-use gcod_nn::workload::InferenceWorkload;
 
 fn main() {
     println!("Tab. II ablation: efficiency-aware vs resource-aware pipeline (GCN)\n");
@@ -20,16 +20,7 @@ fn main() {
     for dataset in ["cora", "pubmed", "reddit"] {
         let case = DatasetCase::by_name(dataset);
         let outcome = run_algorithm(&case, &config, 0);
-        let split = project_split(&case, &outcome);
-        let model_cfg = case.model_config(ModelKind::Gcn);
-        let workload = InferenceWorkload::from_stats(
-            &case.profile.name,
-            case.profile.nodes,
-            split.total_nnz(),
-            case.feature_density,
-            &model_cfg,
-            Precision::Fp32,
-        );
+        let request = case.gcod_request(ModelKind::Gcn, Precision::Fp32, &outcome);
         for (label, pipeline) in [
             ("efficiency-aware", PipelineKind::EfficiencyAware),
             ("resource-aware", PipelineKind::ResourceAware),
@@ -39,7 +30,7 @@ fn main() {
                 pipeline,
                 ..AcceleratorConfig::vcu128()
             };
-            let report = GcodAccelerator::new(accel_cfg).simulate(&workload, &split);
+            let report = simulate_accelerator(accel_cfg, &request);
             rows.push(vec![
                 dataset.to_string(),
                 label.to_string(),

@@ -1,10 +1,7 @@
 //! Fig. 10: normalized inference speedups (vs PyG-CPU) on the large graphs
 //! (NELL, Reddit, ogbn-arxiv), including the 28-layer ResGCN on ogbn-arxiv.
 
-use gcod_bench::{
-    fmt_speedup, harness_gcod_config, print_table, run_algorithm, simulate_all_platforms,
-    DatasetCase,
-};
+use gcod_bench::{harness_gcod_config, print_table, speedup_table, DatasetCase};
 use gcod_nn::models::ModelKind;
 
 fn main() {
@@ -12,41 +9,24 @@ fn main() {
     println!("Fig. 10: normalized speedups over PyG-CPU (large graphs)\n");
 
     // NELL and Reddit with the four shallow models.
+    let shallow_cases = [DatasetCase::by_name("nell"), DatasetCase::by_name("reddit")];
     for model in [
         ModelKind::Gcn,
         ModelKind::Gin,
         ModelKind::Gat,
         ModelKind::GraphSage,
     ] {
-        let mut rows = Vec::new();
-        let mut headers = vec!["dataset".to_string()];
-        for name in ["nell", "reddit"] {
-            let case = DatasetCase::by_name(name);
-            let outcome = run_algorithm(&case, &config, 0);
-            let results = simulate_all_platforms(&case, model, &outcome);
-            if headers.len() == 1 {
-                headers.extend(results.iter().map(|r| r.platform.clone()));
-            }
-            let mut row = vec![case.profile.name.clone()];
-            row.extend(results.iter().map(|r| fmt_speedup(r.speedup_over_cpu)));
-            rows.push(row);
-        }
+        let table = speedup_table(&shallow_cases, model, &config);
         println!("== {} ==", model.name().to_uppercase());
-        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-        print_table(&header_refs, &rows);
+        let header_refs: Vec<&str> = table.headers.iter().map(String::as_str).collect();
+        print_table(&header_refs, &table.rows);
         println!();
     }
 
     // ResGCN on ogbn-arxiv (the deep-model column of Fig. 10).
-    let case = DatasetCase::by_name("ogbn-arxiv");
-    let outcome = run_algorithm(&case, &config, 0);
-    let results = simulate_all_platforms(&case, ModelKind::ResGcn, &outcome);
+    let deep_case = [DatasetCase::by_name("ogbn-arxiv")];
+    let table = speedup_table(&deep_case, ModelKind::ResGcn, &config);
     println!("== RESGCN (ogbn-arxiv, 28 layers) ==");
-    let headers: Vec<String> = std::iter::once("dataset".to_string())
-        .chain(results.iter().map(|r| r.platform.clone()))
-        .collect();
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut row = vec![case.profile.name.clone()];
-    row.extend(results.iter().map(|r| fmt_speedup(r.speedup_over_cpu)));
-    print_table(&header_refs, &[row]);
+    let header_refs: Vec<&str> = table.headers.iter().map(String::as_str).collect();
+    print_table(&header_refs, &table.rows);
 }

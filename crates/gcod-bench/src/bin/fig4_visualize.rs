@@ -6,9 +6,9 @@
 //! (CiteSeer) and 3.2x (Pubmed) relative to HyGCN while accuracy is
 //! maintained.
 
+use gcod::Experiment;
 use gcod_bench::{harness_gcod_config, run_algorithm, simulate_all_platforms, DatasetCase};
-use gcod_core::{render_adjacency, GcodConfig, GcodPipeline, SubgraphLayout};
-use gcod_graph::GraphGenerator;
+use gcod_core::{render_adjacency, GcodConfig};
 use gcod_nn::models::ModelKind;
 
 fn main() {
@@ -29,15 +29,18 @@ fn main() {
         let case = DatasetCase::by_name(name);
         println!("=== {} ===", name);
 
-        // Accuracy + adjacency structure on a trainable replica.
-        let profile = case.profile.scaled(0.12 * case.replica_scale());
-        let graph = GraphGenerator::new(11).generate(&profile).expect("replica");
-        let layout_before =
-            SubgraphLayout::build(&graph, &train_config, 0).expect("layout for visualization");
-        let before_view = layout_before.apply(&graph);
-        let result = GcodPipeline::new(train_config.clone())
-            .run(&graph, ModelKind::Gcn, 0)
-            .expect("gcod pipeline");
+        // Accuracy + adjacency structure on a trainable replica: the staged
+        // experiment exposes both the replica graph and the pipeline result.
+        let experiment = Experiment::on(case.profile.clone())
+            .scale(0.12 * case.replica_scale())
+            .model(ModelKind::Gcn)
+            .gcod(train_config.clone())
+            .seed(11);
+        let graph = experiment.generate().expect("replica");
+        let result = experiment.train().expect("gcod pipeline");
+        // The pipeline's layout is built on the same graph/config/seed, so it
+        // also provides the reordered-only "before" view.
+        let before_view = result.layout.apply(&graph);
 
         println!(
             "before GCoD (reordered only), accuracy {:.1}%:",

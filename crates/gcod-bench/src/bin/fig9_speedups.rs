@@ -6,10 +6,7 @@
 //! here come from analytical platform models, so the numbers differ, but the
 //! ordering and rough magnitudes are expected to hold.
 
-use gcod_bench::{
-    fmt_speedup, harness_gcod_config, print_table, run_algorithm, simulate_all_platforms,
-    DatasetCase,
-};
+use gcod_bench::{fmt_speedup, harness_gcod_config, print_table, speedup_table, DatasetCase};
 use gcod_nn::models::ModelKind;
 
 fn main() {
@@ -20,32 +17,22 @@ fn main() {
         ModelKind::GraphSage,
     ];
     let config = harness_gcod_config();
+    let cases = DatasetCase::citation_graphs();
     println!("Fig. 9: normalized speedups over PyG-CPU (citation graphs)\n");
 
     let mut geo_means: std::collections::HashMap<String, (f64, usize)> =
         std::collections::HashMap::new();
 
     for model in models {
-        let mut rows = Vec::new();
-        let mut headers = vec!["dataset".to_string()];
-        for case in DatasetCase::citation_graphs() {
-            let outcome = run_algorithm(&case, &config, 0);
-            let results = simulate_all_platforms(&case, model, &outcome);
-            if headers.len() == 1 {
-                headers.extend(results.iter().map(|r| r.platform.clone()));
-            }
-            let mut row = vec![case.profile.name.clone()];
-            for result in &results {
-                row.push(fmt_speedup(result.speedup_over_cpu));
-                let entry = geo_means.entry(result.platform.clone()).or_insert((0.0, 0));
-                entry.0 += result.speedup_over_cpu.max(1e-9).ln();
-                entry.1 += 1;
-            }
-            rows.push(row);
+        let table = speedup_table(&cases, model, &config);
+        for result in table.results.iter().flatten() {
+            let entry = geo_means.entry(result.platform.clone()).or_insert((0.0, 0));
+            entry.0 += result.speedup_over_cpu.max(1e-9).ln();
+            entry.1 += 1;
         }
         println!("== {} ==", model.name().to_uppercase());
-        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-        print_table(&header_refs, &rows);
+        let header_refs: Vec<&str> = table.headers.iter().map(String::as_str).collect();
+        print_table(&header_refs, &table.rows);
         println!();
     }
 

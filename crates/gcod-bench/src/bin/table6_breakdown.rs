@@ -5,15 +5,14 @@
 //! AWB-GCN, sparsification another ~1.09x, and quantization another ~2.02x.
 
 use gcod_accel::config::AcceleratorConfig;
-use gcod_accel::simulator::GcodAccelerator;
-use gcod_baselines::{suite, Platform};
 use gcod_bench::{
-    fmt_speedup, harness_gcod_config, print_table, project_split, run_algorithm, DatasetCase,
+    fmt_speedup, harness_gcod_config, print_table, project_split, run_algorithm,
+    simulate_accelerator, simulate_baseline, DatasetCase,
 };
 use gcod_core::GcodConfig;
 use gcod_nn::models::ModelKind;
 use gcod_nn::quant::Precision;
-use gcod_nn::workload::InferenceWorkload;
+use gcod_platform::SimRequest;
 
 fn main() {
     let config = harness_gcod_config();
@@ -27,54 +26,32 @@ fn main() {
     println!("Table VI: speedup breakdown over PyG-CPU (GCN)\n");
     let mut rows = Vec::new();
     for case in DatasetCase::table6_datasets() {
-        let model_cfg = case.model_config(ModelKind::Gcn);
-        let full_workload = InferenceWorkload::from_stats(
-            &case.profile.name,
-            case.profile.nodes,
-            case.directed_edges(),
-            case.feature_density,
-            &model_cfg,
-            Precision::Fp32,
-        );
-        let cpu_latency = suite::reference_platform()
-            .simulate(&full_workload)
-            .latency_ms;
-        let awb_latency = suite::by_name("awb-gcn")
-            .expect("awb-gcn")
-            .simulate(&full_workload)
-            .latency_ms;
+        let baseline_request = case.baseline_request(ModelKind::Gcn);
+        let cpu_latency = simulate_baseline("pyg-cpu", &baseline_request).latency_ms;
+        let awb_latency = simulate_baseline("awb-gcn", &baseline_request).latency_ms;
 
-        // GCoD accelerator without sparsification.
+        // GCoD accelerator without sparsification: the full workload, split
+        // but unpruned.
         let outcome_plain = run_algorithm(&case, &no_prune_config, 0);
-        let split_plain = project_split(&case, &outcome_plain);
-        let accel = GcodAccelerator::new(AcceleratorConfig::vcu128());
-        let plain = accel.simulate(&full_workload, &split_plain);
+        let plain_request = SimRequest::with_split(
+            case.full_workload(ModelKind::Gcn, Precision::Fp32),
+            project_split(&case, &outcome_plain),
+        );
+        let plain = simulate_accelerator(AcceleratorConfig::vcu128(), &plain_request);
 
         // With sparsification: pruned adjacency feeds both the workload and
         // the split.
         let outcome_sp = run_algorithm(&case, &config, 0);
-        let split_sp = project_split(&case, &outcome_sp);
-        let sp_workload = InferenceWorkload::from_stats(
-            &case.profile.name,
-            case.profile.nodes,
-            split_sp.total_nnz(),
-            case.feature_density,
-            &model_cfg,
-            Precision::Fp32,
+        let with_sp = simulate_accelerator(
+            AcceleratorConfig::vcu128(),
+            &case.gcod_request(ModelKind::Gcn, Precision::Fp32, &outcome_sp),
         );
-        let with_sp = accel.simulate(&sp_workload, &split_sp);
 
         // With sparsification + quantization.
-        let int8_workload = InferenceWorkload::from_stats(
-            &case.profile.name,
-            case.profile.nodes,
-            split_sp.total_nnz(),
-            case.feature_density,
-            &model_cfg,
-            Precision::Int8,
+        let with_quant = simulate_accelerator(
+            AcceleratorConfig::vcu128_int8(),
+            &case.gcod_request(ModelKind::Gcn, Precision::Int8, &outcome_sp),
         );
-        let with_quant = GcodAccelerator::new(AcceleratorConfig::vcu128_int8())
-            .simulate(&int8_workload, &split_sp);
 
         rows.push(vec![
             case.profile.name.clone(),

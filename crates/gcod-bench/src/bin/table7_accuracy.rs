@@ -6,10 +6,10 @@
 //! the vanilla model, smart sparsification beats random pruning, and the
 //! 8-bit variants stay close to full precision.
 
+use gcod::Experiment;
 use gcod_bench::{print_table, DatasetCase};
 use gcod_core::compression::{evaluate_compression, CompressionMethod};
-use gcod_core::{GcodConfig, GcodPipeline};
-use gcod_graph::GraphGenerator;
+use gcod_core::GcodConfig;
 use gcod_nn::models::ModelKind;
 use gcod_nn::quant::quantized_forward;
 
@@ -50,8 +50,12 @@ fn main() {
             let case = DatasetCase::by_name(name);
             // Use a smaller replica than the performance harness: these runs
             // actually train.
-            let profile = case.profile.scaled(0.12 * case.replica_scale());
-            let graph = GraphGenerator::new(7).generate(&profile).expect("replica");
+            let experiment = Experiment::on(case.profile.clone())
+                .scale(0.12 * case.replica_scale())
+                .model(model)
+                .gcod(gcod_config.clone())
+                .seed(7);
+            let graph = experiment.generate().expect("replica");
 
             let mut row = vec![format!("{}/{}", model.name(), name)];
             for method in methods {
@@ -61,9 +65,7 @@ fn main() {
             }
 
             // GCoD itself (full pipeline) and its 8-bit evaluation.
-            let result = GcodPipeline::new(gcod_config.clone())
-                .run(&graph, model, 0)
-                .expect("gcod pipeline");
+            let result = experiment.train().expect("gcod pipeline");
             row.push(format!("{:.1}", result.gcod_accuracy * 100.0));
             let int8_logits =
                 quantized_forward(&result.model, &result.graph).expect("quantized forward");

@@ -6,28 +6,37 @@
 //!
 //! * the **algorithm half** runs the actual GCoD split-and-conquer code on a
 //!   scaled-down replica of each dataset (the full Reddit graph has 114 M
-//!   edges — pointless to materialise for a workload model) and measures the
-//!   *structural* outcomes: achieved prune ratio, denser/sparser split,
-//!   per-class workload distribution,
+//!   edges — pointless to materialise for a workload model) through
+//!   [`gcod::Experiment::tune`] and measures the *structural* outcomes:
+//!   achieved prune ratio, denser/sparser split, per-class workload
+//!   distribution,
 //! * the **hardware half** feeds the full-size dataset statistics
 //!   (Table III) plus those measured structural fractions into the platform
-//!   models, producing latency / bandwidth / traffic / energy reports that
-//!   the figure generators print.
+//!   models — all of which implement the shared [`Platform`] trait —
+//!   producing latency /
+//!   bandwidth / traffic / energy reports that the figure generators print.
 //!
 //! Every binary in `src/bin/` is one table or figure; `cargo bench`
 //! (criterion) covers the kernel-level measurements.
 
+#![warn(missing_docs)]
+
+use gcod::{Experiment, SuiteRequests};
 use gcod_accel::config::AcceleratorConfig;
-use gcod_accel::report::PerfReport;
 use gcod_accel::simulator::GcodAccelerator;
 use gcod_baselines::suite;
-use gcod_baselines::Platform;
 use gcod_core::workload::DenseBlock;
-use gcod_core::{GcodConfig, Polarizer, SplitWorkload, SubgraphLayout};
+use gcod_core::{GcodConfig, SplitWorkload};
 use gcod_graph::{CscMatrix, DatasetProfile, Graph, GraphGenerator};
 use gcod_nn::models::{ModelConfig, ModelKind};
 use gcod_nn::quant::Precision;
 use gcod_nn::workload::InferenceWorkload;
+use gcod_platform::report::PerfReport;
+use gcod_platform::{Platform, SimRequest};
+
+/// Node budget of the algorithm-side replicas: keeps the split-and-conquer
+/// runs fast while exercising the full code paths.
+pub const REPLICA_TARGET_NODES: usize = 1_500;
 
 /// One dataset of the evaluation: its Table III profile plus the input
 /// feature density of the real data (bag-of-words features are sparse for
@@ -47,8 +56,7 @@ impl DatasetCase {
     ///
     /// Panics if the name is not one of the paper's six datasets.
     pub fn by_name(name: &str) -> Self {
-        let profile =
-            DatasetProfile::by_name(name).unwrap_or_else(|| panic!("unknown dataset {name}"));
+        let profile = DatasetProfile::by_name(name).unwrap_or_else(|e| panic!("{e}"));
         let feature_density = match profile.name.as_str() {
             "cora" => 0.0127,
             "citeseer" => 0.0085,
@@ -123,10 +131,60 @@ impl DatasetCase {
         cfg
     }
 
-    /// Scale factor for the algorithm-side replica: keeps the replica around
-    /// 1,500 nodes so the split-and-conquer run stays fast.
+    /// Scale factor for the algorithm-side replica (the shared
+    /// [`DatasetProfile::scale_for_nodes`] heuristic at
+    /// [`REPLICA_TARGET_NODES`]).
     pub fn replica_scale(&self) -> f64 {
-        (1_500.0 / self.profile.nodes as f64).min(1.0)
+        self.profile.scale_for_nodes(REPLICA_TARGET_NODES)
+    }
+
+    /// Full-size inference workload of this dataset for `kind` at
+    /// `precision`, built from the Table III statistics.
+    pub fn full_workload(&self, kind: ModelKind, precision: Precision) -> InferenceWorkload {
+        InferenceWorkload::from_stats(
+            &self.profile.name,
+            self.profile.nodes,
+            self.directed_edges(),
+            self.feature_density,
+            &self.model_config(kind),
+            precision,
+        )
+    }
+
+    /// Full-size workload with a pruned adjacency non-zero count (what the
+    /// GCoD accelerator runs after the algorithm removed edges).
+    pub fn pruned_workload(
+        &self,
+        kind: ModelKind,
+        precision: Precision,
+        adjacency_nnz: usize,
+    ) -> InferenceWorkload {
+        InferenceWorkload::from_stats(
+            &self.profile.name,
+            self.profile.nodes,
+            adjacency_nnz,
+            self.feature_density,
+            &self.model_config(kind),
+            precision,
+        )
+    }
+
+    /// Baseline simulation request: the unmodified full-size workload.
+    pub fn baseline_request(&self, kind: ModelKind) -> SimRequest {
+        SimRequest::new(self.full_workload(kind, Precision::Fp32))
+    }
+
+    /// GCoD simulation request: the replica-measured outcome projected onto
+    /// the full-size graph, paired with the matching pruned workload.
+    pub fn gcod_request(
+        &self,
+        kind: ModelKind,
+        precision: Precision,
+        outcome: &AlgorithmOutcome,
+    ) -> SimRequest {
+        let split = project_split(self, outcome);
+        let workload = self.pruned_workload(kind, precision, split.total_nnz());
+        SimRequest::with_split(workload, split)
     }
 }
 
@@ -151,39 +209,31 @@ pub struct AlgorithmOutcome {
 
 /// Runs the structural part of the GCoD algorithm (layout, polarization,
 /// structural sparsification — no GCN retraining) on a scaled replica of the
-/// dataset and summarises the outcome.
+/// dataset via [`gcod::Experiment::tune`] and summarises the outcome.
 ///
 /// # Panics
 ///
 /// Panics if graph generation or the pipeline steps fail — the harness treats
 /// that as a fatal benchmark-setup error.
 pub fn run_algorithm(case: &DatasetCase, config: &GcodConfig, seed: u64) -> AlgorithmOutcome {
-    let profile = case.profile.scaled(case.replica_scale());
-    let graph = GraphGenerator::new(seed)
-        .generate(&profile)
-        .expect("replica generation cannot fail for known profiles");
-    let layout = SubgraphLayout::build(&graph, config, seed).expect("layout");
-    let reordered = layout.apply(&graph);
-    let (tuned, _) = Polarizer::new(config.clone())
-        .tune(reordered.adjacency(), &layout)
-        .expect("polarize");
-    let (structural, _) =
-        gcod_core::structural_sparsify(&tuned, &layout, config.patch_size, config.patch_threshold);
-    let split = SplitWorkload::extract(&structural, &layout);
-    let retained = structural.nnz() as f64 / graph.num_edges().max(1) as f64;
-    let denser_fraction = 1.0 - split.sparser_fraction();
-    let per_class = split.nnz_per_class();
+    let run = Experiment::on(case.profile.clone())
+        .scale_to_nodes(REPLICA_TARGET_NODES)
+        .gcod(config.clone())
+        .seed(seed)
+        .tune()
+        .expect("structural GCoD pass cannot fail for known profiles");
+    let per_class = run.split.nnz_per_class();
     let denser_total: usize = per_class.iter().sum::<usize>().max(1);
     let class_fractions: Vec<f64> = per_class
         .iter()
         .map(|&n| n as f64 / denser_total as f64)
         .collect();
-    let blocks_per_class = (0..split.num_classes)
-        .map(|c| split.blocks_of_class(c).len())
+    let blocks_per_class = (0..run.split.num_classes)
+        .map(|c| run.split.blocks_of_class(c).len())
         .collect();
     AlgorithmOutcome {
-        retained_edge_fraction: retained,
-        denser_fraction,
+        retained_edge_fraction: run.retained_edge_fraction(),
+        denser_fraction: run.denser_fraction(),
         class_fractions,
         blocks_per_class,
         config: config.clone(),
@@ -250,52 +300,95 @@ pub fn simulate_all_platforms(
     kind: ModelKind,
     outcome: &AlgorithmOutcome,
 ) -> Vec<PlatformResult> {
-    let model_cfg = case.model_config(kind);
-    let full_workload = InferenceWorkload::from_stats(
-        &case.profile.name,
-        case.profile.nodes,
-        case.directed_edges(),
-        case.feature_density,
-        &model_cfg,
-        Precision::Fp32,
-    );
-    let reference_latency = suite::reference_platform()
-        .simulate(&full_workload)
-        .latency_ms;
-
-    let mut results = Vec::new();
-    for platform in suite::all_baselines() {
-        let report = platform.simulate(&full_workload);
-        results.push(PlatformResult {
-            platform: platform.name.clone(),
-            speedup_over_cpu: report.speedup_over(reference_latency),
-            report,
-        });
-    }
-
-    // GCoD runs on the pruned, polarized adjacency.
     let split = project_split(case, outcome);
     let pruned_nnz = split.total_nnz();
-    for (accel_cfg, precision) in [
-        (AcceleratorConfig::vcu128(), Precision::Fp32),
-        (AcceleratorConfig::vcu128_int8(), Precision::Int8),
-    ] {
-        let gcod_workload = InferenceWorkload::from_stats(
-            &case.profile.name,
-            case.profile.nodes,
-            pruned_nnz,
-            case.feature_density,
-            &model_cfg,
-            precision,
-        );
-        let report = GcodAccelerator::new(accel_cfg).simulate(&gcod_workload, &split);
-        results.push(PlatformResult {
+    let requests = SuiteRequests::new(
+        case.full_workload(kind, Precision::Fp32),
+        case.pruned_workload(kind, Precision::Fp32, pruned_nnz),
+        case.pruned_workload(kind, Precision::Int8, pruned_nnz),
+        split,
+    );
+    let reports = requests
+        .simulate_all()
+        .expect("suite simulation cannot fail when the split request carries a split");
+    let reference_latency = reports
+        .iter()
+        .find(|r| r.platform == suite::reference_platform().name)
+        .expect("reference platform present in the suite")
+        .latency_ms;
+    reports
+        .into_iter()
+        .map(|report| PlatformResult {
             platform: report.platform.clone(),
             speedup_over_cpu: report.speedup_over(reference_latency),
             report,
-        });
+        })
+        .collect()
+}
+
+/// Simulates the named baseline on `request`.
+///
+/// # Panics
+///
+/// Panics when the baseline name is unknown (harness-setup error).
+pub fn simulate_baseline(name: &str, request: &SimRequest) -> PerfReport {
+    suite::by_name(name)
+        .unwrap_or_else(|| panic!("unknown baseline platform {name}"))
+        .simulate(request)
+        .expect("baseline platforms accept any request")
+}
+
+/// Simulates a GCoD accelerator configuration on `request` (which must carry
+/// a split).
+///
+/// # Panics
+///
+/// Panics when `request` carries no GCoD split (harness-setup error).
+pub fn simulate_accelerator(config: AcceleratorConfig, request: &SimRequest) -> PerfReport {
+    GcodAccelerator::new(config)
+        .simulate(request)
+        .expect("accelerator requests must carry a GCoD split")
+}
+
+/// One speedup table (Fig. 9/10 style): per-dataset rows of normalized
+/// speedups across every platform.
+#[derive(Debug, Clone)]
+pub struct SpeedupTable {
+    /// Column headers: "dataset" followed by the platform names.
+    pub headers: Vec<String>,
+    /// One formatted row per dataset.
+    pub rows: Vec<Vec<String>>,
+    /// The raw per-dataset platform results behind the rows.
+    pub results: Vec<Vec<PlatformResult>>,
+}
+
+/// Runs the algorithm replica and the full platform suite for every dataset
+/// in `cases` under `model`, returning the formatted speedup table the
+/// Fig. 9/10 binaries print.
+pub fn speedup_table(cases: &[DatasetCase], model: ModelKind, config: &GcodConfig) -> SpeedupTable {
+    let mut headers = vec!["dataset".to_string()];
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for case in cases {
+        let outcome = run_algorithm(case, config, 0);
+        let platform_results = simulate_all_platforms(case, model, &outcome);
+        if headers.len() == 1 {
+            headers.extend(platform_results.iter().map(|r| r.platform.clone()));
+        }
+        let mut row = vec![case.profile.name.clone()];
+        row.extend(
+            platform_results
+                .iter()
+                .map(|r| fmt_speedup(r.speedup_over_cpu)),
+        );
+        rows.push(row);
+        results.push(platform_results);
     }
-    results
+    SpeedupTable {
+        headers,
+        rows,
+        results,
+    }
 }
 
 /// Fast GCoD configuration used by the harness binaries (the algorithm side
@@ -326,7 +419,7 @@ pub fn harness_gcod_config() -> GcodConfig {
 /// profiles.
 pub fn replica_graph(case: &DatasetCase, seed: u64) -> Graph {
     GraphGenerator::new(seed)
-        .generate(&case.profile.scaled(case.replica_scale()))
+        .generate(&case.profile.scaled_to_nodes(REPLICA_TARGET_NODES))
         .expect("replica generation")
 }
 
@@ -446,6 +539,28 @@ mod tests {
         assert!(latency("gcod-8bit") <= latency("gcod"));
         assert!(latency("gcod") < latency("pyg-gpu"));
         assert!(latency("pyg-gpu") < latency("pyg-cpu"));
+    }
+
+    #[test]
+    fn request_helpers_route_the_split() {
+        let case = DatasetCase::by_name("cora");
+        let outcome = run_algorithm(&case, &harness_gcod_config(), 0);
+        let baseline = case.baseline_request(ModelKind::Gcn);
+        assert!(baseline.split.is_none());
+        let gcod_req = case.gcod_request(ModelKind::Gcn, Precision::Int8, &outcome);
+        assert_eq!(gcod_req.precision(), Precision::Int8);
+        let split = gcod_req.split.as_ref().expect("split attached");
+        assert_eq!(split.total_nnz(), gcod_req.workload.layers[0].adjacency_nnz);
+    }
+
+    #[test]
+    fn speedup_table_covers_all_platforms_per_dataset() {
+        let cases = vec![DatasetCase::by_name("cora")];
+        let table = speedup_table(&cases, ModelKind::Gcn, &harness_gcod_config());
+        assert_eq!(table.headers.len(), 12); // dataset + 11 platforms
+        assert_eq!(table.rows.len(), 1);
+        assert_eq!(table.rows[0].len(), table.headers.len());
+        assert_eq!(table.results[0].len(), 11);
     }
 
     #[test]

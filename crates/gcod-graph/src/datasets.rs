@@ -8,6 +8,7 @@
 //! [`crate::GraphGenerator`] turns a profile into a synthetic [`crate::Graph`]
 //! exercising the same code paths as the real data.
 
+use crate::error::GraphError;
 use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a dataset, as reported in Table III.
@@ -136,15 +137,22 @@ impl DatasetProfile {
     }
 
     /// Looks a profile up by (case-insensitive) name.
-    pub fn by_name(name: &str) -> Option<Self> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownDataset`] — whose message lists the
+    /// valid names — when `name` is none of the paper's six datasets.
+    pub fn by_name(name: &str) -> crate::Result<Self> {
         match name.to_ascii_lowercase().as_str() {
-            "cora" => Some(Self::cora()),
-            "citeseer" => Some(Self::citeseer()),
-            "pubmed" => Some(Self::pubmed()),
-            "nell" => Some(Self::nell()),
-            "ogbn-arxiv" | "arxiv" | "obgn-arxiv" => Some(Self::ogbn_arxiv()),
-            "reddit" => Some(Self::reddit()),
-            _ => None,
+            "cora" => Ok(Self::cora()),
+            "citeseer" => Ok(Self::citeseer()),
+            "pubmed" => Ok(Self::pubmed()),
+            "nell" => Ok(Self::nell()),
+            "ogbn-arxiv" | "arxiv" | "obgn-arxiv" => Ok(Self::ogbn_arxiv()),
+            "reddit" => Ok(Self::reddit()),
+            _ => Err(GraphError::UnknownDataset {
+                name: name.to_string(),
+            }),
         }
     }
 
@@ -171,6 +179,23 @@ impl DatasetProfile {
             classes: self.classes,
             ..*self
         }
+    }
+
+    /// The [`DatasetProfile::scaled`] factor that brings this profile down to
+    /// roughly `target_nodes` nodes (1.0 when the profile is already small
+    /// enough).
+    pub fn scale_for_nodes(&self, target_nodes: usize) -> f64 {
+        (target_nodes as f64 / self.nodes.max(1) as f64).min(1.0)
+    }
+
+    /// Returns a replica profile scaled down to roughly `target_nodes` nodes
+    /// (profiles already at or below the target are returned unchanged).
+    ///
+    /// This is the shared sizing heuristic for laptop-scale replicas: the
+    /// algorithm half of an experiment runs on the replica while the
+    /// analytical platform models are fed the full-size statistics.
+    pub fn scaled_to_nodes(&self, target_nodes: usize) -> Self {
+        self.scaled(self.scale_for_nodes(target_nodes))
     }
 
     /// Table III statistics implied by this profile. Storage is estimated as
@@ -224,9 +249,12 @@ mod tests {
     #[test]
     fn all_known_datasets_resolve() {
         for name in KNOWN_DATASETS {
-            assert!(DatasetProfile::by_name(name).is_some(), "{name} missing");
+            assert!(DatasetProfile::by_name(name).is_ok(), "{name} missing");
         }
-        assert!(DatasetProfile::by_name("imagenet").is_none());
+        match DatasetProfile::by_name("imagenet") {
+            Err(GraphError::UnknownDataset { name }) => assert_eq!(name, "imagenet"),
+            other => panic!("expected UnknownDataset, got {other:?}"),
+        }
     }
 
     #[test]
@@ -249,6 +277,17 @@ mod tests {
         assert!(small.nodes < full.nodes);
         let ratio = small.average_degree() / full.average_degree();
         assert!(ratio > 0.8 && ratio < 1.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn scaled_to_nodes_matches_the_manual_heuristic() {
+        let pubmed = DatasetProfile::pubmed();
+        let factor = (2_000.0 / pubmed.nodes as f64).min(1.0);
+        assert_eq!(pubmed.scaled_to_nodes(2_000), pubmed.scaled(factor));
+        // Already-small profiles are untouched.
+        let cora = DatasetProfile::cora();
+        assert_eq!(cora.scale_for_nodes(10_000), 1.0);
+        assert_eq!(cora.scaled_to_nodes(10_000).nodes, cora.nodes);
     }
 
     #[test]

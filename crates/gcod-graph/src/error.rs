@@ -29,6 +29,11 @@ pub enum GraphError {
     },
     /// An operation required a non-empty graph but the graph has no nodes.
     EmptyGraph,
+    /// A dataset name did not match any of the paper's profiles.
+    UnknownDataset {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -44,6 +49,11 @@ impl fmt::Display for GraphError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::UnknownDataset { name } => write!(
+                f,
+                "unknown dataset `{name}` (known datasets: {})",
+                crate::KNOWN_DATASETS.join(", ")
+            ),
         }
     }
 }
@@ -72,6 +82,17 @@ mod tests {
             axis: "row",
         };
         assert_eq!(err.to_string(), "row index 10 out of bounds (< 5 required)");
+    }
+
+    #[test]
+    fn unknown_dataset_lists_valid_names() {
+        let err = GraphError::UnknownDataset {
+            name: "imagenet".to_string(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("imagenet"));
+        assert!(text.contains("cora"));
+        assert!(text.contains("reddit"));
     }
 
     #[test]

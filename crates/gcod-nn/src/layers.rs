@@ -202,7 +202,7 @@ pub struct LayerGrads {
 ///
 /// # Errors
 ///
-/// Returns [`NnError::ShapeMismatch`] when the dimensions are inconsistent.
+/// Returns [`crate::NnError::ShapeMismatch`] when the dimensions are inconsistent.
 pub fn graph_conv_forward(
     layer: &DenseLayer,
     propagation: &CsrMatrix,
@@ -228,7 +228,7 @@ pub fn graph_conv_forward(
 ///
 /// # Errors
 ///
-/// Returns [`NnError::ShapeMismatch`] on inconsistent shapes.
+/// Returns [`crate::NnError::ShapeMismatch`] on inconsistent shapes.
 pub fn graph_conv_backward(
     layer: &DenseLayer,
     propagation: &CsrMatrix,

@@ -1,0 +1,57 @@
+//! Shared simulation contract of the GCoD workspace.
+//!
+//! GCoD is a co-design: one algorithm pipeline whose output is consumed
+//! uniformly by the dedicated accelerator model (`gcod-accel`) and a field of
+//! baseline platforms (`gcod-baselines`). This crate defines the surface that
+//! makes that uniformity expressible:
+//!
+//! * [`Platform`] — the object-safe trait every simulated platform
+//!   implements: one [`Platform::simulate`] signature for the GCoD
+//!   accelerator, the CPUs/GPUs, HyGCN, AWB-GCN and the FPGAs, so callers
+//!   can iterate a `Vec<Box<dyn Platform>>`,
+//! * [`SimRequest`] — the input of a simulation: an
+//!   [`InferenceWorkload`](gcod_nn::workload::InferenceWorkload) plus an
+//!   optional GCoD [`SplitWorkload`](gcod_core::SplitWorkload) for platforms
+//!   that exploit the denser/sparser split,
+//! * [`report::PerfReport`] — the common output currency (latency, cycles,
+//!   traffic, bandwidth, utilization, energy),
+//! * [`memory`] — phase-level off-chip traffic and bandwidth accounting,
+//! * [`energy`] — the Fig. 12 energy breakdown.
+//!
+//! # Example
+//!
+//! ```
+//! use gcod_platform::{Platform, SimRequest};
+//! # use gcod_platform::report::PerfReport;
+//! # use gcod_platform::{PlatformError, Result};
+//!
+//! fn fastest(platforms: &[Box<dyn Platform>], request: &SimRequest) -> Result<Option<String>> {
+//!     let mut best: Option<(String, f64)> = None;
+//!     for platform in platforms {
+//!         let report = platform.simulate(request)?;
+//!         if best.as_ref().is_none_or(|(_, l)| report.latency_ms < *l) {
+//!             best = Some((platform.name().to_string(), report.latency_ms));
+//!         }
+//!     }
+//!     Ok(best.map(|(name, _)| name))
+//! }
+//! # let platforms: Vec<Box<dyn Platform>> = Vec::new();
+//! # let graph = gcod_graph::GraphGenerator::new(0)
+//! #     .generate(&gcod_graph::DatasetProfile::custom("t", 50, 150, 8, 2)).unwrap();
+//! # let workload = gcod_nn::workload::InferenceWorkload::build(
+//! #     &graph, &gcod_nn::models::ModelConfig::gcn(&graph), gcod_nn::quant::Precision::Fp32);
+//! # assert!(fastest(&platforms, &SimRequest::new(workload)).unwrap().is_none());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod energy;
+pub mod memory;
+mod platform;
+pub mod report;
+
+pub use platform::{Platform, PlatformError, SimRequest};
+
+/// Result alias for platform simulations.
+pub type Result<T> = std::result::Result<T, PlatformError>;

@@ -1,0 +1,188 @@
+//! The [`Platform`] trait and its [`SimRequest`] input.
+//!
+//! Before this contract existed, the GCoD accelerator exposed
+//! `simulate(&InferenceWorkload, &SplitWorkload)` while the baselines exposed
+//! `simulate(&InferenceWorkload)` — two incompatible signatures that forced
+//! every comparison harness to special-case the accelerator. [`SimRequest`]
+//! merges the two inputs (the split becomes optional) so a single object-safe
+//! [`Platform::simulate`] covers all platforms.
+
+use crate::report::PerfReport;
+use gcod_core::SplitWorkload;
+use gcod_nn::quant::Precision;
+use gcod_nn::workload::InferenceWorkload;
+use std::fmt;
+
+/// Input of one platform simulation: the inference workload, plus the GCoD
+/// denser/sparser split for platforms that exploit it.
+///
+/// Baseline platforms only read [`SimRequest::workload`]; the GCoD
+/// accelerator additionally requires [`SimRequest::split`] and fails with
+/// [`PlatformError::MissingSplit`] when it is absent. When a split is
+/// attached, the workload is expected to describe the *pruned* adjacency the
+/// split was extracted from (`workload.layers[..].adjacency_nnz` consistent
+/// with `split.total_nnz()`).
+#[derive(Debug, Clone)]
+pub struct SimRequest {
+    /// The per-layer inference workload to simulate.
+    pub workload: InferenceWorkload,
+    /// The GCoD denser/sparser adjacency split, when the workload went
+    /// through the GCoD algorithm.
+    pub split: Option<SplitWorkload>,
+}
+
+impl SimRequest {
+    /// A request carrying only a workload (what baseline platforms consume).
+    pub fn new(workload: InferenceWorkload) -> Self {
+        Self {
+            workload,
+            split: None,
+        }
+    }
+
+    /// A request carrying a workload plus the GCoD split it was derived from
+    /// (what split-aware platforms such as the GCoD accelerator consume).
+    pub fn with_split(workload: InferenceWorkload, split: SplitWorkload) -> Self {
+        Self {
+            workload,
+            split: Some(split),
+        }
+    }
+
+    /// Numeric precision of the request's workload.
+    pub fn precision(&self) -> Precision {
+        self.workload.precision
+    }
+}
+
+/// Errors a platform simulation can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// A split-aware platform received a request without a GCoD split.
+    MissingSplit {
+        /// Name of the platform that required the split.
+        platform: String,
+    },
+    /// The request is internally inconsistent for this platform.
+    InvalidRequest {
+        /// Name of the platform that rejected the request.
+        platform: String,
+        /// Why the request was rejected.
+        context: String,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::MissingSplit { platform } => write!(
+                f,
+                "platform `{platform}` requires a GCoD split; build the request with \
+                 SimRequest::with_split"
+            ),
+            PlatformError::InvalidRequest { platform, context } => {
+                write!(f, "platform `{platform}` rejected the request: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// A platform that can simulate an inference request.
+///
+/// The trait is object-safe: heterogeneous suites are iterated as
+/// `Vec<Box<dyn Platform>>` (see `gcod_baselines::suite::all_platforms`).
+pub trait Platform: fmt::Debug {
+    /// Platform name as it appears in reports (e.g. "gcod", "pyg-cpu").
+    fn name(&self) -> &str;
+
+    /// Whether this platform consumes the GCoD split of a request.
+    ///
+    /// Suites use this to route the split-carrying request (with its pruned
+    /// workload) to the accelerator and the plain full-graph request to the
+    /// baselines.
+    fn requires_split(&self) -> bool {
+        false
+    }
+
+    /// The numeric precision this platform is built for, when it is fixed by
+    /// the hardware (e.g. the INT8 GCoD variant). `None` means the platform
+    /// simulates whatever precision the request's workload carries.
+    fn native_precision(&self) -> Option<Precision> {
+        None
+    }
+
+    /// Simulates one inference of `request` and reports latency, traffic and
+    /// energy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::MissingSplit`] when the platform
+    /// [requires a split](Platform::requires_split) and the request carries
+    /// none.
+    fn simulate(&self, request: &SimRequest) -> crate::Result<PerfReport>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcod_graph::{DatasetProfile, GraphGenerator};
+    use gcod_nn::models::ModelConfig;
+
+    fn workload() -> InferenceWorkload {
+        let g = GraphGenerator::new(3)
+            .generate(&DatasetProfile::custom("req", 60, 200, 8, 2))
+            .unwrap();
+        InferenceWorkload::build(&g, &ModelConfig::gcn(&g), Precision::Fp32)
+    }
+
+    #[test]
+    fn request_constructors_set_the_split() {
+        let plain = SimRequest::new(workload());
+        assert!(plain.split.is_none());
+        assert_eq!(plain.precision(), Precision::Fp32);
+    }
+
+    #[test]
+    fn missing_split_error_mentions_the_fix() {
+        let err = PlatformError::MissingSplit {
+            platform: "gcod".to_string(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("gcod"));
+        assert!(text.contains("with_split"));
+    }
+
+    #[test]
+    fn platform_trait_is_object_safe() {
+        #[derive(Debug)]
+        struct Fixed;
+        impl Platform for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn simulate(&self, request: &SimRequest) -> crate::Result<PerfReport> {
+                Ok(PerfReport {
+                    platform: self.name().to_string(),
+                    dataset: request.workload.dataset.clone(),
+                    model: request.workload.model.clone(),
+                    latency_ms: 1.0,
+                    cycles: 0,
+                    off_chip_bytes: 0,
+                    off_chip_accesses: 0,
+                    peak_bandwidth_gbps: 0.0,
+                    utilization: 1.0,
+                    energy: crate::energy::EnergyBreakdown::default(),
+                    traffic: crate::memory::TrafficCounter::new(),
+                })
+            }
+        }
+        let boxed: Box<dyn Platform> = Box::new(Fixed);
+        assert!(!boxed.requires_split());
+        assert!(boxed.native_precision().is_none());
+        let report = boxed.simulate(&SimRequest::new(workload())).unwrap();
+        assert_eq!(report.platform, "fixed");
+    }
+}

@@ -1,81 +1,76 @@
 //! Compare the GCoD accelerator against every baseline platform on one
 //! dataset, the way Fig. 9 does for a single column.
 //!
-//! Run with `cargo run --release --example accelerator_comparison [dataset]`
+//! Run with `cargo run --release --example accelerator_comparison [dataset] [nodes]`
 //! where `dataset` is one of cora, citeseer, pubmed, nell, ogbn-arxiv,
-//! reddit (default: cora).
+//! reddit (default: cora) and `nodes` bounds the replica size (default 2000).
 
-use gcod::accel::config::AcceleratorConfig;
-use gcod::accel::simulator::GcodAccelerator;
-use gcod::baselines::{suite, Platform};
-use gcod::core::{GcodConfig, Polarizer, SplitWorkload, SubgraphLayout};
-use gcod::graph::{DatasetProfile, GraphGenerator};
-use gcod::nn::models::ModelConfig;
-use gcod::nn::quant::Precision;
-use gcod::nn::workload::InferenceWorkload;
+use gcod::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> gcod::Result<()> {
     let dataset = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "cora".to_string());
-    let profile =
-        DatasetProfile::by_name(&dataset).ok_or_else(|| format!("unknown dataset {dataset}"))?;
+    let target_nodes: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
 
     // Work on a replica sized for a laptop; the relative platform ordering is
-    // what this example demonstrates.
-    let scale = (2_000.0 / profile.nodes as f64).min(1.0);
-    let graph = GraphGenerator::new(7).generate(&profile.scaled(scale))?;
+    // what this example demonstrates. `on_dataset` rejects unknown names
+    // with an error listing the valid ones.
+    let experiment = Experiment::on_dataset(&dataset)?
+        .scale_to_nodes(target_nodes)
+        .gcod(GcodConfig::default())
+        .seed(7);
+
+    // Structural half only: layout + polarization, no GCN training.
+    let run = experiment.tune()?;
     println!(
         "dataset {} (replica: {} nodes, {} directed edges)",
-        profile.name,
-        graph.num_nodes(),
-        graph.num_edges()
+        experiment.profile().name,
+        run.reordered.num_nodes(),
+        run.reordered.num_edges()
     );
-
-    // GCoD algorithm: layout + polarization.
-    let config = GcodConfig::default();
-    let layout = SubgraphLayout::build(&graph, &config, 0)?;
-    let reordered = layout.apply(&graph);
-    let (tuned, polarize_report) = Polarizer::new(config).tune(reordered.adjacency(), &layout)?;
-    let split = SplitWorkload::extract(&tuned, &layout);
     println!(
         "GCoD algorithm: pruned {:.1}% of edges, denser branch holds {:.1}% of the rest",
-        polarize_report.achieved_prune_ratio * 100.0,
-        (1.0 - split.sparser_fraction()) * 100.0
+        run.polarize_report.achieved_prune_ratio * 100.0,
+        (1.0 - run.polarized_split.sparser_fraction()) * 100.0
     );
 
-    // Workloads for the baselines (full adjacency) and GCoD (tuned adjacency).
-    let model_cfg = ModelConfig::gcn(&reordered);
-    let baseline_workload = InferenceWorkload::build(&reordered, &model_cfg, Precision::Fp32);
-    let gcod_workload = InferenceWorkload::build_with_adjacency_nnz(
-        &reordered,
-        &model_cfg,
-        Precision::Fp32,
-        split.total_nnz(),
+    // Workloads for the baselines (full adjacency) and GCoD (tuned
+    // adjacency), then every platform through the one `Platform::simulate`
+    // signature.
+    let model_cfg = ModelConfig::gcn(&run.reordered);
+    let split = run.polarized_split.clone();
+    let requests = SuiteRequests::new(
+        InferenceWorkload::build(&run.reordered, &model_cfg, Precision::Fp32),
+        InferenceWorkload::build_with_adjacency_nnz(
+            &run.reordered,
+            &model_cfg,
+            Precision::Fp32,
+            split.total_nnz(),
+        ),
+        InferenceWorkload::build_with_adjacency_nnz(
+            &run.reordered,
+            &model_cfg,
+            Precision::Int8,
+            split.total_nnz(),
+        ),
+        split,
     );
-
-    let cpu_latency = suite::reference_platform()
-        .simulate(&baseline_workload)
+    let reports = requests.simulate_all()?;
+    let cpu_latency = reports
+        .iter()
+        .find(|r| r.platform == "pyg-cpu")
+        .expect("reference platform in suite")
         .latency_ms;
+
     println!(
         "\n{:<12} {:>14} {:>14} {:>12}",
         "platform", "latency (ms)", "speedup", "off-chip MB"
     );
-    for platform in suite::all_baselines() {
-        let report = platform.simulate(&baseline_workload);
-        println!(
-            "{:<12} {:>14.4} {:>13.1}x {:>12.2}",
-            report.platform,
-            report.latency_ms,
-            cpu_latency / report.latency_ms,
-            report.off_chip_bytes as f64 / 1.0e6
-        );
-    }
-    for accel_cfg in [
-        AcceleratorConfig::vcu128(),
-        AcceleratorConfig::vcu128_int8(),
-    ] {
-        let report = GcodAccelerator::new(accel_cfg).simulate(&gcod_workload, &split);
+    for report in &reports {
         println!(
             "{:<12} {:>14.4} {:>13.1}x {:>12.2}",
             report.platform,

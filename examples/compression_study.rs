@@ -2,16 +2,34 @@
 //! baselines of Table VII (random pruning, SGCN sparsification, QAT,
 //! Degree-Quant) on a citation-graph replica.
 //!
-//! Run with `cargo run --release --example compression_study`.
+//! Run with `cargo run --release --example compression_study [scale]` where
+//! the optional `scale` (default 0.06) sizes the CiteSeer replica.
 
 use gcod::core::compression::{evaluate_compression, CompressionMethod};
-use gcod::core::{GcodConfig, GcodPipeline};
-use gcod::graph::{DatasetProfile, GraphGenerator};
-use gcod::nn::models::ModelKind;
+use gcod::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let profile = DatasetProfile::citeseer().scaled(0.06);
-    let graph = GraphGenerator::new(3).generate(&profile)?;
+fn main() -> gcod::Result<()> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.06);
+
+    let experiment = Experiment::on(DatasetProfile::citeseer())
+        .scale(scale)
+        .model(ModelKind::Gcn)
+        .gcod(GcodConfig {
+            num_classes: 2,
+            num_subgraphs: 6,
+            num_groups: 2,
+            pretrain_epochs: 30,
+            retrain_epochs: 15,
+            ..GcodConfig::default()
+        })
+        .seed(3);
+
+    // Stage 1: the replica graph (the compression baselines train on the
+    // same graph the GCoD pipeline below regenerates deterministically).
+    let graph = experiment.generate()?;
     println!(
         "CiteSeer replica: {} nodes, {} directed edges, {} classes",
         graph.num_nodes(),
@@ -40,15 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let config = GcodConfig {
-        num_classes: 2,
-        num_subgraphs: 6,
-        num_groups: 2,
-        pretrain_epochs: 30,
-        retrain_epochs: 15,
-        ..GcodConfig::default()
-    };
-    let result = GcodPipeline::new(config).run(&graph, ModelKind::Gcn, 0)?;
+    // Stage 2: the full GCoD pipeline on the same replica.
+    let result = experiment.train()?;
     println!(
         "{:<16} {:>9.1}% {:>16}",
         "gcod",

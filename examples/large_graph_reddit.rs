@@ -8,16 +8,11 @@
 //!
 //! Run with `cargo run --release --example large_graph_reddit`.
 
-use gcod::accel::config::{AcceleratorConfig, PipelineKind};
-use gcod::accel::simulator::GcodAccelerator;
-use gcod::baselines::{suite, Platform};
-use gcod::core::workload::{DenseBlock, SplitWorkload};
-use gcod::graph::{CscMatrix, DatasetProfile};
-use gcod::nn::models::{ModelConfig, ModelKind};
-use gcod::nn::quant::Precision;
-use gcod::nn::workload::InferenceWorkload;
+use gcod::core::workload::DenseBlock;
+use gcod::graph::CscMatrix;
+use gcod::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> gcod::Result<()> {
     let profile = DatasetProfile::reddit();
     let directed_edges = profile.edges * 2;
     println!(
@@ -69,13 +64,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sparser_nnz: retained - denser_nnz,
         num_classes: 2,
     };
-    let gcod_workload = InferenceWorkload::from_stats(
-        "reddit",
-        profile.nodes,
-        retained,
-        1.0,
-        &model_cfg,
-        Precision::Fp32,
+    let gcod_request = SimRequest::with_split(
+        InferenceWorkload::from_stats(
+            "reddit",
+            profile.nodes,
+            retained,
+            1.0,
+            &model_cfg,
+            Precision::Fp32,
+        ),
+        split,
     );
 
     println!("\npipeline comparison on Reddit (GCoD accelerator):");
@@ -88,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pipeline,
             ..AcceleratorConfig::vcu128()
         };
-        let report = GcodAccelerator::new(cfg).simulate(&gcod_workload, &split);
+        let report = GcodAccelerator::new(cfg).simulate(&gcod_request)?;
         println!(
             "  {label:<17} latency {:>9.3} ms, off-chip {:>8.1} MB, peak bw {:>6.1} GB/s",
             report.latency_ms,
@@ -98,9 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nbaselines on the unpruned Reddit workload:");
+    let baseline_request = SimRequest::new(workload);
     for name in ["pyg-cpu", "pyg-gpu", "hygcn", "awb-gcn"] {
         let platform = suite::by_name(name).expect("known baseline");
-        let report = platform.simulate(&workload);
+        let report = platform.simulate(&baseline_request)?;
         println!(
             "  {:<10} latency {:>12.1} ms, off-chip {:>9.1} MB",
             name,

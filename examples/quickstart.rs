@@ -1,17 +1,34 @@
-//! Quickstart: generate a Cora-like graph, train a GCN on it, run the GCoD
-//! split-and-conquer pipeline and compare accuracy and adjacency structure.
+//! Quickstart: run the whole GCoD co-design loop — replica generation,
+//! baseline + GCoD training, denser/sparser split and the cross-platform
+//! performance comparison — from one staged [`Experiment`].
 //!
-//! Run with `cargo run --release --example quickstart`.
+//! Run with `cargo run --release --example quickstart [scale]` where the
+//! optional `scale` (default 0.08) sizes the Cora replica.
 
-use gcod::core::{render_adjacency, GcodConfig, GcodPipeline};
-use gcod::graph::{DatasetProfile, GraphGenerator, GraphStats};
-use gcod::nn::models::{GnnModel, ModelConfig, ModelKind};
-use gcod::nn::train::{TrainConfig, Trainer};
+use gcod::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. A laptop-sized replica of the Cora citation graph.
-    let profile = DatasetProfile::cora().scaled(0.08);
-    let graph = GraphGenerator::new(42).generate(&profile)?;
+fn main() -> gcod::Result<()> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.08);
+
+    // One builder owns the generate/train/split/simulate plumbing.
+    let experiment = Experiment::on(DatasetProfile::cora())
+        .scale(scale)
+        .model(ModelKind::Gcn)
+        .gcod(GcodConfig {
+            num_classes: 2,
+            num_subgraphs: 6,
+            num_groups: 2,
+            pretrain_epochs: 30,
+            retrain_epochs: 15,
+            ..GcodConfig::default()
+        })
+        .seed(42);
+
+    // Stage 1: the laptop-sized Cora replica.
+    let graph = experiment.generate()?;
     println!(
         "generated '{}': {} nodes, {} directed edges, {} features, {} classes",
         graph.name(),
@@ -21,30 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.num_classes()
     );
 
-    // 2. Train a plain two-layer GCN as the baseline.
-    let mut model = GnnModel::new(ModelConfig::gcn(&graph), 0)?;
-    let report = Trainer::new(TrainConfig {
-        epochs: 60,
-        ..TrainConfig::default()
-    })
-    .fit(&mut model, &graph)?;
-    println!(
-        "baseline GCN: train {:.1}% / test {:.1}% after {} epochs",
-        report.final_train_accuracy * 100.0,
-        report.final_test_accuracy * 100.0,
-        report.epochs_run
-    );
-
-    // 3. Run the GCoD split-and-conquer pipeline.
-    let config = GcodConfig {
-        num_classes: 2,
-        num_subgraphs: 6,
-        num_groups: 2,
-        pretrain_epochs: 30,
-        retrain_epochs: 15,
-        ..GcodConfig::default()
-    };
-    let result = GcodPipeline::new(config).run(&graph, ModelKind::Gcn, 0)?;
+    // Stages 2+3: GCoD training (including the standard-GCN baseline) and
+    // the platform comparison.
+    let report = experiment.run()?;
+    let result = &report.result;
     println!(
         "GCoD: accuracy {:.1}% (baseline {:.1}%), {:.1}% of edges pruned, sparser-branch share {:.1}%",
         result.gcod_accuracy * 100.0,
@@ -57,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.training_cost.relative_overhead()
     );
 
-    // 4. Show the polarized adjacency matrix.
+    // The polarized adjacency matrix the accelerator exploits.
     let stats = GraphStats::compute(result.graph.adjacency());
     println!(
         "tuned adjacency: {} nnz, sparsity {:.2}%, diagonal mass {:.1}%",
@@ -67,7 +64,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "{}",
-        render_adjacency(result.graph.adjacency(), Some(&result.layout), 48)
+        gcod::core::render_adjacency(result.graph.adjacency(), Some(&result.layout), 48)
     );
+
+    // Every platform of the suite through the same `dyn Platform` surface.
+    println!("normalized speedups over PyG-CPU on this replica:");
+    for perf in &report.platforms {
+        println!(
+            "  {:<10} {:>10.2}x ({:.4} ms)",
+            perf.platform,
+            report.speedup_over_cpu(&perf.platform).unwrap_or(0.0),
+            perf.latency_ms
+        );
+    }
     Ok(())
 }

@@ -1,0 +1,135 @@
+//! The unified error type of the facade crate.
+//!
+//! Each workspace crate keeps its own error enum (`GraphError`, `NnError`,
+//! `GcodError`, `PlatformError`), but callers driving a whole experiment
+//! should not have to spell out four `From` conversions. [`Error`] absorbs
+//! all of them — flattening the nesting `GcodError` introduces — so `?`
+//! works uniformly across the co-design pipeline.
+
+use gcod_core::GcodError;
+use gcod_graph::GraphError;
+use gcod_nn::NnError;
+use gcod_platform::PlatformError;
+use std::fmt;
+
+/// Any error the GCoD workspace can produce, unified for facade callers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A dataset name did not match any of the paper's six profiles.
+    UnknownDataset {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An error from the sparse graph substrate.
+    Graph(GraphError),
+    /// An error from the neural-network substrate.
+    Nn(NnError),
+    /// An error from the GCoD training pipeline (configuration validation
+    /// and other algorithm-level failures).
+    Gcod(GcodError),
+    /// An error from a platform simulation.
+    Platform(PlatformError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Delegate so the message (and its list of valid names) has one
+            // source of truth in the graph crate.
+            Error::UnknownDataset { name } => {
+                write!(f, "{}", GraphError::UnknownDataset { name: name.clone() })
+            }
+            Error::Graph(e) => write!(f, "graph error: {e}"),
+            Error::Nn(e) => write!(f, "model error: {e}"),
+            Error::Gcod(e) => write!(f, "{e}"),
+            Error::Platform(e) => write!(f, "platform error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::UnknownDataset { .. } => None,
+            Error::Graph(e) => Some(e),
+            Error::Nn(e) => Some(e),
+            Error::Gcod(e) => Some(e),
+            Error::Platform(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for Error {
+    fn from(e: GraphError) -> Self {
+        match e {
+            GraphError::UnknownDataset { name } => Error::UnknownDataset { name },
+            other => Error::Graph(other),
+        }
+    }
+}
+
+impl From<NnError> for Error {
+    fn from(e: NnError) -> Self {
+        Error::Nn(e)
+    }
+}
+
+impl From<GcodError> for Error {
+    fn from(e: GcodError) -> Self {
+        // Flatten the wrapping the algorithm crate adds around substrate
+        // errors so facade callers match one level only.
+        match e {
+            GcodError::Graph(g) => Error::from(g),
+            GcodError::Nn(n) => Error::Nn(n),
+            other => Error::Gcod(other),
+        }
+    }
+}
+
+impl From<PlatformError> for Error {
+    fn from(e: PlatformError) -> Self {
+        Error::Platform(e)
+    }
+}
+
+/// Result alias for the facade crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_dataset_is_hoisted_out_of_graph_errors() {
+        let err = Error::from(GraphError::UnknownDataset {
+            name: "mnist".to_string(),
+        });
+        assert!(matches!(err, Error::UnknownDataset { ref name } if name == "mnist"));
+        let text = err.to_string();
+        assert!(text.contains("mnist") && text.contains("cora"));
+    }
+
+    #[test]
+    fn gcod_wrappers_are_flattened() {
+        let err = Error::from(GcodError::Graph(GraphError::EmptyGraph));
+        assert_eq!(err, Error::Graph(GraphError::EmptyGraph));
+        let err = Error::from(GcodError::Nn(NnError::ShapeMismatch {
+            context: "2x3 vs 4x5".to_string(),
+        }));
+        assert!(matches!(err, Error::Nn(_)));
+        let err = Error::from(GcodError::InvalidConfig {
+            context: "bad".to_string(),
+        });
+        assert!(matches!(err, Error::Gcod(_)));
+    }
+
+    #[test]
+    fn platform_errors_convert_and_chain_sources() {
+        let err = Error::from(PlatformError::MissingSplit {
+            platform: "gcod".to_string(),
+        });
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("gcod"));
+    }
+}

@@ -1,0 +1,463 @@
+//! The staged [`Experiment`] builder: one owner for the
+//! generate → train → layout → polarize → split → workload plumbing.
+//!
+//! Every evaluation in this repository used to re-stitch the same sequence
+//! by hand: generate a replica graph, run the GCoD pipeline (or just its
+//! structural half), extract the denser/sparser split, build inference
+//! workloads and feed them to the accelerator and baseline platform models.
+//! [`Experiment`] owns that plumbing once and exposes each intermediate:
+//!
+//! * [`Experiment::generate`] — the replica [`Graph`] (stage 1),
+//! * [`Experiment::tune`] — the structural half only (layout →
+//!   polarize → structural sparsification → split), no GCN training; this is
+//!   what the benchmark harness runs on dataset replicas,
+//! * [`Experiment::train`] — the full three-step GCoD training pipeline,
+//!   returning the [`GcodResult`] with accuracies and training cost,
+//! * [`Experiment::run`] — training plus the platform comparison: every
+//!   baseline and both GCoD accelerator variants simulated on the matching
+//!   requests.
+//!
+//! ```no_run
+//! use gcod::prelude::*;
+//!
+//! # fn main() -> gcod::Result<()> {
+//! let report = Experiment::on(DatasetProfile::cora())
+//!     .scale(0.08)
+//!     .model(ModelKind::Gcn)
+//!     .gcod(GcodConfig::default())
+//!     .seed(7)
+//!     .run()?;
+//! println!(
+//!     "GCoD accuracy {:.1}%, {:.1}x over PyG-CPU",
+//!     report.result.gcod_accuracy * 100.0,
+//!     report.speedup_over_cpu("gcod").unwrap()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{Error, Result};
+use gcod_baselines::suite;
+use gcod_core::{
+    structural_sparsify, GcodConfig, GcodPipeline, GcodResult, PolarizeReport, Polarizer,
+    SplitWorkload, StructuralReport, SubgraphLayout,
+};
+use gcod_graph::{CsrMatrix, DatasetProfile, Graph, GraphGenerator};
+use gcod_nn::models::{ModelConfig, ModelKind};
+use gcod_nn::quant::Precision;
+use gcod_nn::workload::InferenceWorkload;
+use gcod_platform::report::PerfReport;
+use gcod_platform::SimRequest;
+
+/// How the dataset profile is scaled down to a trainable replica.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ScaleSpec {
+    /// Multiply the profile by a fixed factor.
+    Factor(f64),
+    /// Scale down to roughly this many nodes.
+    TargetNodes(usize),
+}
+
+/// A staged description of one GCoD experiment on one dataset.
+///
+/// Built fluently from a [`DatasetProfile`]; every stage method
+/// ([`generate`](Experiment::generate), [`tune`](Experiment::tune),
+/// [`train`](Experiment::train), [`run`](Experiment::run)) is a pure
+/// function of the builder state, so the stages compose: calling
+/// [`generate`](Experiment::generate) first and [`train`](Experiment::train)
+/// later operates on the identical (deterministically regenerated) graph.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    profile: DatasetProfile,
+    scale: Option<ScaleSpec>,
+    model: ModelKind,
+    config: GcodConfig,
+    seed: u64,
+}
+
+impl Experiment {
+    /// Starts an experiment on `profile` with default settings: no scaling,
+    /// a GCN model, the default [`GcodConfig`] and seed 0.
+    pub fn on(profile: DatasetProfile) -> Self {
+        Self {
+            profile,
+            scale: None,
+            model: ModelKind::Gcn,
+            config: GcodConfig::default(),
+            seed: 0,
+        }
+    }
+
+    /// Starts an experiment on the named paper dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownDataset`] (listing the valid names) when
+    /// `name` is not one of the paper's six datasets.
+    pub fn on_dataset(name: &str) -> Result<Self> {
+        Ok(Self::on(DatasetProfile::by_name(name)?))
+    }
+
+    /// Scales the dataset profile by `factor` before generating the replica.
+    pub fn scale(mut self, factor: f64) -> Self {
+        self.scale = Some(ScaleSpec::Factor(factor));
+        self
+    }
+
+    /// Scales the dataset profile down to roughly `target` nodes (profiles
+    /// already below the target are left unchanged).
+    pub fn scale_to_nodes(mut self, target: usize) -> Self {
+        self.scale = Some(ScaleSpec::TargetNodes(target));
+        self
+    }
+
+    /// Selects the GNN model trained by the pipeline (default:
+    /// [`ModelKind::Gcn`]).
+    pub fn model(mut self, kind: ModelKind) -> Self {
+        self.model = kind;
+        self
+    }
+
+    /// Sets the GCoD algorithm configuration (default:
+    /// [`GcodConfig::default`]).
+    pub fn gcod(mut self, config: GcodConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the seed used for graph generation, layout and training
+    /// (default: 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The full-size dataset profile this experiment was built on.
+    pub fn profile(&self) -> &DatasetProfile {
+        &self.profile
+    }
+
+    /// The GCoD configuration this experiment runs with.
+    pub fn config(&self) -> &GcodConfig {
+        &self.config
+    }
+
+    /// The (possibly scaled) profile the replica graph is generated from.
+    pub fn replica_profile(&self) -> DatasetProfile {
+        match self.scale {
+            None => self.profile.clone(),
+            Some(ScaleSpec::Factor(f)) => self.profile.scaled(f),
+            Some(ScaleSpec::TargetNodes(n)) => self.profile.scaled_to_nodes(n),
+        }
+    }
+
+    /// Stage 1: generates the replica graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-generation errors (e.g. invalid profiles).
+    pub fn generate(&self) -> Result<Graph> {
+        Ok(GraphGenerator::new(self.seed).generate(&self.replica_profile())?)
+    }
+
+    /// Runs the structural half of the GCoD algorithm — layout, sparsify +
+    /// polarize, structural sparsification, split extraction — without any
+    /// GCN training.
+    ///
+    /// This is the fast path the benchmark harness uses on dataset replicas
+    /// to measure structural outcomes (prune ratio, denser/sparser balance)
+    /// that are then projected onto full-size graphs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation, configuration and partitioning errors.
+    pub fn tune(&self) -> Result<StructuralRun> {
+        let original = self.generate()?;
+        let layout = SubgraphLayout::build(&original, &self.config, self.seed)?;
+        let reordered = layout.apply(&original);
+        let (tuned, polarize_report) =
+            Polarizer::new(self.config.clone()).tune(reordered.adjacency(), &layout)?;
+        let polarized_split = SplitWorkload::extract(&tuned, &layout);
+        let (adjacency, structural_report) = structural_sparsify(
+            &tuned,
+            &layout,
+            self.config.patch_size,
+            self.config.patch_threshold,
+        );
+        let split = SplitWorkload::extract(&adjacency, &layout);
+        Ok(StructuralRun {
+            original,
+            reordered,
+            layout,
+            polarize_report,
+            polarized_split,
+            adjacency,
+            structural_report,
+            split,
+        })
+    }
+
+    /// Stage 2: runs the full three-step GCoD training pipeline on the
+    /// generated replica.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation, configuration, partitioning and training
+    /// errors.
+    pub fn train(&self) -> Result<GcodResult> {
+        let graph = self.generate()?;
+        Ok(GcodPipeline::new(self.config.clone()).run(&graph, self.model, self.seed)?)
+    }
+
+    /// Stage 3: the full co-design experiment — training plus the platform
+    /// comparison of Fig. 9: the nine baselines simulate the unmodified
+    /// replica workload, the GCoD accelerator and its 8-bit variant simulate
+    /// the pruned workload with the denser/sparser split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every pipeline error plus platform simulation failures.
+    pub fn run(&self) -> Result<ExperimentReport> {
+        let graph = self.generate()?;
+        let result = GcodPipeline::new(self.config.clone()).run(&graph, self.model, self.seed)?;
+        let model_cfg = ModelConfig::for_kind(self.model, &graph);
+        let nnz = result.split.total_nnz();
+        let requests = SuiteRequests::new(
+            InferenceWorkload::build(&graph, &model_cfg, Precision::Fp32),
+            InferenceWorkload::build_with_adjacency_nnz(
+                &result.graph,
+                &model_cfg,
+                Precision::Fp32,
+                nnz,
+            ),
+            InferenceWorkload::build_with_adjacency_nnz(
+                &result.graph,
+                &model_cfg,
+                Precision::Int8,
+                nnz,
+            ),
+            result.split.clone(),
+        );
+        let platforms = requests.simulate_all()?;
+        Ok(ExperimentReport {
+            graph,
+            result,
+            requests,
+            platforms,
+        })
+    }
+}
+
+/// Output of [`Experiment::tune`]: every intermediate of the structural
+/// (no-training) GCoD pass.
+#[derive(Debug, Clone)]
+pub struct StructuralRun {
+    /// The generated replica graph, in its original node order.
+    pub original: Graph,
+    /// The replica after the split-and-conquer reordering.
+    pub reordered: Graph,
+    /// The class/subgraph/group layout and its permutation.
+    pub layout: SubgraphLayout,
+    /// Report of the sparsify + polarize step.
+    pub polarize_report: PolarizeReport,
+    /// Denser/sparser split of the polarized adjacency (before structural
+    /// sparsification).
+    pub polarized_split: SplitWorkload,
+    /// The final adjacency after structural sparsification.
+    pub adjacency: CsrMatrix,
+    /// Report of the structural sparsification step.
+    pub structural_report: StructuralReport,
+    /// Denser/sparser split of the final adjacency.
+    pub split: SplitWorkload,
+}
+
+impl StructuralRun {
+    /// Fraction of the original directed edges retained after sparsify +
+    /// polarize + structural sparsification.
+    pub fn retained_edge_fraction(&self) -> f64 {
+        self.adjacency.nnz() as f64 / self.original.num_edges().max(1) as f64
+    }
+
+    /// Fraction of the retained edges that fall in the denser
+    /// (block-diagonal) branch.
+    pub fn denser_fraction(&self) -> f64 {
+        1.0 - self.split.sparser_fraction()
+    }
+}
+
+/// The three requests one experiment feeds to the platform suite: the
+/// unmodified workload for the baselines, and the pruned workload plus GCoD
+/// split at both precisions for the accelerator variants.
+#[derive(Debug, Clone)]
+pub struct SuiteRequests {
+    /// Request the (split-less) baseline platforms consume.
+    pub baseline: SimRequest,
+    /// Split-carrying request for the fp32 GCoD accelerator.
+    pub gcod_fp32: SimRequest,
+    /// Split-carrying request for the 8-bit GCoD accelerator.
+    pub gcod_int8: SimRequest,
+}
+
+impl SuiteRequests {
+    /// Builds the request triple from the three workloads and the GCoD
+    /// split.
+    pub fn new(
+        baseline: InferenceWorkload,
+        gcod_fp32: InferenceWorkload,
+        gcod_int8: InferenceWorkload,
+        split: SplitWorkload,
+    ) -> Self {
+        Self {
+            baseline: SimRequest::new(baseline),
+            gcod_fp32: SimRequest::with_split(gcod_fp32, split.clone()),
+            gcod_int8: SimRequest::with_split(gcod_int8, split),
+        }
+    }
+
+    /// The request platform `p` should consume: split-requiring platforms
+    /// get the split request matching their native precision, everything
+    /// else gets the baseline request.
+    pub fn request_for(&self, platform: &dyn gcod_platform::Platform) -> &SimRequest {
+        if platform.requires_split() {
+            match platform.native_precision() {
+                Some(Precision::Int8) => &self.gcod_int8,
+                _ => &self.gcod_fp32,
+            }
+        } else {
+            &self.baseline
+        }
+    }
+
+    /// Simulates every platform of [`suite::all_platforms`] on its matching
+    /// request, in suite order (nine baselines, then GCoD, then GCoD-8bit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform simulation failures.
+    pub fn simulate_all(&self) -> Result<Vec<PerfReport>> {
+        suite::all_platforms()
+            .iter()
+            .map(|p| {
+                p.simulate(self.request_for(p.as_ref()))
+                    .map_err(Error::from)
+            })
+            .collect()
+    }
+}
+
+/// Output of [`Experiment::run`]: the replica, the training result and the
+/// per-platform performance reports.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// The generated replica graph (original node order).
+    pub graph: Graph,
+    /// The full GCoD training result (tuned graph, layout, split, model,
+    /// accuracies, step reports, training cost).
+    pub result: GcodResult,
+    /// The simulation requests the platforms consumed.
+    pub requests: SuiteRequests,
+    /// One performance report per platform, in suite order.
+    pub platforms: Vec<PerfReport>,
+}
+
+impl ExperimentReport {
+    /// The report of the named platform, if it is part of the suite.
+    pub fn platform(&self, name: &str) -> Option<&PerfReport> {
+        self.platforms.iter().find(|r| r.platform == name)
+    }
+
+    /// Speedup of platform `name` over the PyG-CPU reference the paper
+    /// normalizes to.
+    pub fn speedup_over_cpu(&self, name: &str) -> Option<f64> {
+        let reference = self.platform(suite::reference_platform().name.as_str())?;
+        Some(self.platform(name)?.speedup_over(reference.latency_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> GcodConfig {
+        GcodConfig {
+            num_classes: 2,
+            num_subgraphs: 6,
+            num_groups: 2,
+            pretrain_epochs: 6,
+            retrain_epochs: 4,
+            prune_ratio: 0.1,
+            patch_size: 16,
+            patch_threshold: 6,
+            ..GcodConfig::default()
+        }
+    }
+
+    fn tiny() -> Experiment {
+        Experiment::on(DatasetProfile::custom("exp", 160, 550, 12, 4))
+            .gcod(fast_config())
+            .seed(5)
+    }
+
+    #[test]
+    fn on_dataset_rejects_unknown_names() {
+        let err = Experiment::on_dataset("imagenet").unwrap_err();
+        assert!(matches!(err, Error::UnknownDataset { .. }));
+        assert!(Experiment::on_dataset("Cora").is_ok());
+    }
+
+    #[test]
+    fn generate_is_deterministic_across_calls() {
+        let exp = tiny();
+        let a = exp.generate().unwrap();
+        let b = exp.generate().unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn scale_to_nodes_bounds_the_replica() {
+        let exp = Experiment::on(DatasetProfile::pubmed()).scale_to_nodes(500);
+        assert!(exp.replica_profile().nodes <= 550);
+        let unscaled = Experiment::on(DatasetProfile::custom("s", 100, 300, 8, 2));
+        assert_eq!(unscaled.replica_profile().nodes, 100);
+    }
+
+    #[test]
+    fn tune_exposes_consistent_intermediates() {
+        let run = tiny().tune().unwrap();
+        assert_eq!(run.original.num_nodes(), run.reordered.num_nodes());
+        assert_eq!(run.split.total_nnz(), run.adjacency.nnz());
+        assert!(run.retained_edge_fraction() > 0.5 && run.retained_edge_fraction() <= 1.0);
+        assert!(run.denser_fraction() > 0.0 && run.denser_fraction() <= 1.0);
+        // Structural step starts from the polarize output.
+        assert_eq!(
+            run.structural_report.nnz_before,
+            run.polarize_report.nnz_after
+        );
+        assert_eq!(
+            run.polarized_split.total_nnz(),
+            run.polarize_report.nnz_after
+        );
+    }
+
+    #[test]
+    fn run_reports_all_platforms_with_the_gcod_split() {
+        let report = tiny().run().unwrap();
+        assert_eq!(report.platforms.len(), suite::all_platforms().len());
+        assert!(report.platform("gcod").is_some());
+        assert!(report.platform("gcod-8bit").is_some());
+        assert!(report.speedup_over_cpu("gcod").unwrap() > 1.0);
+        assert_eq!(
+            report
+                .requests
+                .gcod_fp32
+                .split
+                .as_ref()
+                .unwrap()
+                .total_nnz(),
+            report.result.split.total_nnz()
+        );
+        // The int8 request carries the int8 workload.
+        assert_eq!(report.requests.gcod_int8.precision(), Precision::Int8);
+    }
+}

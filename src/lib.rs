@@ -1,30 +1,81 @@
 //! GCoD: Graph Convolutional Network acceleration via dedicated algorithm
 //! and accelerator co-design — facade crate.
 //!
-//! This crate re-exports the full public API of the workspace so that
-//! downstream users (and the examples and integration tests in this
-//! repository) only need a single dependency:
+//! The facade adds the three pieces that make the workspace usable as one
+//! co-design system, and re-exports every subcrate underneath:
+//!
+//! * [`Experiment`] — a staged builder owning the
+//!   generate → train → layout → polarize → split → workload plumbing, with
+//!   each intermediate exposed ([`Experiment::generate`],
+//!   [`Experiment::tune`], [`Experiment::train`], [`Experiment::run`]),
+//! * [`Error`] / [`Result`] — one error type absorbing every subcrate's
+//!   enum, so `?` works across the whole pipeline,
+//! * [`prelude`] — the single import driving all of it.
+//!
+//! The subcrates remain available for direct use:
 //!
 //! * [`graph`] — sparse formats, synthetic datasets, partitioning,
 //! * [`nn`] — the GNN models (GCN, GIN, GAT, GraphSAGE, ResGCN) and training,
 //! * [`core`] — the GCoD split-and-conquer training algorithm,
+//! * [`platform`] — the shared [`Platform`](platform::Platform) simulation
+//!   contract and [`PerfReport`](platform::report::PerfReport) currency,
 //! * [`accel`] — the two-pronged GCoD accelerator simulator,
-//! * [`baselines`] — CPU/GPU/HyGCN/AWB-GCN/FPGA baseline platform models.
+//! * [`baselines`] — CPU/GPU/HyGCN/AWB-GCN/FPGA baseline platform models,
+//!   plus [`baselines::suite::all_platforms`] bundling the accelerator and
+//!   all baselines behind one `dyn Platform` surface.
 //!
 //! # Quickstart
 //!
-//! ```
-//! use gcod::graph::{DatasetProfile, GraphGenerator};
+//! Run the whole co-design loop — replica generation, GCoD training and the
+//! platform comparison — from one builder:
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let profile = DatasetProfile::cora().scaled(0.05);
-//! let graph = GraphGenerator::new(0).generate(&profile)?;
-//! println!("{} nodes, {} edges", graph.num_nodes(), graph.num_edges());
+//! ```no_run
+//! use gcod::prelude::*;
+//!
+//! # fn main() -> gcod::Result<()> {
+//! let report = Experiment::on(DatasetProfile::cora())
+//!     .scale(0.08)
+//!     .model(ModelKind::Gcn)
+//!     .gcod(GcodConfig::default())
+//!     .seed(7)
+//!     .run()?;
+//! println!(
+//!     "GCoD: {:.1}% accuracy (baseline {:.1}%), {:.0}x over PyG-CPU",
+//!     report.result.gcod_accuracy * 100.0,
+//!     report.result.baseline_accuracy * 100.0,
+//!     report.speedup_over_cpu("gcod").unwrap(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Or stop at any stage:
+//!
+//! ```
+//! use gcod::prelude::*;
+//!
+//! # fn main() -> gcod::Result<()> {
+//! let run = Experiment::on_dataset("citeseer")?
+//!     .scale_to_nodes(300)
+//!     .seed(1)
+//!     .tune()?; // structural half only — no GCN training
+//! println!(
+//!     "retained {:.1}% of edges, denser branch holds {:.1}%",
+//!     run.retained_edge_fraction() * 100.0,
+//!     run.denser_fraction() * 100.0,
+//! );
 //! # Ok(())
 //! # }
 //! ```
 
 #![warn(missing_docs)]
+
+mod error;
+mod experiment;
+pub mod prelude;
+
+pub use error::{Error, Result};
+pub use experiment::{Experiment, ExperimentReport, StructuralRun, SuiteRequests};
 
 /// Sparse graph substrate (re-export of `gcod-graph`).
 pub mod graph {
@@ -39,6 +90,11 @@ pub mod nn {
 /// The GCoD algorithm (re-export of `gcod-core`).
 pub mod core {
     pub use gcod_core::*;
+}
+
+/// The shared platform simulation contract (re-export of `gcod-platform`).
+pub mod platform {
+    pub use gcod_platform::*;
 }
 
 /// The GCoD accelerator simulator (re-export of `gcod-accel`).

@@ -1,0 +1,34 @@
+//! One-import surface for driving GCoD experiments.
+//!
+//! ```
+//! use gcod::prelude::*;
+//!
+//! # fn main() -> gcod::Result<()> {
+//! let graph = Experiment::on(DatasetProfile::cora())
+//!     .scale(0.05)
+//!     .seed(42)
+//!     .generate()?;
+//! assert!(graph.num_edges() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use crate::error::{Error, Result};
+pub use crate::experiment::{Experiment, ExperimentReport, StructuralRun, SuiteRequests};
+
+pub use gcod_graph::{DatasetProfile, Graph, GraphGenerator, GraphStats, KNOWN_DATASETS};
+
+pub use gcod_nn::models::{GnnModel, ModelConfig, ModelKind};
+pub use gcod_nn::quant::Precision;
+pub use gcod_nn::train::{TrainConfig, Trainer};
+pub use gcod_nn::workload::InferenceWorkload;
+
+pub use gcod_core::{GcodConfig, GcodPipeline, GcodResult, SplitWorkload};
+
+pub use gcod_platform::report::PerfReport;
+pub use gcod_platform::{Platform, PlatformError, SimRequest};
+
+pub use gcod_accel::config::{AcceleratorConfig, PipelineKind};
+pub use gcod_accel::simulator::GcodAccelerator;
+
+pub use gcod_baselines::{suite, PlatformSpec};

@@ -5,7 +5,7 @@
 
 use gcod::accel::config::AcceleratorConfig;
 use gcod::accel::simulator::GcodAccelerator;
-use gcod::baselines::{suite, Platform};
+use gcod::baselines::{suite, Platform, SimRequest};
 use gcod::core::{GcodConfig, GcodPipeline, Polarizer, SplitWorkload, SubgraphLayout};
 use gcod::graph::{DatasetProfile, GraphGenerator, GraphStats};
 use gcod::nn::models::{GnnModel, ModelConfig, ModelKind};
@@ -51,15 +51,24 @@ fn full_codesign_flow_on_cora_replica() {
         Precision::Fp32,
         result.split.total_nnz(),
     );
-    let baseline_workload = InferenceWorkload::build(&graph, &model_cfg, Precision::Fp32);
-    let gcod_report =
-        GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate(&gcod_workload, &result.split);
+    let baseline_request = SimRequest::new(InferenceWorkload::build(
+        &graph,
+        &model_cfg,
+        Precision::Fp32,
+    ));
+    // One `Platform::simulate` signature covers the accelerator and the
+    // baselines.
+    let gcod_report = GcodAccelerator::new(AcceleratorConfig::vcu128())
+        .simulate(&SimRequest::with_split(gcod_workload, result.split.clone()))
+        .unwrap();
     let awb_report = suite::by_name("awb-gcn")
         .unwrap()
-        .simulate(&baseline_workload);
+        .simulate(&baseline_request)
+        .unwrap();
     let hygcn_report = suite::by_name("hygcn")
         .unwrap()
-        .simulate(&baseline_workload);
+        .simulate(&baseline_request)
+        .unwrap();
     assert!(gcod_report.latency_ms < awb_report.latency_ms);
     assert!(gcod_report.latency_ms < hygcn_report.latency_ms);
     assert!(gcod_report.off_chip_bytes < hygcn_report.off_chip_bytes);
@@ -122,11 +131,11 @@ fn reordering_and_pruning_reduce_offchip_traffic_on_gcod() {
 
     let model_cfg = ModelConfig::gcn(&reordered);
     let accel = GcodAccelerator::new(AcceleratorConfig::vcu128());
-    let before = accel.simulate(
+    let before = accel.simulate_split(
         &InferenceWorkload::build(&reordered, &model_cfg, Precision::Fp32),
         &untouched_split,
     );
-    let after = accel.simulate(
+    let after = accel.simulate_split(
         &InferenceWorkload::build_with_adjacency_nnz(
             &reordered,
             &model_cfg,
@@ -189,7 +198,7 @@ fn gcod_8bit_variant_is_at_least_as_fast_and_as_accurate_as_claimed() {
 
     // Speed: the 8-bit accelerator configuration is at least as fast.
     let model_cfg = ModelConfig::gcn(&result.graph);
-    let fp32 = GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate(
+    let fp32 = GcodAccelerator::new(AcceleratorConfig::vcu128()).simulate_split(
         &InferenceWorkload::build_with_adjacency_nnz(
             &result.graph,
             &model_cfg,
@@ -198,7 +207,7 @@ fn gcod_8bit_variant_is_at_least_as_fast_and_as_accurate_as_claimed() {
         ),
         &result.split,
     );
-    let int8 = GcodAccelerator::new(AcceleratorConfig::vcu128_int8()).simulate(
+    let int8 = GcodAccelerator::new(AcceleratorConfig::vcu128_int8()).simulate_split(
         &InferenceWorkload::build_with_adjacency_nnz(
             &result.graph,
             &model_cfg,

@@ -133,11 +133,11 @@ proptest! {
         let model_cfg = ModelConfig::gcn(&reordered);
         let accel = GcodAccelerator::new(AcceleratorConfig::small_test());
         let base_nnz = split.total_nnz();
-        let small = accel.simulate(
+        let small = accel.simulate_split(
             &InferenceWorkload::build_with_adjacency_nnz(&reordered, &model_cfg, Precision::Fp32, base_nnz),
             &split,
         );
-        let large = accel.simulate(
+        let large = accel.simulate_split(
             &InferenceWorkload::build_with_adjacency_nnz(&reordered, &model_cfg, Precision::Fp32, base_nnz * extra),
             &split,
         );
