@@ -1,26 +1,43 @@
-//! Kernel-level benchmark of the aggregation SpMM in both traversal orders
-//! (row-wise "gathered" vs column-wise "distributed"), the primitive the
-//! GCoD accelerator's branches model.
+//! Kernel-level benchmark of the aggregation SpMM: the full
+//! [`SpmmKernel`](gcod_nn::kernels::SpmmKernel) suite swept over synthetic
+//! datasets of increasing size, plus the column-wise (CSC, "distributed")
+//! traversal the AWB-GCN-style engines model.
+//!
+//! Writes a machine-readable summary to `target/BENCH_spmm.json` (override
+//! the path with the `BENCH_SPMM_JSON` environment variable) recording the
+//! median time per kernel × dataset and each kernel's speedup over
+//! `naive-csr`. Run the sweep with `cargo bench --bench spmm`; CI smokes it
+//! with `cargo bench --bench spmm -- --test` (one sample, no JSON).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gcod_graph::{DatasetProfile, GraphGenerator};
-use gcod_nn::sparse_ops::{spmm, spmm_csc};
+use gcod_nn::kernels::KernelKind;
+use gcod_nn::sparse_ops::spmm_csc;
 use gcod_nn::Tensor;
+use std::path::PathBuf;
+
+/// The swept datasets: `(nodes, avg_degree, feature_cols)`. The largest one
+/// carries enough work (~15M MACs per SpMM) for the parallel kernel's
+/// thread-spawn cost to amortise.
+const DATASETS: &[(usize, usize, usize)] = &[(500, 5, 16), (2_000, 5, 16), (30_000, 8, 64)];
 
 fn bench_spmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("spmm");
-    for &nodes in &[500usize, 2_000, 8_000] {
-        let profile = DatasetProfile::custom("bench", nodes, nodes * 5, 16, 4);
+    for &(nodes, degree, feat) in DATASETS {
+        let profile = DatasetProfile::custom("bench", nodes, nodes * degree, feat, 4);
         let graph = GraphGenerator::new(1).generate(&profile).expect("generate");
         let csr = graph.adjacency().clone();
         let csc = csr.to_csc();
-        let features = Tensor::full(nodes, 16, 0.5);
+        let features = Tensor::full(nodes, feat, 0.5);
 
-        group.bench_with_input(BenchmarkId::new("csr_row_wise", nodes), &nodes, |b, _| {
-            b.iter(|| spmm(&csr, &features).expect("spmm"));
-        });
+        for kind in KernelKind::all() {
+            let kernel = kind.build();
+            group.bench_with_input(BenchmarkId::new(kind.name(), nodes), &nodes, |b, _| {
+                b.iter(|| kernel.spmm(&csr, &features).expect("spmm"));
+            });
+        }
         group.bench_with_input(
-            BenchmarkId::new("csc_column_wise", nodes),
+            BenchmarkId::new("csc-column-wise", nodes),
             &nodes,
             |b, _| {
                 b.iter(|| spmm_csc(&csc, &features).expect("spmm_csc"));
@@ -28,6 +45,62 @@ fn bench_spmm(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    if !c.is_test_mode() {
+        let path = summary_path();
+        match std::fs::write(&path, render_summary(c)) {
+            Ok(()) => println!("\nwrote kernel-sweep summary to {}", path.display()),
+            Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// `BENCH_SPMM_JSON`, or `<workspace>/target/BENCH_spmm.json`.
+fn summary_path() -> PathBuf {
+    if let Some(path) = std::env::var_os("BENCH_SPMM_JSON") {
+        return PathBuf::from(path);
+    }
+    std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // Benches run with the package as cwd; the workspace target dir
+            // sits two levels up from crates/gcod-bench.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target")
+        })
+        .join("BENCH_spmm.json")
+}
+
+/// Renders the recorded medians as JSON by hand — the vendored serde shim
+/// has no serializer, and the schema is three flat fields per entry.
+fn render_summary(c: &Criterion) -> String {
+    let baseline_ns = |nodes: usize| {
+        let label = format!("spmm/naive-csr/{nodes}");
+        c.results()
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, d)| d.as_nanos())
+    };
+    let mut entries = Vec::new();
+    for (label, median) in c.results() {
+        // Labels are "spmm/<kernel>/<nodes>".
+        let mut parts = label.splitn(3, '/');
+        let (Some(_), Some(kernel), Some(nodes)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let speedup = nodes
+            .parse::<usize>()
+            .ok()
+            .and_then(baseline_ns)
+            .map(|base| base as f64 / median.as_nanos().max(1) as f64)
+            .unwrap_or(1.0);
+        entries.push(format!(
+            "  {{\"kernel\": \"{kernel}\", \"nodes\": {nodes}, \"median_ns\": {}, \
+             \"speedup_over_naive\": {speedup:.3}}}",
+            median.as_nanos()
+        ));
+    }
+    format!("[\n{}\n]\n", entries.join(",\n"))
 }
 
 criterion_group!(benches, bench_spmm);

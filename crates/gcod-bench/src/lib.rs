@@ -222,6 +222,17 @@ pub fn run_algorithm(case: &DatasetCase, config: &GcodConfig, seed: u64) -> Algo
         .seed(seed)
         .tune()
         .expect("structural GCoD pass cannot fail for known profiles");
+    summarize_structural_run(&run, config)
+}
+
+/// Summarises a [`gcod::StructuralRun`] (from [`gcod::Experiment::tune`] at
+/// any replica scale) into the projection fractions of an
+/// [`AlgorithmOutcome`]. The golden-report regression tests use this at
+/// tiny scale; [`run_algorithm`] uses it at [`REPLICA_TARGET_NODES`].
+pub fn summarize_structural_run(
+    run: &gcod::StructuralRun,
+    config: &GcodConfig,
+) -> AlgorithmOutcome {
     let per_class = run.split.nnz_per_class();
     let denser_total: usize = per_class.iter().sum::<usize>().max(1);
     let class_fractions: Vec<f64> = per_class

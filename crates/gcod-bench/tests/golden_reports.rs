@@ -1,0 +1,176 @@
+//! Golden-report regression tests: the `PerfReport`s behind the
+//! `fig9_speedups` and `table6_breakdown` binaries, reproduced at tiny
+//! replica scale and compared byte-for-byte against checked-in fixtures —
+//! once per SpMM kernel.
+//!
+//! These pin two properties at once:
+//!
+//! * the analytical platform models are **deterministic** (a change to the
+//!   simulated-perf numbers shows up as a fixture diff, not silently),
+//! * kernel selection changes **wall-clock only** — the structural outcome
+//!   and every simulated report must be identical for all four kernels.
+//!
+//! Regenerate the fixtures after an intentional model change with:
+//! `GOLDEN_BLESS=1 cargo test -p gcod-bench --test golden_reports`
+
+use gcod::prelude::*;
+use gcod_bench::{
+    harness_gcod_config, project_split, simulate_accelerator, simulate_all_platforms,
+    simulate_baseline, summarize_structural_run, AlgorithmOutcome, DatasetCase,
+};
+use gcod_nn::kernels::KernelKind;
+use std::path::PathBuf;
+
+/// Replica size of the golden runs — small enough that the structural pass
+/// costs milliseconds, large enough that the split is non-trivial.
+const GOLDEN_REPLICA_NODES: usize = 300;
+
+/// Runs the structural GCoD pass for `case` at tiny scale under `kernel`.
+fn tiny_outcome(case: &DatasetCase, kernel: KernelKind) -> AlgorithmOutcome {
+    let config = harness_gcod_config();
+    let run = Experiment::on(case.profile.clone())
+        .scale_to_nodes(GOLDEN_REPLICA_NODES)
+        .gcod(config.clone())
+        .kernel(kernel)
+        .seed(0)
+        .tune()
+        .expect("structural pass succeeds on paper profiles");
+    summarize_structural_run(&run, &config)
+}
+
+/// Canonical, byte-stable rendering of one report. `{:?}` on f64 prints the
+/// shortest round-trip representation, so any numeric drift — however small
+/// — changes the text.
+fn render_report(report: &PerfReport) -> String {
+    format!(
+        "platform={} dataset={} model={} latency_ms={:?} cycles={} off_chip_bytes={} \
+         off_chip_accesses={} peak_bandwidth_gbps={:?} utilization={:?} energy_j={:?}\n",
+        report.platform,
+        report.dataset,
+        report.model,
+        report.latency_ms,
+        report.cycles,
+        report.off_chip_bytes,
+        report.off_chip_accesses,
+        report.peak_bandwidth_gbps,
+        report.utilization,
+        report.energy_joules(),
+    )
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compares `rendered` against the checked-in fixture; with `GOLDEN_BLESS=1`
+/// (re)writes the fixture instead.
+fn assert_matches_fixture(name: &str, rendered: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir has a parent"))
+            .expect("create fixture dir");
+        std::fs::write(&path, rendered).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with GOLDEN_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "golden report drifted from {} — if the model change is intentional, \
+         regenerate with GOLDEN_BLESS=1",
+        path.display()
+    );
+}
+
+/// Fig. 9 shape: every platform of the suite simulated on Cora/GCN, from
+/// the tiny-scale structural outcome. Byte-stable across all four kernels.
+#[test]
+fn fig9_style_reports_are_golden_and_kernel_independent() {
+    let case = DatasetCase::by_name("cora");
+    let mut renderings = Vec::new();
+    for kernel in KernelKind::all() {
+        let outcome = tiny_outcome(&case, kernel);
+        let results = simulate_all_platforms(&case, ModelKind::Gcn, &outcome);
+        let rendered: String = results.iter().map(|r| render_report(&r.report)).collect();
+        renderings.push((kernel, rendered));
+    }
+    let (_, reference) = &renderings[0];
+    for (kernel, rendered) in &renderings[1..] {
+        assert_eq!(
+            rendered,
+            reference,
+            "kernel {} changed the simulated fig9 reports — kernels must affect wall-clock only",
+            kernel.name()
+        );
+    }
+    assert_matches_fixture("fig9_cora_gcn.txt", reference);
+}
+
+/// Table VI shape: the speedup-breakdown reports (baselines, accelerator
+/// plain / with sparsification / with quantization) for Cora. Byte-stable
+/// across all four kernels.
+#[test]
+fn table6_style_reports_are_golden_and_kernel_independent() {
+    let case = DatasetCase::by_name("cora");
+    let no_prune_config = GcodConfig {
+        prune_ratio: 0.0,
+        patch_threshold: 0,
+        ..harness_gcod_config()
+    };
+    let mut renderings = Vec::new();
+    for kernel in KernelKind::all() {
+        let baseline_request = case.baseline_request(ModelKind::Gcn);
+        let cpu = simulate_baseline("pyg-cpu", &baseline_request);
+        let awb = simulate_baseline("awb-gcn", &baseline_request);
+
+        let no_prune = GcodConfig {
+            kernel,
+            ..no_prune_config.clone()
+        };
+        let run_plain = Experiment::on(case.profile.clone())
+            .scale_to_nodes(GOLDEN_REPLICA_NODES)
+            .gcod(no_prune.clone())
+            .seed(0)
+            .tune()
+            .expect("structural pass succeeds");
+        let outcome_plain = summarize_structural_run(&run_plain, &no_prune);
+        let plain_request = SimRequest::with_split(
+            case.full_workload(ModelKind::Gcn, Precision::Fp32),
+            project_split(&case, &outcome_plain),
+        );
+        let plain = simulate_accelerator(AcceleratorConfig::vcu128(), &plain_request);
+
+        let outcome_sp = tiny_outcome(&case, kernel);
+        let with_sp = simulate_accelerator(
+            AcceleratorConfig::vcu128(),
+            &case.gcod_request(ModelKind::Gcn, Precision::Fp32, &outcome_sp),
+        );
+        let with_quant = simulate_accelerator(
+            AcceleratorConfig::vcu128_int8(),
+            &case.gcod_request(ModelKind::Gcn, Precision::Int8, &outcome_sp),
+        );
+
+        let rendered: String = [&cpu, &awb, &plain, &with_sp, &with_quant]
+            .into_iter()
+            .map(render_report)
+            .collect();
+        renderings.push((kernel, rendered));
+    }
+    let (_, reference) = &renderings[0];
+    for (kernel, rendered) in &renderings[1..] {
+        assert_eq!(
+            rendered,
+            reference,
+            "kernel {} changed the simulated table6 reports — kernels must affect wall-clock only",
+            kernel.name()
+        );
+    }
+    assert_matches_fixture("table6_cora.txt", reference);
+}

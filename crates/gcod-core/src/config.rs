@@ -1,6 +1,7 @@
 //! GCoD hyper-parameters.
 
 use crate::{GcodError, Result};
+use gcod_nn::kernels::KernelKind;
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of the GCoD split-and-conquer algorithm.
@@ -49,6 +50,10 @@ pub struct GcodConfig {
     /// to change between consecutive checks before training is considered
     /// converged enough to stop).
     pub early_bird_tolerance: f64,
+    /// SpMM kernel every GCN trained by the pipeline aggregates with. All
+    /// kernels are bit-for-bit identical, so this changes training
+    /// wall-clock only — never accuracies, splits or simulated-perf results.
+    pub kernel: KernelKind,
 }
 
 impl Default for GcodConfig {
@@ -67,6 +72,7 @@ impl Default for GcodConfig {
             retrain_epochs: 30,
             early_bird: true,
             early_bird_tolerance: 0.02,
+            kernel: KernelKind::default(),
         }
     }
 }

@@ -127,7 +127,8 @@ impl GcodPipeline {
         // Baseline: standard training on the untouched graph, used for the
         // accuracy comparison and the relative-cost accounting.
         let standard_epochs = self.config.pretrain_epochs + 2 * self.config.retrain_epochs;
-        let mut baseline_model = GnnModel::new(ModelConfig::for_kind(model_kind, graph), seed)?;
+        let mut baseline_model = GnnModel::new(ModelConfig::for_kind(model_kind, graph), seed)?
+            .with_kernel(self.config.kernel);
         let baseline_report = Trainer::new(TrainConfig {
             epochs: standard_epochs,
             ..TrainConfig::default()
@@ -137,7 +138,8 @@ impl GcodPipeline {
         // Step 1: partition + reorder, then pretrain on the partitioned graph.
         let layout = SubgraphLayout::build(graph, &self.config, seed)?;
         let reordered = layout.apply(graph);
-        let mut model = GnnModel::new(ModelConfig::for_kind(model_kind, &reordered), seed)?;
+        let mut model = GnnModel::new(ModelConfig::for_kind(model_kind, &reordered), seed)?
+            .with_kernel(self.config.kernel);
         let (pretrain_epochs, early_bird_epoch) = self.pretrain(&mut model, &reordered, seed)?;
 
         // Step 2: sparsify + polarize the adjacency, retrain to recover.
@@ -359,6 +361,24 @@ mod tests {
                 + result.training_cost.tune_retrain_epochs
                 + result.training_cost.structural_retrain_epochs
         );
+    }
+
+    #[test]
+    fn kernel_choice_does_not_change_pipeline_results() {
+        let g = graph();
+        let run_with = |kernel| {
+            let cfg = GcodConfig {
+                kernel,
+                ..fast_config()
+            };
+            GcodPipeline::new(cfg).run(&g, ModelKind::Gcn, 7).unwrap()
+        };
+        let naive = run_with(gcod_nn::kernels::KernelKind::NaiveCsr);
+        let parallel = run_with(gcod_nn::kernels::KernelKind::ParallelCsr);
+        assert_eq!(naive.baseline_accuracy, parallel.baseline_accuracy);
+        assert_eq!(naive.gcod_accuracy, parallel.gcod_accuracy);
+        assert_eq!(naive.split.total_nnz(), parallel.split.total_nnz());
+        assert_eq!(naive.graph.num_edges(), parallel.graph.num_edges());
     }
 
     #[test]

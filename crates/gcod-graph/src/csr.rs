@@ -279,6 +279,46 @@ impl CsrMatrix {
         coo.to_csr()
     }
 
+    /// Column indices and values of row `row` restricted to the half-open
+    /// column range `[col_start, col_end)`.
+    ///
+    /// Because column indices are sorted within a row, the restriction is a
+    /// contiguous sub-slice found by binary search — this is the primitive
+    /// cache-tiled SpMM kernels use to walk one row column-tile by
+    /// column-tile without re-scanning the whole row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row_slice_in_cols(
+        &self,
+        row: usize,
+        col_start: usize,
+        col_end: usize,
+    ) -> (&[u32], &[f32]) {
+        let (cols, vals) = self.row(row);
+        let lo = cols.partition_point(|&c| (c as usize) < col_start);
+        let hi = lo + cols[lo..].partition_point(|&c| (c as usize) < col_end);
+        (&cols[lo..hi], &vals[lo..hi])
+    }
+
+    /// The half-open tile boundaries covering `[0, extent)` in steps of
+    /// `tile` (the last tile may be shorter). A `tile` of 0 is treated as one
+    /// tile spanning the whole extent.
+    ///
+    /// Used by the blocked SpMM kernels in `gcod-nn` so every consumer
+    /// agrees on how an axis is tiled.
+    pub fn tile_bounds(extent: usize, tile: usize) -> Vec<(usize, usize)> {
+        if extent == 0 {
+            return Vec::new();
+        }
+        let tile = if tile == 0 { extent } else { tile };
+        (0..extent)
+            .step_by(tile)
+            .map(|start| (start, (start + tile).min(extent)))
+            .collect()
+    }
+
     /// Counts the non-zeros that fall inside the square block
     /// `[row_start, row_end) × [col_start, col_end)`.
     pub fn block_nnz(
@@ -288,17 +328,9 @@ impl CsrMatrix {
         col_start: usize,
         col_end: usize,
     ) -> usize {
-        let mut count = 0;
-        for r in row_start..row_end.min(self.rows) {
-            let (cols, _) = self.row(r);
-            // Columns are sorted, so a binary search range would work; rows are
-            // short in practice so a linear scan keeps this simple.
-            count += cols
-                .iter()
-                .filter(|&&c| (c as usize) >= col_start && (c as usize) < col_end)
-                .count();
-        }
-        count
+        (row_start..row_end.min(self.rows))
+            .map(|r| self.row_slice_in_cols(r, col_start, col_end).0.len())
+            .sum()
     }
 
     /// Storage footprint in bytes (indptr + indices + values).
@@ -400,6 +432,42 @@ mod tests {
         assert_eq!(total, m.nnz());
         let diag_upper = m.block_nnz(0, 2, 0, 2);
         assert_eq!(diag_upper, 2);
+    }
+
+    #[test]
+    fn row_slice_in_cols_matches_linear_scan() {
+        let m = chain(8);
+        for r in 0..m.rows() {
+            for (c0, c1) in [(0, 8), (2, 5), (0, 0), (5, 5), (7, 8), (0, 3)] {
+                let (cols, vals) = m.row_slice_in_cols(r, c0, c1);
+                let (all_cols, all_vals) = m.row(r);
+                let expected: Vec<(u32, f32)> = all_cols
+                    .iter()
+                    .zip(all_vals)
+                    .filter(|(&c, _)| (c as usize) >= c0 && (c as usize) < c1)
+                    .map(|(&c, &v)| (c, v))
+                    .collect();
+                let got: Vec<(u32, f32)> = cols.iter().zip(vals).map(|(&c, &v)| (c, v)).collect();
+                assert_eq!(got, expected, "row {r} cols [{c0}, {c1})");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_bounds_cover_the_extent_exactly() {
+        assert_eq!(CsrMatrix::tile_bounds(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(CsrMatrix::tile_bounds(8, 4), vec![(0, 4), (4, 8)]);
+        assert_eq!(CsrMatrix::tile_bounds(3, 8), vec![(0, 3)]);
+        assert_eq!(CsrMatrix::tile_bounds(0, 4), Vec::new());
+        // tile = 0 degrades to a single all-covering tile.
+        assert_eq!(CsrMatrix::tile_bounds(5, 0), vec![(0, 5)]);
+        // Tiles partition [0, extent): consecutive, non-overlapping, complete.
+        let bounds = CsrMatrix::tile_bounds(17, 5);
+        assert_eq!(bounds.first().unwrap().0, 0);
+        assert_eq!(bounds.last().unwrap().1, 17);
+        for w in bounds.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
     }
 
     #[test]

@@ -1,0 +1,674 @@
+//! Selectable SpMM kernel implementations for the aggregation phase.
+//!
+//! GCoD's speedups come from making the sparse aggregation regular enough to
+//! execute fast — the denser/sparser branch split of the paper exists
+//! precisely to feed tuned sparse kernels. This module is the CPU-side
+//! counterpart: a [`SpmmKernel`] trait with four interchangeable
+//! implementations, selectable per training run via [`KernelKind`]:
+//!
+//! * [`NaiveCsr`] — the reference scalar CSR loop
+//!   ([`crate::sparse_ops::spmm`]), one row at a time,
+//! * [`TiledCsr`] — cache-blocked traversal: rows in tiles, columns in
+//!   tiles, so the feature rows touched by one column tile stay hot in cache
+//!   across the whole row tile (LW-GCN-style PE tiling, on cores),
+//! * [`ParallelCsr`] — row-range parallelism over a `std::thread::scope`
+//!   worker pool, ranges balanced by non-zero count (Accel-GCN-style row
+//!   binning, on threads),
+//! * [`DegreeBinned`] — per-row dispatch mirroring GCoD's denser/sparser
+//!   branch split: high-degree (hub) rows take a feature-register-blocked
+//!   inner loop, sparse rows the plain gather loop.
+//!
+//! **Every kernel is bit-for-bit identical to [`NaiveCsr`]**: each output
+//! row accumulates its non-zeros in ascending column order regardless of
+//! tiling, threading or binning, so f32 summation order — and therefore the
+//! result — never changes. Kernel choice affects wall-clock only. The
+//! differential harness in `tests/spmm_differential.rs` enforces this, and
+//! the golden-report tests in `gcod-bench` pin that simulated-perf results
+//! are kernel-independent.
+//!
+//! # Example
+//!
+//! ```
+//! use gcod_nn::kernels::{KernelKind, SpmmKernel};
+//! use gcod_nn::Tensor;
+//! use gcod_graph::CsrMatrix;
+//!
+//! let a = CsrMatrix::identity(3);
+//! let x = Tensor::full(3, 2, 1.5);
+//! let reference = KernelKind::NaiveCsr.build().spmm(&a, &x).unwrap();
+//! for kind in KernelKind::all() {
+//!     let out = kind.build().spmm(&a, &x).unwrap();
+//!     assert_eq!(out.data(), reference.data(), "{}", kind.name());
+//! }
+//! ```
+
+use crate::sparse_ops::{self, accumulate_row_segment};
+use crate::{NnError, Result, Tensor};
+use gcod_graph::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A sparse × dense multiplication kernel: `A · X` with `A` in CSR.
+///
+/// Implementations must be numerically identical to [`NaiveCsr`] (same f32
+/// accumulation order per output element) — they are free to differ only in
+/// traversal schedule, threading and memory behaviour.
+pub trait SpmmKernel: std::fmt::Debug + Send + Sync {
+    /// Stable kernel name used in reports and benchmark labels.
+    fn name(&self) -> &'static str;
+
+    /// Computes `A · X`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `A.cols() != X.rows()`.
+    fn spmm(&self, a: &CsrMatrix, x: &Tensor) -> Result<Tensor>;
+
+    /// Computes `Aᵀ · X` (the backward-pass form).
+    ///
+    /// The default is the reference scalar scatter loop; kernels with a
+    /// faster schedule may override it, but must keep the result bit-for-bit
+    /// identical (the scatter accumulates each output row in ascending
+    /// source-row order, which equals the order of a row-wise walk over
+    /// `Aᵀ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `A.rows() != X.rows()`.
+    fn spmm_transpose(&self, a: &CsrMatrix, x: &Tensor) -> Result<Tensor> {
+        sparse_ops::spmm_transpose(a, x)
+    }
+
+    /// Multiply-accumulate operations this kernel performs for `A · X`.
+    ///
+    /// Identical for every kernel by construction — the schedule changes,
+    /// the work does not. The accelerator models rely on this invariant when
+    /// they charge MACs independently of the kernel that trained the model.
+    fn macs(&self, a: &CsrMatrix, x: &Tensor) -> u64 {
+        sparse_ops::spmm_macs(a.nnz(), x.cols())
+    }
+}
+
+/// Selects one of the built-in [`SpmmKernel`] implementations with its
+/// default parameters. This is the unit of configuration plumbed through
+/// [`GcodConfig`](../../gcod_core/struct.GcodConfig.html) and
+/// `Experiment::kernel(..)`; the concrete kernel structs remain available
+/// for custom tile sizes / worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// The reference scalar CSR loop.
+    #[default]
+    NaiveCsr,
+    /// Cache-blocked row×column tiling.
+    TiledCsr,
+    /// Row-range parallelism over a scoped thread pool (auto worker count).
+    ParallelCsr,
+    /// Dense/sparse row dispatch by degree threshold.
+    DegreeBinned,
+}
+
+impl KernelKind {
+    /// All kernel kinds, reference first.
+    pub fn all() -> [KernelKind; 4] {
+        [
+            KernelKind::NaiveCsr,
+            KernelKind::TiledCsr,
+            KernelKind::ParallelCsr,
+            KernelKind::DegreeBinned,
+        ]
+    }
+
+    /// Stable lowercase name (matches the benchmark labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::NaiveCsr => "naive-csr",
+            KernelKind::TiledCsr => "tiled-csr",
+            KernelKind::ParallelCsr => "parallel-csr",
+            KernelKind::DegreeBinned => "degree-binned",
+        }
+    }
+
+    /// Parses a kernel name as printed by [`KernelKind::name`].
+    pub fn by_name(name: &str) -> Option<KernelKind> {
+        KernelKind::all().into_iter().find(|k| k.name() == name)
+    }
+
+    /// Instantiates the kernel with its default parameters.
+    pub fn build(self) -> Box<dyn SpmmKernel> {
+        match self {
+            KernelKind::NaiveCsr => Box::new(NaiveCsr),
+            KernelKind::TiledCsr => Box::new(TiledCsr::default()),
+            KernelKind::ParallelCsr => Box::new(ParallelCsr::default()),
+            KernelKind::DegreeBinned => Box::new(DegreeBinned::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn check_spmm_shapes(kernel: &str, a: &CsrMatrix, x: &Tensor) -> Result<()> {
+    if a.cols() != x.rows() {
+        return Err(NnError::ShapeMismatch {
+            context: format!(
+                "spmm[{kernel}]: adjacency {}x{} × features {}x{}",
+                a.rows(),
+                a.cols(),
+                x.rows(),
+                x.cols()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// The reference kernel: the plain scalar CSR loop of
+/// [`crate::sparse_ops::spmm`], renamed into the kernel suite.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveCsr;
+
+impl SpmmKernel for NaiveCsr {
+    fn name(&self) -> &'static str {
+        "naive-csr"
+    }
+
+    fn spmm(&self, a: &CsrMatrix, x: &Tensor) -> Result<Tensor> {
+        sparse_ops::spmm(a, x)
+    }
+}
+
+/// Cache-blocked CSR kernel: rows are processed in tiles, and within a row
+/// tile the non-zeros are regrouped by column tile and consumed tile-major,
+/// so the `X` rows referenced by one column tile are reused across every row
+/// of the row tile while still cache-resident.
+///
+/// The regrouping is a single counting pass over each row's entries
+/// (no per-tile search), using [`CsrMatrix::tile_bounds`] for the tiling.
+/// Within a bucket the entries keep row-major, ascending-column order, and
+/// buckets are drained in ascending column-tile order — so every output row
+/// still accumulates its non-zeros in ascending column order, bit-identical
+/// to [`NaiveCsr`].
+#[derive(Debug, Clone, Copy)]
+pub struct TiledCsr {
+    /// Rows per tile (amortises the bucket reset cost).
+    pub row_tile: usize,
+    /// Columns per tile (bounds how many `X` rows one inner pass touches).
+    pub col_tile: usize,
+}
+
+impl Default for TiledCsr {
+    fn default() -> Self {
+        // 512 feature rows × 64 f32 features ≈ 128 KiB of X per column tile
+        // — L2-resident on any current core.
+        Self {
+            row_tile: 256,
+            col_tile: 512,
+        }
+    }
+}
+
+impl TiledCsr {
+    /// A tiled kernel with explicit tile sizes (0 = one tile for that axis).
+    pub fn with_tiles(row_tile: usize, col_tile: usize) -> Self {
+        Self { row_tile, col_tile }
+    }
+}
+
+impl SpmmKernel for TiledCsr {
+    fn name(&self) -> &'static str {
+        "tiled-csr"
+    }
+
+    fn spmm(&self, a: &CsrMatrix, x: &Tensor) -> Result<Tensor> {
+        check_spmm_shapes(self.name(), a, x)?;
+        let col_tiles = CsrMatrix::tile_bounds(a.cols(), self.col_tile);
+        if col_tiles.len() <= 1 {
+            // A single column tile degenerates to the reference traversal.
+            return sparse_ops::spmm(a, x);
+        }
+        let col_tile = if self.col_tile == 0 {
+            a.cols()
+        } else {
+            self.col_tile
+        };
+        let mut out = Tensor::zeros(a.rows(), x.cols());
+        // (row, col, value) triplets of the current row tile, bucketed by
+        // column tile; allocations are reused across row tiles.
+        let mut buckets: Vec<Vec<(u32, u32, f32)>> = vec![Vec::new(); col_tiles.len()];
+        for (r0, r1) in CsrMatrix::tile_bounds(a.rows(), self.row_tile) {
+            for bucket in &mut buckets {
+                bucket.clear();
+            }
+            for r in r0..r1 {
+                let (cols, vals) = a.row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    buckets[c as usize / col_tile].push((r as u32, c, v));
+                }
+            }
+            for bucket in &buckets {
+                for &(r, c, v) in bucket {
+                    let x_row = x.row(c as usize);
+                    for (o, &xv) in out.row_mut(r as usize).iter_mut().zip(x_row) {
+                        *o += v * xv;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Row-range-parallel kernel: output rows are partitioned into contiguous
+/// ranges balanced by non-zero count, one `std::thread::scope` worker per
+/// range (no rayon — the workspace is offline; vendor shims only).
+///
+/// Each output row is produced entirely by one worker with the same inner
+/// loop as [`NaiveCsr`], so the result is bit-identical and — because the
+/// partition only decides *who* computes a row, never *how* — deterministic
+/// across worker counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelCsr {
+    /// Worker threads; 0 (the default) selects
+    /// [`std::thread::available_parallelism`].
+    pub workers: usize,
+}
+
+impl ParallelCsr {
+    /// A parallel kernel with an explicit worker count (0 = auto).
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers }
+    }
+
+    /// The worker count actually used for a matrix with `rows` rows.
+    fn effective_workers(&self, rows: usize) -> usize {
+        let hw = || {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        let requested = if self.workers == 0 {
+            hw()
+        } else {
+            self.workers
+        };
+        requested.clamp(1, rows.max(1))
+    }
+
+    /// Splits `[0, rows)` into at most `workers` contiguous ranges with
+    /// roughly equal non-zero counts (row-degree-binned load balancing).
+    fn balanced_row_ranges(a: &CsrMatrix, workers: usize) -> Vec<std::ops::Range<usize>> {
+        let rows = a.rows();
+        let nnz = a.nnz();
+        if rows == 0 || workers <= 1 {
+            return std::iter::once(0..rows).collect();
+        }
+        let indptr = a.indptr();
+        let per_worker = nnz / workers + 1;
+        let mut ranges = Vec::with_capacity(workers);
+        let mut start = 0usize;
+        for w in 0..workers {
+            if start >= rows {
+                break;
+            }
+            // Everything after this range still needs at least one row per
+            // remaining worker.
+            let remaining_workers = workers - w - 1;
+            let max_end = rows - remaining_workers.min(rows - start - 1);
+            let target = ((w + 1) * per_worker).min(nnz) as u64;
+            let mut end = start + 1;
+            while end < max_end && indptr[end] < target {
+                end += 1;
+            }
+            if remaining_workers == 0 {
+                end = rows;
+            }
+            ranges.push(start..end);
+            start = end;
+        }
+        ranges
+    }
+}
+
+impl SpmmKernel for ParallelCsr {
+    fn name(&self) -> &'static str {
+        "parallel-csr"
+    }
+
+    fn spmm(&self, a: &CsrMatrix, x: &Tensor) -> Result<Tensor> {
+        check_spmm_shapes(self.name(), a, x)?;
+        let rows = a.rows();
+        let cols = x.cols();
+        let workers = self.effective_workers(rows);
+        // In auto mode the kernel refuses to spawn for matrices too small to
+        // amortise thread-spawn cost; an explicit worker count is honoured
+        // unconditionally (the differential tests rely on that to drive the
+        // threaded path on small fixtures).
+        let too_small =
+            self.workers == 0 && sparse_ops::spmm_macs(a.nnz(), cols) < PARALLEL_MIN_MACS;
+        if workers <= 1 || rows == 0 || cols == 0 || too_small {
+            return sparse_ops::spmm(a, x);
+        }
+        let mut out = Tensor::zeros(rows, cols);
+        let ranges = Self::balanced_row_ranges(a, workers);
+        let mut chunks = out.data_mut();
+        std::thread::scope(|scope| {
+            for range in &ranges {
+                let (chunk, rest) = chunks.split_at_mut(range.len() * cols);
+                chunks = rest;
+                let range = range.clone();
+                scope.spawn(move || {
+                    for (local, r) in range.clone().enumerate() {
+                        let (row_cols, row_vals) = a.row(r);
+                        let out_row = &mut chunk[local * cols..(local + 1) * cols];
+                        accumulate_row_segment(row_cols, row_vals, x, out_row);
+                    }
+                });
+            }
+        });
+        Ok(out)
+    }
+
+    fn spmm_transpose(&self, a: &CsrMatrix, x: &Tensor) -> Result<Tensor> {
+        if a.rows() != x.rows() {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "spmm_transpose[{}]: adjacency {}x{} (transposed) × features {}x{}",
+                    self.name(),
+                    a.rows(),
+                    a.cols(),
+                    x.rows(),
+                    x.cols()
+                ),
+            });
+        }
+        // Materialising Aᵀ turns the scatter into a gather that parallelises
+        // over output-row ranges. Each output row then accumulates its
+        // contributions in ascending source-row order — exactly the order of
+        // the scalar scatter — so the result stays bit-identical. Only worth
+        // the transposition cost once the matrix carries real work.
+        if a.nnz() < PARALLEL_TRANSPOSE_MIN_NNZ {
+            return sparse_ops::spmm_transpose(a, x);
+        }
+        self.spmm(&a.transpose(), x)
+    }
+}
+
+/// Below this many MACs, [`ParallelCsr::spmm`] runs the scalar loop instead
+/// of spawning workers: thread-spawn costs tens of microseconds per call,
+/// which dominates SpMMs under roughly a million MACs (a 2 000-node replica
+/// at 16 features is ~320k).
+const PARALLEL_MIN_MACS: u64 = 1 << 20;
+
+/// Below this many stored non-zeros, [`ParallelCsr`]'s `spmm_transpose`
+/// keeps the scalar scatter instead of materialising `Aᵀ` for the parallel
+/// gather.
+const PARALLEL_TRANSPOSE_MIN_NNZ: usize = 1 << 14;
+
+/// Degree-binned dispatch kernel, mirroring GCoD's denser/sparser branch
+/// split from `gcod-core`: rows at or above the degree threshold (the
+/// "denser branch") take a feature-register-blocked inner loop that keeps a
+/// block of output accumulators in registers while streaming the row's
+/// non-zeros; rows below it (the "sparser branch") take the plain gather
+/// loop of [`NaiveCsr`]. The plain loop re-reads the whole output row once
+/// per non-zero — cheap for short rows, wasteful for hubs; the blocked loop
+/// inverts that trade. Both accumulate each output element over the row's
+/// non-zeros in ascending column order, so the routing never changes the
+/// numerics.
+#[derive(Debug, Clone, Copy)]
+pub struct DegreeBinned {
+    /// Rows with at least this many non-zeros are routed to the
+    /// register-blocked (denser-branch) inner loop.
+    pub dense_threshold: usize,
+}
+
+/// Output accumulators the denser-branch inner loop keeps in registers /
+/// L1-resident stack: wide enough to cover a whole hidden layer (Table IV
+/// uses 16–64 features) in one or two passes over the row's gathers.
+const FEATURE_BLOCK: usize = 32;
+
+impl Default for DegreeBinned {
+    fn default() -> Self {
+        // Citation-graph rows average 2–10 non-zeros; 32+ marks the heavy
+        // hub rows where re-reading the output row per non-zero dominates.
+        Self {
+            dense_threshold: 32,
+        }
+    }
+}
+
+impl DegreeBinned {
+    /// A degree-binned kernel with an explicit routing threshold.
+    pub fn with_threshold(dense_threshold: usize) -> Self {
+        Self { dense_threshold }
+    }
+}
+
+impl SpmmKernel for DegreeBinned {
+    fn name(&self) -> &'static str {
+        "degree-binned"
+    }
+
+    fn spmm(&self, a: &CsrMatrix, x: &Tensor) -> Result<Tensor> {
+        check_spmm_shapes(self.name(), a, x)?;
+        let mut out = Tensor::zeros(a.rows(), x.cols());
+        let feat = x.cols();
+        for r in 0..a.rows() {
+            let (cols, vals) = a.row(r);
+            let out_row = out.row_mut(r);
+            if cols.len() >= self.dense_threshold.max(1) {
+                // Denser branch: register-blocked over features. Each output
+                // element still sums the row's non-zeros in ascending column
+                // order — only the loop nest changes, not the order.
+                let mut f0 = 0;
+                while f0 < feat {
+                    let f1 = (f0 + FEATURE_BLOCK).min(feat);
+                    let mut acc = [0.0f32; FEATURE_BLOCK];
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        let x_seg = &x.row(c as usize)[f0..f1];
+                        for (a, &xv) in acc.iter_mut().zip(x_seg) {
+                            *a += v * xv;
+                        }
+                    }
+                    out_row[f0..f1].copy_from_slice(&acc[..f1 - f0]);
+                    f0 = f1;
+                }
+            } else {
+                // Sparser branch: plain gather.
+                accumulate_row_segment(cols, vals, x, out_row);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcod_graph::CooMatrix;
+
+    /// A deterministic pseudo-random sparse matrix with hub rows (degree
+    /// skew) so the degree-binned kernel exercises both branches.
+    fn skewed_matrix(rows: usize, cols: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(rows, cols);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for r in 0..rows {
+            // Hub rows every 8th row get ~cols/2 entries, others ~4.
+            let degree = if r % 8 == 0 { cols / 2 } else { 4 };
+            for _ in 0..degree {
+                let c = (next() as usize) % cols.max(1);
+                let v = ((next() % 1000) as f32 - 500.0) / 250.0;
+                // Duplicates are summed by sort_and_dedup — fine for a
+                // fixture as long as every kernel sees the same matrix.
+                coo.push(r, c, v).unwrap();
+            }
+        }
+        coo.sort_and_dedup();
+        coo.to_csr()
+    }
+
+    fn features(rows: usize, cols: usize) -> Tensor {
+        let data = (0..rows * cols)
+            .map(|i| ((i * 37 % 23) as f32 - 11.0) * 0.25)
+            .collect();
+        Tensor::from_vec(rows, cols, data).unwrap()
+    }
+
+    fn assert_bits_equal(a: &Tensor, b: &Tensor, label: &str) {
+        assert_eq!(a.shape(), b.shape(), "{label}: shape");
+        for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn all_kernels_match_naive_bit_for_bit() {
+        let a = skewed_matrix(100, 100);
+        let x = features(100, 17);
+        let reference = NaiveCsr.spmm(&a, &x).unwrap();
+        for kind in KernelKind::all() {
+            let kernel = kind.build();
+            let out = kernel.spmm(&a, &x).unwrap();
+            assert_bits_equal(&out, &reference, kernel.name());
+        }
+    }
+
+    #[test]
+    fn tiled_kernel_handles_degenerate_tile_sizes() {
+        let a = skewed_matrix(40, 40);
+        let x = features(40, 5);
+        let reference = NaiveCsr.spmm(&a, &x).unwrap();
+        for (rt, ct) in [(1, 1), (3, 7), (40, 40), (1000, 1000), (0, 0)] {
+            let out = TiledCsr::with_tiles(rt, ct).spmm(&a, &x).unwrap();
+            assert_bits_equal(&out, &reference, &format!("tiles {rt}x{ct}"));
+        }
+    }
+
+    #[test]
+    fn parallel_kernel_deterministic_across_worker_counts() {
+        let a = skewed_matrix(120, 120);
+        let x = features(120, 9);
+        let reference = NaiveCsr.spmm(&a, &x).unwrap();
+        for workers in [1, 2, 4] {
+            let out = ParallelCsr::with_workers(workers).spmm(&a, &x).unwrap();
+            assert_bits_equal(&out, &reference, &format!("{workers} workers"));
+        }
+    }
+
+    #[test]
+    fn degree_binned_thresholds_cover_both_branches() {
+        let a = skewed_matrix(64, 64);
+        let x = features(64, 6);
+        let reference = NaiveCsr.spmm(&a, &x).unwrap();
+        for threshold in [0, 1, 8, usize::MAX] {
+            let out = DegreeBinned::with_threshold(threshold)
+                .spmm(&a, &x)
+                .unwrap();
+            assert_bits_equal(&out, &reference, &format!("threshold {threshold}"));
+        }
+    }
+
+    #[test]
+    fn transpose_agrees_across_kernels() {
+        let a = skewed_matrix(80, 60);
+        let x = features(80, 4);
+        let reference = NaiveCsr.spmm_transpose(&a, &x).unwrap();
+        for kind in KernelKind::all() {
+            let out = kind.build().spmm_transpose(&a, &x).unwrap();
+            assert_bits_equal(&out, &reference, kind.name());
+        }
+        // Drive the parallel kernel's actual transpose-then-gather routing:
+        // this matrix carries more than PARALLEL_TRANSPOSE_MIN_NNZ non-zeros,
+        // so spmm_transpose takes the materialise-Aᵀ branch.
+        let big = skewed_matrix(600, 600);
+        assert!(
+            big.nnz() >= PARALLEL_TRANSPOSE_MIN_NNZ,
+            "fixture too sparse ({} nnz) to reach the gather branch",
+            big.nnz()
+        );
+        let xb = features(600, 3);
+        let scatter = sparse_ops::spmm_transpose(&big, &xb).unwrap();
+        let gathered = ParallelCsr::with_workers(4)
+            .spmm_transpose(&big, &xb)
+            .unwrap();
+        assert_bits_equal(&gathered, &scatter, "transpose-then-gather");
+    }
+
+    #[test]
+    fn mac_counts_identical_across_kernels() {
+        let a = skewed_matrix(50, 50);
+        let x = features(50, 8);
+        let expected = sparse_ops::spmm_macs(a.nnz(), x.cols());
+        for kind in KernelKind::all() {
+            assert_eq!(kind.build().macs(&a, &x), expected, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected_by_every_kernel() {
+        let a = skewed_matrix(10, 10);
+        let wrong = Tensor::zeros(4, 2);
+        for kind in KernelKind::all() {
+            let kernel = kind.build();
+            assert!(kernel.spmm(&a, &wrong).is_err(), "{}", kernel.name());
+            assert!(
+                kernel.spmm_transpose(&a, &wrong).is_err(),
+                "{}",
+                kernel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes() {
+        for kind in KernelKind::all() {
+            let kernel = kind.build();
+            // 0×0 adjacency, 0-row features.
+            let out = kernel
+                .spmm(&CsrMatrix::zeros(0, 0), &Tensor::zeros(0, 3))
+                .unwrap();
+            assert_eq!(out.shape(), (0, 3), "{}", kernel.name());
+            // Rows but no stored entries.
+            let out = kernel
+                .spmm(&CsrMatrix::zeros(5, 4), &Tensor::full(4, 2, 7.0))
+                .unwrap();
+            assert!(out.data().iter().all(|&v| v == 0.0), "{}", kernel.name());
+            // Zero-width features.
+            let out = kernel
+                .spmm(&CsrMatrix::identity(3), &Tensor::zeros(3, 0))
+                .unwrap();
+            assert_eq!(out.shape(), (3, 0), "{}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn balanced_ranges_partition_rows_by_nnz() {
+        let a = skewed_matrix(97, 97);
+        for workers in [1, 2, 3, 4, 8, 97, 200] {
+            let ranges = ParallelCsr::balanced_row_ranges(&a, workers.min(a.rows()));
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, a.rows());
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+                assert!(!w[0].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_kind_roundtrips_names() {
+        for kind in KernelKind::all() {
+            assert_eq!(KernelKind::by_name(kind.name()), Some(kind));
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert_eq!(KernelKind::by_name("fpga"), None);
+        assert_eq!(KernelKind::default(), KernelKind::NaiveCsr);
+    }
+}

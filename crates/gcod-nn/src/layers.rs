@@ -13,7 +13,8 @@
 //! hidden width. Keeping that template explicit lets one manual
 //! forward/backward implementation serve the whole zoo.
 
-use crate::{init, sparse_ops, Result, Tensor};
+use crate::kernels::{NaiveCsr, SpmmKernel};
+use crate::{init, Result, Tensor};
 use gcod_graph::{CooMatrix, CsrMatrix, Graph, SelfLoops};
 use serde::{Deserialize, Serialize};
 
@@ -198,7 +199,8 @@ pub struct LayerGrads {
     pub input: Tensor,
 }
 
-/// Runs a graph-convolution layer forward: `activation(P · x · W + b)`.
+/// Runs a graph-convolution layer forward: `activation(P · x · W + b)`,
+/// using the reference [`NaiveCsr`] SpMM kernel.
 ///
 /// # Errors
 ///
@@ -208,7 +210,25 @@ pub fn graph_conv_forward(
     propagation: &CsrMatrix,
     x: &Tensor,
 ) -> Result<LayerCache> {
-    let aggregated = sparse_ops::spmm(propagation, x)?;
+    graph_conv_forward_with(layer, propagation, x, &NaiveCsr)
+}
+
+/// [`graph_conv_forward`] with an explicit aggregation kernel.
+///
+/// Every [`SpmmKernel`] is bit-for-bit identical to [`NaiveCsr`], so the
+/// kernel choice changes wall-clock only — training curves, logits and the
+/// simulated-perf reports downstream are untouched.
+///
+/// # Errors
+///
+/// Returns [`crate::NnError::ShapeMismatch`] when the dimensions are inconsistent.
+pub fn graph_conv_forward_with(
+    layer: &DenseLayer,
+    propagation: &CsrMatrix,
+    x: &Tensor,
+    kernel: &dyn SpmmKernel,
+) -> Result<LayerCache> {
+    let aggregated = kernel.spmm(propagation, x)?;
     let combined = aggregated.matmul(&layer.weight)?;
     let pre_activation = combined.add_row_broadcast(&layer.bias)?;
     let output = layer.activation.apply(&pre_activation);
@@ -220,7 +240,8 @@ pub fn graph_conv_forward(
     })
 }
 
-/// Backward pass of [`graph_conv_forward`].
+/// Backward pass of [`graph_conv_forward`], using the reference
+/// [`NaiveCsr`] SpMM kernel.
 ///
 /// `grad_output` is the gradient w.r.t. the layer output. The propagation
 /// matrix is treated as a constant (the GCoD graph-tuning step that *does*
@@ -235,6 +256,22 @@ pub fn graph_conv_backward(
     cache: &LayerCache,
     grad_output: &Tensor,
 ) -> Result<LayerGrads> {
+    graph_conv_backward_with(layer, propagation, cache, grad_output, &NaiveCsr)
+}
+
+/// [`graph_conv_backward`] with an explicit aggregation kernel (used for the
+/// `Pᵀ · dX` term).
+///
+/// # Errors
+///
+/// Returns [`crate::NnError::ShapeMismatch`] on inconsistent shapes.
+pub fn graph_conv_backward_with(
+    layer: &DenseLayer,
+    propagation: &CsrMatrix,
+    cache: &LayerCache,
+    grad_output: &Tensor,
+    kernel: &dyn SpmmKernel,
+) -> Result<LayerGrads> {
     // dPre = dOut ⊙ activation'(pre)
     let grad_pre = grad_output.hadamard(&layer.activation.grad_mask(&cache.pre_activation))?;
     // dW = (P·X)^T · dPre
@@ -248,7 +285,7 @@ pub fn graph_conv_backward(
     }
     // dX = P^T · (dPre · W^T)
     let grad_combined = grad_pre.matmul(&layer.weight.transpose())?;
-    let grad_input = sparse_ops::spmm_transpose(propagation, &grad_combined)?;
+    let grad_input = kernel.spmm_transpose(propagation, &grad_combined)?;
     Ok(LayerGrads {
         weight: grad_weight,
         bias: grad_bias,
@@ -349,6 +386,28 @@ mod tests {
                 (numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0),
                 "grad mismatch at ({r},{c}): numeric {numeric} vs analytic {analytic}"
             );
+        }
+    }
+
+    #[test]
+    fn forward_backward_identical_under_every_kernel() {
+        let g = tiny_graph();
+        let layer = DenseLayer::new(g.feature_dim(), 4, Activation::Relu, 3);
+        let prop = Propagation::SymmetricNormalized.matrix(&g, &Tensor::zeros(1, 1));
+        let x = Tensor::from_vec(g.num_nodes(), g.feature_dim(), g.features().to_vec()).unwrap();
+        let cache = graph_conv_forward(&layer, &prop, &x).unwrap();
+        let grad_out = Tensor::full(cache.output.rows(), cache.output.cols(), 0.5);
+        let grads = graph_conv_backward(&layer, &prop, &cache, &grad_out).unwrap();
+        for kind in crate::kernels::KernelKind::all() {
+            let kernel = kind.build();
+            let cache_k = graph_conv_forward_with(&layer, &prop, &x, kernel.as_ref()).unwrap();
+            assert_eq!(cache_k.output, cache.output, "{}", kernel.name());
+            let grads_k =
+                graph_conv_backward_with(&layer, &prop, &cache_k, &grad_out, kernel.as_ref())
+                    .unwrap();
+            assert_eq!(grads_k.weight, grads.weight, "{}", kernel.name());
+            assert_eq!(grads_k.bias, grads.bias, "{}", kernel.name());
+            assert_eq!(grads_k.input, grads.input, "{}", kernel.name());
         }
     }
 

@@ -8,6 +8,11 @@
 //! * a row-major dense [`Tensor`] with the matrix ops GCNs use
 //!   (matmul, transpose, row softmax, ReLU, elementwise arithmetic),
 //! * sparse-dense multiplication ([`spmm`]) against the CSR adjacency,
+//!   behind a selectable kernel suite ([`kernels`]): the reference scalar
+//!   loop, a cache-tiled kernel, a row-range-parallel kernel and a
+//!   degree-binned dispatch kernel — all bit-for-bit identical, selected
+//!   per run via [`kernels::KernelKind`] (see the [`kernels`] module docs
+//!   for how selection flows through training and the `gcod` facade),
 //! * Glorot initialisation ([`init`]),
 //! * the model zoo ([`models`]) covering Table IV of the paper,
 //! * manual-gradient training for the two-layer GCN (the model the GCoD
@@ -40,6 +45,7 @@
 
 mod error;
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod metrics;
@@ -53,6 +59,7 @@ pub mod train;
 pub mod workload;
 
 pub use error::NnError;
+pub use kernels::{KernelKind, SpmmKernel};
 pub use sparse_ops::spmm;
 pub use tensor::Tensor;
 

@@ -14,8 +14,10 @@
 //! current layer inputs and treated as constants during the backward pass
 //! (documented simplification — see DESIGN.md).
 
+use crate::kernels::KernelKind;
 use crate::layers::{
-    graph_conv_backward, graph_conv_forward, Activation, DenseLayer, LayerCache, Propagation,
+    graph_conv_backward_with, graph_conv_forward_with, Activation, DenseLayer, LayerCache,
+    Propagation,
 };
 use crate::{NnError, Result, Tensor};
 use gcod_graph::{CsrMatrix, Graph};
@@ -211,6 +213,10 @@ impl ModelConfig {
 pub struct GnnModel {
     config: ModelConfig,
     layers: Vec<DenseLayer>,
+    /// Aggregation kernel used by forward/backward. Not a model
+    /// hyper-parameter: every kernel is bit-identical, so this selects
+    /// wall-clock behaviour only.
+    kernel: KernelKind,
 }
 
 /// Cached activations of a full forward pass (needed for the backward pass).
@@ -252,12 +258,36 @@ impl GnnModel {
                 )
             })
             .collect();
-        Ok(Self { config, layers })
+        Ok(Self {
+            config,
+            layers,
+            kernel: KernelKind::default(),
+        })
     }
 
     /// The model configuration.
     pub fn config(&self) -> &ModelConfig {
         &self.config
+    }
+
+    /// The SpMM kernel the forward/backward passes run on.
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
+    }
+
+    /// Selects the SpMM kernel (builder form). Kernel choice never changes
+    /// the numerics — every kernel is bit-identical to
+    /// [`KernelKind::NaiveCsr`] — only the wall-clock of training and
+    /// inference.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Selects the SpMM kernel in place.
+    pub fn set_kernel(&mut self, kernel: KernelKind) {
+        self.kernel = kernel;
     }
 
     /// The architecture kind.
@@ -320,6 +350,7 @@ impl GnnModel {
         .expect("graph guarantees feature shape");
         let mut caches = Vec::with_capacity(self.layers.len());
         let mut propagations = Vec::with_capacity(self.layers.len());
+        let kernel = self.kernel.build();
         // Feature-independent propagation matrices are built once and shared.
         let shared = if propagation_rule.is_feature_dependent() {
             None
@@ -331,7 +362,7 @@ impl GnnModel {
                 Some(p) => p.clone(),
                 None => propagation_rule.matrix(graph, &h),
             };
-            let cache = graph_conv_forward(layer, &propagation, &h)?;
+            let cache = graph_conv_forward_with(layer, &propagation, &h, kernel.as_ref())?;
             let mut output = cache.output.clone();
             // Residual connection between same-width hidden layers.
             if self.config.residual && i > 0 && output.shape() == h.shape() {
@@ -365,12 +396,14 @@ impl GnnModel {
         let mut weight_grads = vec![Tensor::zeros(0, 0); self.layers.len()];
         let mut bias_grads = vec![Tensor::zeros(0, 0); self.layers.len()];
         let mut grad = grad_logits.clone();
+        let kernel = self.kernel.build();
         for i in (0..self.layers.len()).rev() {
-            let grads = graph_conv_backward(
+            let grads = graph_conv_backward_with(
                 &self.layers[i],
                 &cache.propagations[i],
                 &cache.layers[i],
                 &grad,
+                kernel.as_ref(),
             )?;
             weight_grads[i] = grads.weight;
             bias_grads[i] = grads.bias;
@@ -501,6 +534,27 @@ mod tests {
         for (layer, wg) in model.layers().iter().zip(&wgrads) {
             assert_eq!(layer.weight.shape(), wg.shape());
             assert!(wg.norm() > 0.0, "gradient should be non-zero");
+        }
+    }
+
+    #[test]
+    fn kernel_choice_never_changes_logits_or_grads() {
+        let g = graph();
+        let reference = GnnModel::new(ModelConfig::gcn(&g), 4).unwrap();
+        assert_eq!(reference.kernel(), KernelKind::NaiveCsr);
+        let ref_cache = reference.forward_cached(&g).unwrap();
+        let grad_logits = Tensor::full(g.num_nodes(), g.num_classes(), 0.1);
+        let (ref_w, ref_b) = reference.backward(&ref_cache, &grad_logits).unwrap();
+        for kind in KernelKind::all() {
+            let model = GnnModel::new(ModelConfig::gcn(&g), 4)
+                .unwrap()
+                .with_kernel(kind);
+            assert_eq!(model.kernel(), kind);
+            let cache = model.forward_cached(&g).unwrap();
+            assert_eq!(cache.logits, ref_cache.logits, "{}", kind.name());
+            let (w, b) = model.backward(&cache, &grad_logits).unwrap();
+            assert_eq!(w, ref_w, "{}", kind.name());
+            assert_eq!(b, ref_b, "{}", kind.name());
         }
     }
 

@@ -31,15 +31,26 @@ pub fn spmm(a: &CsrMatrix, x: &Tensor) -> Result<Tensor> {
     let mut out = Tensor::zeros(a.rows(), x.cols());
     for r in 0..a.rows() {
         let (cols, vals) = a.row(r);
-        let out_row = out.row_mut(r);
-        for (&c, &v) in cols.iter().zip(vals) {
-            let x_row = x.row(c as usize);
-            for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                *o += v * xv;
-            }
-        }
+        accumulate_row_segment(cols, vals, x, out.row_mut(r));
     }
     Ok(out)
+}
+
+/// Accumulates one CSR row segment into `out_row` — the scalar inner loop
+/// (non-zero outer, feature inner) shared by [`spmm`], the parallel
+/// kernel's workers and the degree-binned kernel's sparser branch in
+/// [`crate::kernels`]. Accumulation order over the segment's non-zeros is
+/// their slice order (ascending columns within a CSR row); kernels with
+/// their own loop nest (tiled buckets, the register-blocked denser branch)
+/// must preserve that per-element order and say why at their definition.
+#[inline]
+pub(crate) fn accumulate_row_segment(cols: &[u32], vals: &[f32], x: &Tensor, out_row: &mut [f32]) {
+    for (&c, &v) in cols.iter().zip(vals) {
+        let x_row = x.row(c as usize);
+        for (o, &xv) in out_row.iter_mut().zip(x_row) {
+            *o += v * xv;
+        }
+    }
 }
 
 /// Sparse × dense multiplication `A · X` walking `A` column by column

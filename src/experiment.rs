@@ -43,6 +43,7 @@ use gcod_core::{
     SplitWorkload, StructuralReport, SubgraphLayout,
 };
 use gcod_graph::{CsrMatrix, DatasetProfile, Graph, GraphGenerator};
+use gcod_nn::kernels::KernelKind;
 use gcod_nn::models::{ModelConfig, ModelKind};
 use gcod_nn::quant::Precision;
 use gcod_nn::workload::InferenceWorkload;
@@ -120,8 +121,23 @@ impl Experiment {
 
     /// Sets the GCoD algorithm configuration (default:
     /// [`GcodConfig::default`]).
+    ///
+    /// Overwrites any kernel selected earlier via
+    /// [`kernel`](Experiment::kernel) with `config.kernel`, so call
+    /// `.gcod(..)` before `.kernel(..)` when combining the two.
     pub fn gcod(mut self, config: GcodConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Selects the SpMM kernel every GCN trained by this experiment
+    /// aggregates with (default: [`KernelKind::NaiveCsr`]).
+    ///
+    /// All kernels are bit-for-bit identical — selection changes training
+    /// wall-clock only, never accuracies, splits or the simulated platform
+    /// reports (the golden-report tests in `gcod-bench` pin this).
+    pub fn kernel(mut self, kernel: KernelKind) -> Self {
+        self.config.kernel = kernel;
         self
     }
 
@@ -438,6 +454,18 @@ mod tests {
             run.polarized_split.total_nnz(),
             run.polarize_report.nnz_after
         );
+    }
+
+    #[test]
+    fn kernel_stage_selects_the_training_kernel() {
+        let exp = tiny().kernel(KernelKind::ParallelCsr);
+        assert_eq!(exp.config().kernel, KernelKind::ParallelCsr);
+        // .gcod(..) resets the kernel along with the rest of the config.
+        let exp = tiny()
+            .kernel(KernelKind::TiledCsr)
+            .gcod(fast_config())
+            .kernel(KernelKind::DegreeBinned);
+        assert_eq!(exp.config().kernel, KernelKind::DegreeBinned);
     }
 
     #[test]

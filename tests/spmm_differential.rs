@@ -1,0 +1,213 @@
+//! Differential tests of the SpMM kernel suite: every [`SpmmKernel`]
+//! implementation must produce **bit-for-bit** the same result as the
+//! reference `NaiveCsr` scalar loop on arbitrary CSR matrices — including
+//! empty rows, hub rows, non-square shapes and degenerate 0-row / 0-column
+//! matrices — and the CSC ("distributed") traversal must agree within 1 ulp.
+//!
+//! Run with `PROPTEST_CASES=<n>` to change the per-property case budget
+//! (CI pins 64).
+
+use gcod::graph::{CooMatrix, CsrMatrix};
+use gcod::nn::kernels::{DegreeBinned, KernelKind, ParallelCsr, SpmmKernel, TiledCsr};
+use gcod::nn::sparse_ops::{spmm, spmm_csc, spmm_macs, spmm_transpose};
+use gcod::nn::Tensor;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Strategy: an arbitrary sparse matrix as `(rows, cols, entries)` with
+/// duplicate-free entries (duplicates collapse to the last value drawn).
+/// Random entry counts leave many rows structurally empty.
+fn arbitrary_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..48, 1usize..48)
+        .prop_flat_map(|(rows, cols)| {
+            let entries = proptest::collection::vec((0..rows, 0..cols, -4.0f64..4.0), 0..161);
+            (Just(rows), Just(cols), entries)
+        })
+        .prop_map(|(rows, cols, entries)| {
+            let mut dedup: BTreeMap<(usize, usize), f32> = BTreeMap::new();
+            for (r, c, v) in entries {
+                dedup.insert((r, c), v as f32);
+            }
+            let mut coo = CooMatrix::new(rows, cols);
+            for (&(r, c), &v) in &dedup {
+                coo.push(r, c, v).expect("indices drawn in range");
+            }
+            coo.to_csr()
+        })
+}
+
+/// A deterministic feature tensor with mixed-sign, non-uniform values.
+fn features(rows: usize, cols: usize, salt: u64) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+            ((h % 2048) as f32 - 1024.0) / 256.0
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data).expect("length matches by construction")
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Units-in-last-place distance between two finite f32 values.
+fn ulp_distance(a: f32, b: f32) -> u64 {
+    let to_ordered = |x: f32| {
+        let bits = x.to_bits() as i32;
+        (if bits < 0 { i32::MIN - bits } else { bits }) as i64
+    };
+    to_ordered(a).abs_diff(to_ordered(b))
+}
+
+proptest! {
+    /// The full default-parameter kernel suite is bit-identical to NaiveCsr,
+    /// for both `A · X` and `Aᵀ · X`.
+    #[test]
+    fn suite_matches_naive_bit_for_bit(a in arbitrary_matrix(), feat in 1usize..7, salt in 0u64..1024) {
+        let x = features(a.cols(), feat, salt);
+        let xt = features(a.rows(), feat, salt);
+        let reference = spmm(&a, &x).expect("shapes consistent");
+        let reference_t = spmm_transpose(&a, &xt).expect("shapes consistent");
+        for kind in KernelKind::all() {
+            let kernel = kind.build();
+            let out = kernel.spmm(&a, &x).expect("shapes consistent");
+            prop_assert_eq!(bits(&out), bits(&reference), "spmm kernel {}", kernel.name());
+            let out_t = kernel.spmm_transpose(&a, &xt).expect("shapes consistent");
+            prop_assert_eq!(bits(&out_t), bits(&reference_t), "transpose kernel {}", kernel.name());
+        }
+    }
+
+    /// Tile geometry never changes the tiled kernel's bits.
+    #[test]
+    fn tiled_invariant_to_tile_geometry(
+        a in arbitrary_matrix(),
+        row_tile in 0usize..70,
+        col_tile in 0usize..70,
+    ) {
+        let x = features(a.cols(), 3, 7);
+        let reference = spmm(&a, &x).expect("shapes consistent");
+        let out = TiledCsr::with_tiles(row_tile, col_tile).spmm(&a, &x).expect("shapes consistent");
+        prop_assert_eq!(bits(&out), bits(&reference), "tiles {}x{}", row_tile, col_tile);
+    }
+
+    /// The parallel kernel is deterministic across worker counts: 1, 2 and 4
+    /// workers (and auto) all reproduce the reference bits.
+    #[test]
+    fn parallel_deterministic_across_worker_counts(a in arbitrary_matrix(), salt in 0u64..1024) {
+        let x = features(a.cols(), 4, salt);
+        let reference = spmm(&a, &x).expect("shapes consistent");
+        for workers in [0usize, 1, 2, 4] {
+            let out = ParallelCsr::with_workers(workers).spmm(&a, &x).expect("shapes consistent");
+            prop_assert_eq!(bits(&out), bits(&reference), "{} workers", workers);
+        }
+    }
+
+    /// The degree threshold routes rows between two inner loops without
+    /// changing the bits, at every routing extreme.
+    #[test]
+    fn degree_binned_invariant_to_threshold(a in arbitrary_matrix(), threshold in 0usize..40) {
+        let x = features(a.cols(), 5, 3);
+        let reference = spmm(&a, &x).expect("shapes consistent");
+        for t in [threshold, 0, usize::MAX] {
+            let out = DegreeBinned::with_threshold(t).spmm(&a, &x).expect("shapes consistent");
+            prop_assert_eq!(bits(&out), bits(&reference), "threshold {}", t);
+        }
+    }
+
+    /// Cross-format check: the column-wise CSC traversal agrees with the
+    /// row-wise CSR reference within 1 ulp (both accumulate each output
+    /// element in ascending column order, so they are bitwise equal in
+    /// practice — the ulp bound is the contract).
+    #[test]
+    fn csc_traversal_agrees_within_one_ulp(a in arbitrary_matrix(), salt in 0u64..1024) {
+        let x = features(a.cols(), 3, salt);
+        let row_wise = spmm(&a, &x).expect("shapes consistent");
+        let col_wise = spmm_csc(&a.to_csc(), &x).expect("shapes consistent");
+        for (i, (&u, &v)) in row_wise.data().iter().zip(col_wise.data()).enumerate() {
+            prop_assert!(ulp_distance(u, v) <= 1, "element {}: {} vs {}", i, u, v);
+        }
+    }
+
+    /// Transpose cross-check: `Aᵀ · X` via the scatter helper equals the
+    /// gather over the materialised transpose, for every kernel.
+    #[test]
+    fn transpose_equals_gather_over_transposed(a in arbitrary_matrix(), salt in 0u64..1024) {
+        let x = features(a.rows(), 3, salt);
+        let scatter = spmm_transpose(&a, &x).expect("shapes consistent");
+        let at = a.transpose();
+        for kind in KernelKind::all() {
+            let gathered = kind.build().spmm(&at, &x).expect("shapes consistent");
+            prop_assert_eq!(bits(&gathered), bits(&scatter), "kernel {}", kind.name());
+        }
+    }
+
+    /// MAC accounting is kernel-independent: the schedule changes, the work
+    /// does not.
+    #[test]
+    fn mac_counts_identical_across_kernels(a in arbitrary_matrix(), feat in 0usize..9) {
+        let x = features(a.cols(), feat, 0);
+        let expected = spmm_macs(a.nnz(), feat);
+        for kind in KernelKind::all() {
+            prop_assert_eq!(kind.build().macs(&a, &x), expected, "kernel {}", kind.name());
+        }
+    }
+}
+
+/// Degenerate shapes the random strategy cannot draw: 0-row / 0-column
+/// matrices, zero-width features, and fully empty rows.
+#[test]
+fn degenerate_shapes_handled_by_every_kernel() {
+    for kind in KernelKind::all() {
+        let kernel = kind.build();
+        let name = kernel.name();
+
+        // 0×0 adjacency with 0-row features.
+        let out = kernel
+            .spmm(&CsrMatrix::zeros(0, 0), &Tensor::zeros(0, 2))
+            .unwrap_or_else(|e| panic!("{name}: 0x0 spmm failed: {e}"));
+        assert_eq!(out.shape(), (0, 2), "{name}");
+
+        // 0 rows × 5 cols (transpose yields 5 output rows of zeros).
+        let empty_rows = CsrMatrix::zeros(0, 5);
+        let out = kernel
+            .spmm_transpose(&empty_rows, &Tensor::zeros(0, 3))
+            .unwrap();
+        assert_eq!(out.shape(), (5, 3), "{name}");
+        assert!(out.data().iter().all(|&v| v == 0.0), "{name}");
+
+        // 5 rows × 0 cols against 0-row features.
+        let empty_cols = CsrMatrix::zeros(5, 0);
+        let out = kernel.spmm(&empty_cols, &Tensor::zeros(0, 4)).unwrap();
+        assert_eq!(out.shape(), (5, 4), "{name}");
+
+        // Zero-width features propagate to a zero-width output.
+        let out = kernel
+            .spmm(&CsrMatrix::identity(4), &Tensor::zeros(4, 0))
+            .unwrap();
+        assert_eq!(out.shape(), (4, 0), "{name}");
+
+        // A matrix whose rows are all structurally empty.
+        let out = kernel
+            .spmm(&CsrMatrix::zeros(6, 6), &Tensor::full(6, 3, 9.0))
+            .unwrap();
+        assert!(out.data().iter().all(|&v| v == 0.0), "{name}");
+    }
+}
+
+/// The shape contract is enforced uniformly: every kernel rejects a
+/// features matrix whose row count disagrees with the adjacency.
+#[test]
+fn shape_mismatch_rejected_by_every_kernel() {
+    let a = CsrMatrix::identity(4);
+    let wrong = Tensor::zeros(3, 2);
+    for kind in KernelKind::all() {
+        let kernel = kind.build();
+        assert!(kernel.spmm(&a, &wrong).is_err(), "{}", kernel.name());
+        assert!(
+            kernel.spmm_transpose(&a, &wrong).is_err(),
+            "{}",
+            kernel.name()
+        );
+    }
+}

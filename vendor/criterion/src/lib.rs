@@ -7,6 +7,14 @@
 //! `criterion_main!` macros. Timing is simple wall-clock: a warm-up
 //! iteration followed by `sample_size` timed samples, reporting the median.
 //! No statistics engine, plots, or baseline storage.
+//!
+//! Two extensions beyond plain timing:
+//!
+//! * **test mode** — `cargo bench -- --test` runs every benchmark exactly
+//!   once (like real criterion), so CI can smoke-test benches cheaply,
+//! * **result access** — [`Criterion::results`] exposes the `(label,
+//!   median)` pairs recorded so far, letting benches write machine-readable
+//!   summaries (e.g. the `BENCH_spmm.json` sweep) without re-measuring.
 
 use std::fmt::Display;
 use std::hint;
@@ -78,7 +86,7 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.into());
         let mut bencher = Bencher {
-            samples: self.sample_size,
+            samples: self.criterion.effective_samples(self.sample_size),
             measured: Vec::new(),
         };
         f(&mut bencher);
@@ -95,7 +103,7 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.label());
         let mut bencher = Bencher {
-            samples: self.sample_size,
+            samples: self.criterion.effective_samples(self.sample_size),
             measured: Vec::new(),
         };
         f(&mut bencher, input);
@@ -111,9 +119,39 @@ impl BenchmarkGroup<'_> {
 #[derive(Default)]
 pub struct Criterion {
     default_sample_size: usize,
+    test_mode: bool,
+    results: Vec<(String, Duration)>,
 }
 
 impl Criterion {
+    /// A driver configured from the process arguments: `--test` (as passed
+    /// by `cargo bench -- --test`) switches to one sample per benchmark.
+    pub fn from_args() -> Self {
+        Self {
+            test_mode: std::env::args().any(|a| a == "--test"),
+            ..Self::default()
+        }
+    }
+
+    /// Whether the driver runs in `--test` smoke mode (one sample per
+    /// benchmark, timings meaningless).
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// `(label, median)` of every benchmark reported so far, in run order.
+    pub fn results(&self) -> &[(String, Duration)] {
+        &self.results
+    }
+
+    fn effective_samples(&self, requested: usize) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            requested
+        }
+    }
+
     fn report(&mut self, label: &str, measured: &mut [Duration]) {
         if measured.is_empty() {
             println!("{label:<60} (no samples)");
@@ -124,6 +162,7 @@ impl Criterion {
         let min = measured[0];
         let max = measured[measured.len() - 1];
         println!("{label:<60} median {median:>12.3?}  [{min:.3?} .. {max:.3?}]");
+        self.results.push((label.to_string(), median));
     }
 
     /// Opens a named benchmark group.
@@ -147,12 +186,13 @@ impl Criterion {
         mut f: F,
     ) -> &mut Self {
         let label = id.into();
+        let requested = if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        };
         let mut bencher = Bencher {
-            samples: if self.default_sample_size == 0 {
-                10
-            } else {
-                self.default_sample_size
-            },
+            samples: self.effective_samples(requested),
             measured: Vec::new(),
         };
         f(&mut bencher);
@@ -166,7 +206,9 @@ impl Criterion {
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
         fn $group() {
-            let mut criterion = $crate::Criterion::default();
+            // `--test` (from `cargo bench -- --test`) runs each benchmark
+            // once as a smoke test, mirroring real criterion.
+            let mut criterion = $crate::Criterion::from_args();
             $( $target(&mut criterion); )+
         }
     };
@@ -177,7 +219,6 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo bench -- --test` / harness passthrough args are ignored.
             $( $group(); )+
         }
     };

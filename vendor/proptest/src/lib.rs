@@ -176,7 +176,14 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            Self { cases: 64 }
+            // Like real proptest, the PROPTEST_CASES environment variable
+            // overrides the default case count (CI uses this to pin the
+            // differential suites to a known budget).
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Self { cases }
         }
     }
 
@@ -240,6 +247,20 @@ macro_rules! prop_assert_eq {
                 "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
                 stringify!($left),
                 stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
                 left,
                 right
             )));
