@@ -3,18 +3,18 @@
 //! datasets of increasing size, plus the column-wise (CSC, "distributed")
 //! traversal the AWB-GCN-style engines model.
 //!
-//! Writes a machine-readable summary to `target/BENCH_spmm.json` (override
-//! the path with the `BENCH_SPMM_JSON` environment variable) recording the
-//! median time per kernel × dataset and each kernel's speedup over
-//! `naive-csr`. Run the sweep with `cargo bench --bench spmm`; CI smokes it
-//! with `cargo bench --bench spmm -- --test` (one sample, no JSON).
+//! Writes a machine-readable summary to `target/BENCH_spmm.json` **and**
+//! the repo-root `BENCH_spmm.json` tracked across PRs (override both with
+//! the `BENCH_SPMM_JSON` environment variable) recording the median time
+//! per kernel × dataset and each kernel's speedup over `naive-csr`. Run the
+//! sweep with `cargo bench --bench spmm`; CI smokes it with
+//! `cargo bench --bench spmm -- --test` (one sample, no JSON).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gcod_graph::{DatasetProfile, GraphGenerator};
 use gcod_nn::kernels::KernelKind;
 use gcod_nn::sparse_ops::spmm_csc;
 use gcod_nn::Tensor;
-use std::path::PathBuf;
 
 /// The swept datasets: `(nodes, avg_degree, feature_cols)`. The largest one
 /// carries enough work (~15M MACs per SpMM) for the parallel kernel's
@@ -47,27 +47,8 @@ fn bench_spmm(c: &mut Criterion) {
     group.finish();
 
     if !c.is_test_mode() {
-        let path = summary_path();
-        match std::fs::write(&path, render_summary(c)) {
-            Ok(()) => println!("\nwrote kernel-sweep summary to {}", path.display()),
-            Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
-        }
+        gcod_bench::write_bench_summary("BENCH_spmm.json", "BENCH_SPMM_JSON", &render_summary(c));
     }
-}
-
-/// `BENCH_SPMM_JSON`, or `<workspace>/target/BENCH_spmm.json`.
-fn summary_path() -> PathBuf {
-    if let Some(path) = std::env::var_os("BENCH_SPMM_JSON") {
-        return PathBuf::from(path);
-    }
-    std::env::var_os("CARGO_TARGET_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| {
-            // Benches run with the package as cwd; the workspace target dir
-            // sits two levels up from crates/gcod-bench.
-            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target")
-        })
-        .join("BENCH_spmm.json")
 }
 
 /// Renders the recorded medians as JSON by hand — the vendored serde shim

@@ -1,0 +1,130 @@
+//! End-to-end training benchmark: wall-clock per epoch of the full GCN
+//! training pass (sparse aggregation + dense combination + backward) swept
+//! over worker counts × datasets on the persistent `gcod_runtime` pool.
+//!
+//! Each case trains a fresh 2-layer GCN with the `parallel-csr` aggregation
+//! kernel for a fixed epoch budget at an explicit worker-lane count (`w1`,
+//! `w2`, and `auto` = the pool's lane count). Worker count is
+//! bit-deterministic — every sweep point computes identical logits — so the
+//! only thing this bench measures is wall-clock.
+//!
+//! Writes a machine-readable summary to `target/BENCH_train.json` **and**
+//! the repo-root `BENCH_train.json` tracked across PRs (override both with
+//! the `BENCH_TRAIN_JSON` environment variable), recording the median
+//! per-epoch time of each case and its speedup over the single-worker run.
+//! On single-core hardware every worker count degrades gracefully to the
+//! inline path, so the expected speedup there is ~1.0 (parity); the ≥1.5×
+//! epoch speedups show up on multi-core machines. Run the sweep with
+//! `cargo bench --bench train`; CI smokes it with
+//! `cargo bench --bench train -- --test` (one sample, no JSON).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcod_graph::{DatasetProfile, GraphGenerator};
+use gcod_nn::kernels::KernelKind;
+use gcod_nn::models::{GnnModel, ModelConfig};
+use gcod_nn::train::{TrainConfig, Trainer};
+use gcod_runtime::Pool;
+
+/// The swept datasets: `(label, nodes, avg_degree, feature_dim, classes)`.
+/// The largest carries enough work per epoch (~50M MACs across both layer
+/// halves) for the pool's per-call submission cost to vanish.
+const DATASETS: &[(&str, usize, usize, usize, usize)] = &[
+    ("small", 500, 5, 16, 4),
+    ("medium", 2_000, 5, 32, 4),
+    ("large", 12_000, 8, 64, 8),
+];
+
+/// Worker-lane counts per case; 0 = the pool's auto count.
+const WORKER_COUNTS: &[usize] = &[1, 2, 0];
+
+/// Epochs per timed sample: enough to amortise model construction, few
+/// enough that the full sweep stays in benchmark territory.
+const EPOCHS: usize = 3;
+
+fn worker_label(workers: usize) -> String {
+    if workers == 0 {
+        "auto".to_string()
+    } else {
+        format!("w{workers}")
+    }
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train");
+    group.sample_size(9);
+    for &(label, nodes, degree, feat, classes) in DATASETS {
+        let profile = DatasetProfile::custom(label, nodes, nodes * degree, feat, classes);
+        let graph = GraphGenerator::new(1).generate(&profile).expect("generate");
+        let trainer = Trainer::new(TrainConfig {
+            epochs: EPOCHS,
+            ..TrainConfig::default()
+        });
+        // Built once per case: the timed closure clones it (a plain memcpy)
+        // so the samples measure the training loop, not weight initialisation.
+        let template = GnnModel::new(ModelConfig::gcn(&graph), 0)
+            .expect("valid config")
+            .with_kernel(KernelKind::ParallelCsr);
+        for &workers in WORKER_COUNTS {
+            let id = BenchmarkId::new(format!("gcn-{label}"), worker_label(workers));
+            group.bench_with_input(id, &workers, |b, &workers| {
+                b.iter(|| {
+                    let mut model = template.clone().with_workers(workers);
+                    trainer.fit(&mut model, &graph).expect("training succeeds")
+                });
+            });
+        }
+    }
+    group.finish();
+
+    if !c.is_test_mode() {
+        gcod_bench::write_bench_summary("BENCH_train.json", "BENCH_TRAIN_JSON", &render_summary(c));
+    }
+}
+
+/// Renders the recorded medians as JSON by hand (the vendored serde shim has
+/// no serializer): one entry per dataset × worker count with the per-epoch
+/// median and the speedup over the single-worker (`w1`) run.
+fn render_summary(c: &Criterion) -> String {
+    let single_worker_ns = |dataset: &str| {
+        let label = format!("train/gcn-{dataset}/w1");
+        c.results()
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, d)| d.as_nanos())
+    };
+    let pool_workers = Pool::global().workers();
+    let mut entries = Vec::new();
+    for (label, median) in c.results() {
+        // Labels are "train/gcn-<dataset>/<workers>".
+        let mut parts = label.splitn(3, '/');
+        let (Some(_), Some(case), Some(workers)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let Some(dataset) = case.strip_prefix("gcn-") else {
+            continue;
+        };
+        let nodes = DATASETS
+            .iter()
+            .find(|(l, ..)| *l == dataset)
+            .map_or(0, |&(_, n, ..)| n);
+        let resolved_workers = if workers == "auto" {
+            pool_workers
+        } else {
+            workers.trim_start_matches('w').parse().unwrap_or(1)
+        };
+        let epoch_ms = median.as_nanos() as f64 / EPOCHS as f64 / 1e6;
+        let speedup = single_worker_ns(dataset)
+            .map(|base| base as f64 / median.as_nanos().max(1) as f64)
+            .unwrap_or(1.0);
+        entries.push(format!(
+            "  {{\"dataset\": \"{dataset}\", \"nodes\": {nodes}, \"workers\": \"{workers}\", \
+             \"resolved_workers\": {resolved_workers}, \"epochs\": {EPOCHS}, \
+             \"epoch_ms\": {epoch_ms:.3}, \"speedup_over_w1\": {speedup:.3}}}"
+        ));
+    }
+    format!("[\n{}\n]\n", entries.join(",\n"))
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

@@ -54,6 +54,12 @@ pub struct GcodConfig {
     /// kernels are bit-for-bit identical, so this changes training
     /// wall-clock only — never accuracies, splits or simulated-perf results.
     pub kernel: KernelKind,
+    /// Worker lanes every GCN trained by the pipeline runs its parallel
+    /// kernels (SpMM and dense GEMM) with: 0 selects the global
+    /// `gcod_runtime` pool's lane count (`GCOD_WORKERS` /
+    /// `available_parallelism`). Like the kernel, bit-deterministic — worker
+    /// count changes wall-clock only.
+    pub workers: usize,
 }
 
 impl Default for GcodConfig {
@@ -73,6 +79,7 @@ impl Default for GcodConfig {
             early_bird: true,
             early_bird_tolerance: 0.02,
             kernel: KernelKind::default(),
+            workers: 0,
         }
     }
 }

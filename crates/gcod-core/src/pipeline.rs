@@ -128,7 +128,8 @@ impl GcodPipeline {
         // accuracy comparison and the relative-cost accounting.
         let standard_epochs = self.config.pretrain_epochs + 2 * self.config.retrain_epochs;
         let mut baseline_model = GnnModel::new(ModelConfig::for_kind(model_kind, graph), seed)?
-            .with_kernel(self.config.kernel);
+            .with_kernel(self.config.kernel)
+            .with_workers(self.config.workers);
         let baseline_report = Trainer::new(TrainConfig {
             epochs: standard_epochs,
             ..TrainConfig::default()
@@ -139,7 +140,8 @@ impl GcodPipeline {
         let layout = SubgraphLayout::build(graph, &self.config, seed)?;
         let reordered = layout.apply(graph);
         let mut model = GnnModel::new(ModelConfig::for_kind(model_kind, &reordered), seed)?
-            .with_kernel(self.config.kernel);
+            .with_kernel(self.config.kernel)
+            .with_workers(self.config.workers);
         let (pretrain_epochs, early_bird_epoch) = self.pretrain(&mut model, &reordered, seed)?;
 
         // Step 2: sparsify + polarize the adjacency, retrain to recover.
@@ -379,6 +381,27 @@ mod tests {
         assert_eq!(naive.gcod_accuracy, parallel.gcod_accuracy);
         assert_eq!(naive.split.total_nnz(), parallel.split.total_nnz());
         assert_eq!(naive.graph.num_edges(), parallel.graph.num_edges());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_pipeline_results() {
+        let g = graph();
+        let run_with = |workers| {
+            let cfg = GcodConfig {
+                workers,
+                kernel: gcod_nn::kernels::KernelKind::ParallelCsr,
+                ..fast_config()
+            };
+            GcodPipeline::new(cfg).run(&g, ModelKind::Gcn, 9).unwrap()
+        };
+        let one = run_with(1);
+        let two = run_with(2);
+        let auto = run_with(0);
+        assert_eq!(one.baseline_accuracy, two.baseline_accuracy);
+        assert_eq!(one.gcod_accuracy, two.gcod_accuracy);
+        assert_eq!(one.gcod_accuracy, auto.gcod_accuracy);
+        assert_eq!(one.split.total_nnz(), auto.split.total_nnz());
+        assert_eq!(one.graph.num_edges(), two.graph.num_edges());
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //! * [`TiledCsr`] — cache-blocked traversal: rows in tiles, columns in
 //!   tiles, so the feature rows touched by one column tile stay hot in cache
 //!   across the whole row tile (LW-GCN-style PE tiling, on cores),
-//! * [`ParallelCsr`] — row-range parallelism over a `std::thread::scope`
-//!   worker pool, ranges balanced by non-zero count (Accel-GCN-style row
-//!   binning, on threads),
+//! * [`ParallelCsr`] — row-range parallelism over the persistent
+//!   [`gcod_runtime::Pool`] worker pool (no per-call thread spawns), ranges
+//!   balanced by non-zero count (Accel-GCN-style row binning, on threads),
 //! * [`DegreeBinned`] — per-row dispatch mirroring GCoD's denser/sparser
 //!   branch split: high-degree (hub) rows take a feature-register-blocked
 //!   inner loop, sparse rows the plain gather loop.
@@ -45,6 +45,7 @@
 use crate::sparse_ops::{self, accumulate_row_segment};
 use crate::{NnError, Result, Tensor};
 use gcod_graph::CsrMatrix;
+use gcod_runtime::Pool;
 use serde::{Deserialize, Serialize};
 
 /// A sparse × dense multiplication kernel: `A · X` with `A` in CSR.
@@ -134,10 +135,17 @@ impl KernelKind {
 
     /// Instantiates the kernel with its default parameters.
     pub fn build(self) -> Box<dyn SpmmKernel> {
+        self.build_with_workers(0)
+    }
+
+    /// Instantiates the kernel with an explicit worker count for the
+    /// parallel variant (0 = the global pool's lane count; ignored by the
+    /// serial kernels, whose schedule has no worker knob).
+    pub fn build_with_workers(self, workers: usize) -> Box<dyn SpmmKernel> {
         match self {
             KernelKind::NaiveCsr => Box::new(NaiveCsr),
             KernelKind::TiledCsr => Box::new(TiledCsr::default()),
-            KernelKind::ParallelCsr => Box::new(ParallelCsr::default()),
+            KernelKind::ParallelCsr => Box::new(ParallelCsr::with_workers(workers)),
             KernelKind::DegreeBinned => Box::new(DegreeBinned::default()),
         }
     }
@@ -261,73 +269,80 @@ impl SpmmKernel for TiledCsr {
 }
 
 /// Row-range-parallel kernel: output rows are partitioned into contiguous
-/// ranges balanced by non-zero count, one `std::thread::scope` worker per
-/// range (no rayon — the workspace is offline; vendor shims only).
+/// ranges balanced by non-zero count and executed on the persistent
+/// [`gcod_runtime::Pool`] — workers are spawned once per process and reused
+/// by every call, so the per-call cost is a queue submission, not a thread
+/// spawn. That is also why the scalar cut-off
+/// ([`ParallelCsr::scalar_cutoff_macs`]) sits 16× below the 1M-MAC
+/// threshold the spawn-per-call implementation needed: a 2 000-node replica
+/// at 16 features (~320k MACs) now takes the parallel path.
 ///
 /// Each output row is produced entirely by one worker with the same inner
 /// loop as [`NaiveCsr`], so the result is bit-identical and — because the
 /// partition only decides *who* computes a row, never *how* — deterministic
 /// across worker counts.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ParallelCsr {
-    /// Worker threads; 0 (the default) selects
-    /// [`std::thread::available_parallelism`].
+    /// Parallel lanes; 0 (the default) selects the global pool's lane count
+    /// (`GCOD_WORKERS` / [`std::thread::available_parallelism`]).
     pub workers: usize,
+    /// MAC count below which `spmm` stays on the calling thread instead of
+    /// submitting to the pool, whatever the worker count — the worker knob
+    /// bounds parallelism, it never forces dispatch overhead onto tiny
+    /// operations. Defaults to the crate-wide pool-dispatch cut-off; 0
+    /// forces the pooled path on any size (the differential tests use this
+    /// to drive the range-split machinery on small fixtures).
+    pub scalar_cutoff_macs: u64,
+}
+
+impl Default for ParallelCsr {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            scalar_cutoff_macs: crate::POOL_DISPATCH_MIN_MACS,
+        }
+    }
 }
 
 impl ParallelCsr {
-    /// A parallel kernel with an explicit worker count (0 = auto).
+    /// A parallel kernel with an explicit worker count (0 = auto) and the
+    /// default small-operation cut-off.
     pub fn with_workers(workers: usize) -> Self {
-        Self { workers }
+        Self {
+            workers,
+            ..Self::default()
+        }
+    }
+
+    /// A parallel kernel with explicit worker count *and* scalar cut-off
+    /// (0 = always take the pooled path, however small the operation).
+    pub fn with_workers_and_cutoff(workers: usize, scalar_cutoff_macs: u64) -> Self {
+        Self {
+            workers,
+            scalar_cutoff_macs,
+        }
     }
 
     /// The worker count actually used for a matrix with `rows` rows.
     fn effective_workers(&self, rows: usize) -> usize {
-        let hw = || {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        };
-        let requested = if self.workers == 0 {
-            hw()
-        } else {
-            self.workers
-        };
-        requested.clamp(1, rows.max(1))
+        Pool::global()
+            .effective_workers(self.workers)
+            .clamp(1, rows.max(1))
     }
 
     /// Splits `[0, rows)` into at most `workers` contiguous ranges with
     /// roughly equal non-zero counts (row-degree-binned load balancing).
+    /// Delegates to [`gcod_runtime::split_by_cost`] with the row's stored
+    /// non-zero count as the cost — exactly the split `spmm` hands to
+    /// [`Pool::parallel_for_ranges`]; kept as a named helper so the tests
+    /// can pin its invariants on real matrices.
+    #[cfg(test)]
     fn balanced_row_ranges(a: &CsrMatrix, workers: usize) -> Vec<std::ops::Range<usize>> {
-        let rows = a.rows();
-        let nnz = a.nnz();
-        if rows == 0 || workers <= 1 {
-            return std::iter::once(0..rows).collect();
+        if a.rows() == 0 {
+            return std::iter::once(0..0).collect();
         }
         let indptr = a.indptr();
-        let per_worker = nnz / workers + 1;
-        let mut ranges = Vec::with_capacity(workers);
-        let mut start = 0usize;
-        for w in 0..workers {
-            if start >= rows {
-                break;
-            }
-            // Everything after this range still needs at least one row per
-            // remaining worker.
-            let remaining_workers = workers - w - 1;
-            let max_end = rows - remaining_workers.min(rows - start - 1);
-            let target = ((w + 1) * per_worker).min(nnz) as u64;
-            let mut end = start + 1;
-            while end < max_end && indptr[end] < target {
-                end += 1;
-            }
-            if remaining_workers == 0 {
-                end = rows;
-            }
-            ranges.push(start..end);
-            start = end;
-        }
-        ranges
+        gcod_runtime::split_by_cost(a.rows(), workers, |r| indptr[r + 1] - indptr[r])
     }
 }
 
@@ -341,32 +356,28 @@ impl SpmmKernel for ParallelCsr {
         let rows = a.rows();
         let cols = x.cols();
         let workers = self.effective_workers(rows);
-        // In auto mode the kernel refuses to spawn for matrices too small to
-        // amortise thread-spawn cost; an explicit worker count is honoured
-        // unconditionally (the differential tests rely on that to drive the
-        // threaded path on small fixtures).
-        let too_small =
-            self.workers == 0 && sparse_ops::spmm_macs(a.nnz(), cols) < PARALLEL_MIN_MACS;
+        // Matrices too small to amortise even a pool submission stay on the
+        // calling thread regardless of the worker count; tests drive the
+        // pooled path on small fixtures by zeroing `scalar_cutoff_macs`.
+        let too_small = sparse_ops::spmm_macs(a.nnz(), cols) < self.scalar_cutoff_macs;
         if workers <= 1 || rows == 0 || cols == 0 || too_small {
             return sparse_ops::spmm(a, x);
         }
         let mut out = Tensor::zeros(rows, cols);
-        let ranges = Self::balanced_row_ranges(a, workers);
-        let mut chunks = out.data_mut();
-        std::thread::scope(|scope| {
-            for range in &ranges {
-                let (chunk, rest) = chunks.split_at_mut(range.len() * cols);
-                chunks = rest;
-                let range = range.clone();
-                scope.spawn(move || {
-                    for (local, r) in range.clone().enumerate() {
-                        let (row_cols, row_vals) = a.row(r);
-                        let out_row = &mut chunk[local * cols..(local + 1) * cols];
-                        accumulate_row_segment(row_cols, row_vals, x, out_row);
-                    }
-                });
-            }
-        });
+        let indptr = a.indptr();
+        Pool::global().parallel_for_ranges(
+            rows,
+            out.data_mut(),
+            workers,
+            |r| indptr[r + 1] - indptr[r],
+            |range, chunk| {
+                for (local, r) in range.enumerate() {
+                    let (row_cols, row_vals) = a.row(r);
+                    let out_row = &mut chunk[local * cols..(local + 1) * cols];
+                    accumulate_row_segment(row_cols, row_vals, x, out_row);
+                }
+            },
+        );
         Ok(out)
     }
 
@@ -394,12 +405,6 @@ impl SpmmKernel for ParallelCsr {
         self.spmm(&a.transpose(), x)
     }
 }
-
-/// Below this many MACs, [`ParallelCsr::spmm`] runs the scalar loop instead
-/// of spawning workers: thread-spawn costs tens of microseconds per call,
-/// which dominates SpMMs under roughly a million MACs (a 2 000-node replica
-/// at 16 features is ~320k).
-const PARALLEL_MIN_MACS: u64 = 1 << 20;
 
 /// Below this many stored non-zeros, [`ParallelCsr`]'s `spmm_transpose`
 /// keeps the scalar scatter instead of materialising `Aᵀ` for the parallel
@@ -557,7 +562,11 @@ mod tests {
         let x = features(120, 9);
         let reference = NaiveCsr.spmm(&a, &x).unwrap();
         for workers in [1, 2, 4] {
-            let out = ParallelCsr::with_workers(workers).spmm(&a, &x).unwrap();
+            // Cut-off zeroed so the small fixture actually exercises the
+            // pooled range-split path.
+            let out = ParallelCsr::with_workers_and_cutoff(workers, 0)
+                .spmm(&a, &x)
+                .unwrap();
             assert_bits_equal(&out, &reference, &format!("{workers} workers"));
         }
     }
@@ -595,7 +604,7 @@ mod tests {
         );
         let xb = features(600, 3);
         let scatter = sparse_ops::spmm_transpose(&big, &xb).unwrap();
-        let gathered = ParallelCsr::with_workers(4)
+        let gathered = ParallelCsr::with_workers_and_cutoff(4, 0)
             .spmm_transpose(&big, &xb)
             .unwrap();
         assert_bits_equal(&gathered, &scatter, "transpose-then-gather");

@@ -36,11 +36,56 @@ impl Activation {
         }
     }
 
+    /// Applies the activation in place (allocation-free form of
+    /// [`Activation::apply`], numerically identical).
+    pub fn apply_in_place(self, x: &mut Tensor) {
+        match self {
+            Activation::Relu => x.relu_in_place(),
+            Activation::Linear => {}
+        }
+    }
+
     /// Elementwise gradient mask evaluated at the pre-activation input.
     pub fn grad_mask(self, pre_activation: &Tensor) -> Tensor {
         match self {
             Activation::Relu => pre_activation.relu_mask(),
             Activation::Linear => Tensor::full(pre_activation.rows(), pre_activation.cols(), 1.0),
+        }
+    }
+
+    /// Backward pass of the activation in one fused elementwise sweep:
+    /// `grad_output ⊙ activation'(pre_activation)` without materialising the
+    /// mask tensor. Bit-identical to `grad_output.hadamard(&grad_mask(..))`
+    /// — the per-element expression is the same `g * {1.0|0.0}` product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::ShapeMismatch`] when the shapes differ.
+    pub fn apply_grad(
+        self,
+        grad_output: &Tensor,
+        pre_activation: &Tensor,
+    ) -> crate::Result<Tensor> {
+        match self {
+            Activation::Relu => grad_output.zip_with(
+                pre_activation,
+                |g, p| g * if p > 0.0 { 1.0 } else { 0.0 },
+                "relu-grad",
+            ),
+            Activation::Linear => {
+                if grad_output.shape() != pre_activation.shape() {
+                    return Err(crate::NnError::ShapeMismatch {
+                        context: format!(
+                            "linear-grad: {}x{} vs {}x{}",
+                            grad_output.rows(),
+                            grad_output.cols(),
+                            pre_activation.rows(),
+                            pre_activation.cols()
+                        ),
+                    });
+                }
+                Ok(grad_output.clone())
+            }
         }
     }
 }
@@ -176,10 +221,12 @@ impl DenseLayer {
 
 /// Cached intermediate values of one layer's forward pass, needed by the
 /// backward pass.
+///
+/// The layer *input* is deliberately not cached: the backward pass never
+/// reads it (gradients flow through `aggregated` and `pre_activation`), and
+/// dropping it saves one full activation clone per layer per epoch.
 #[derive(Debug, Clone)]
 pub struct LayerCache {
-    /// Layer input `H_l` (after aggregation of the previous layer).
-    pub input: Tensor,
     /// Aggregated input `P · H_l`.
     pub aggregated: Tensor,
     /// Pre-activation output `P · H_l · W + b`.
@@ -228,12 +275,28 @@ pub fn graph_conv_forward_with(
     x: &Tensor,
     kernel: &dyn SpmmKernel,
 ) -> Result<LayerCache> {
+    graph_conv_forward_workers(layer, propagation, x, kernel, 0)
+}
+
+/// [`graph_conv_forward_with`] with an explicit worker count for the dense
+/// combination (`· W`): 0 selects the global pool's lane count. Worker count
+/// never changes the numerics, only wall-clock.
+///
+/// # Errors
+///
+/// Returns [`crate::NnError::ShapeMismatch`] when the dimensions are inconsistent.
+pub fn graph_conv_forward_workers(
+    layer: &DenseLayer,
+    propagation: &CsrMatrix,
+    x: &Tensor,
+    kernel: &dyn SpmmKernel,
+    workers: usize,
+) -> Result<LayerCache> {
     let aggregated = kernel.spmm(propagation, x)?;
-    let combined = aggregated.matmul(&layer.weight)?;
-    let pre_activation = combined.add_row_broadcast(&layer.bias)?;
+    let mut pre_activation = aggregated.matmul_with(&layer.weight, workers)?;
+    pre_activation.add_row_broadcast_in_place(&layer.bias)?;
     let output = layer.activation.apply(&pre_activation);
     Ok(LayerCache {
-        input: x.clone(),
         aggregated,
         pre_activation,
         output,
@@ -272,19 +335,43 @@ pub fn graph_conv_backward_with(
     grad_output: &Tensor,
     kernel: &dyn SpmmKernel,
 ) -> Result<LayerGrads> {
-    // dPre = dOut ⊙ activation'(pre)
-    let grad_pre = grad_output.hadamard(&layer.activation.grad_mask(&cache.pre_activation))?;
+    graph_conv_backward_workers(layer, propagation, cache, grad_output, kernel, 0)
+}
+
+/// [`graph_conv_backward_with`] with an explicit worker count for the dense
+/// matmuls and transposes (0 = the global pool's lane count). Worker count
+/// never changes the numerics, only wall-clock.
+///
+/// # Errors
+///
+/// Returns [`crate::NnError::ShapeMismatch`] on inconsistent shapes.
+pub fn graph_conv_backward_workers(
+    layer: &DenseLayer,
+    propagation: &CsrMatrix,
+    cache: &LayerCache,
+    grad_output: &Tensor,
+    kernel: &dyn SpmmKernel,
+    workers: usize,
+) -> Result<LayerGrads> {
+    // dPre = dOut ⊙ activation'(pre), fused into one elementwise sweep.
+    let grad_pre = layer
+        .activation
+        .apply_grad(grad_output, &cache.pre_activation)?;
     // dW = (P·X)^T · dPre
-    let grad_weight = cache.aggregated.transpose().matmul(&grad_pre)?;
-    // db = column sums of dPre
+    let grad_weight = cache
+        .aggregated
+        .transpose()
+        .matmul_with(&grad_pre, workers)?;
+    // db = column sums of dPre (rows accumulated in ascending order, exactly
+    // like the element-indexed loop it replaces).
     let mut grad_bias = Tensor::zeros(1, layer.out_dim());
     for r in 0..grad_pre.rows() {
-        for c in 0..grad_pre.cols() {
-            grad_bias.set(0, c, grad_bias.get(0, c) + grad_pre.get(r, c));
+        for (slot, &g) in grad_bias.data_mut().iter_mut().zip(grad_pre.row(r)) {
+            *slot += g;
         }
     }
     // dX = P^T · (dPre · W^T)
-    let grad_combined = grad_pre.matmul(&layer.weight.transpose())?;
+    let grad_combined = grad_pre.matmul_with(&layer.weight.transpose(), workers)?;
     let grad_input = kernel.spmm_transpose(propagation, &grad_combined)?;
     Ok(LayerGrads {
         weight: grad_weight,

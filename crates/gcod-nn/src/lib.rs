@@ -63,5 +63,13 @@ pub use kernels::{KernelKind, SpmmKernel};
 pub use sparse_ops::spmm;
 pub use tensor::Tensor;
 
+/// Below this many multiply-accumulates, the parallel kernels (dense matmul
+/// and `ParallelCsr` SpMM alike) stay on the calling thread instead of
+/// submitting to the [`gcod_runtime::Pool`]: a pool submission costs a queue
+/// lock and a wake-up (single-digit microseconds), which dominates products
+/// smaller than this. One shared constant so the dense and sparse cut-offs
+/// cannot drift apart when the pool's dispatch cost is retuned.
+pub(crate) const POOL_DISPATCH_MIN_MACS: u64 = 1 << 16;
+
 /// Result alias for the neural-network substrate.
 pub type Result<T> = std::result::Result<T, NnError>;

@@ -16,12 +16,13 @@
 
 use crate::kernels::KernelKind;
 use crate::layers::{
-    graph_conv_backward_with, graph_conv_forward_with, Activation, DenseLayer, LayerCache,
+    graph_conv_backward_workers, graph_conv_forward_workers, Activation, DenseLayer, LayerCache,
     Propagation,
 };
 use crate::{NnError, Result, Tensor};
 use gcod_graph::{CsrMatrix, Graph};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which of the five evaluated architectures a model instance realises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -217,6 +218,10 @@ pub struct GnnModel {
     /// hyper-parameter: every kernel is bit-identical, so this selects
     /// wall-clock behaviour only.
     kernel: KernelKind,
+    /// Worker lanes for the parallel kernels (0 = the global pool's count).
+    /// Like the kernel, never a hyper-parameter: results are bit-identical
+    /// for every count.
+    workers: usize,
 }
 
 /// Cached activations of a full forward pass (needed for the backward pass).
@@ -226,9 +231,11 @@ pub struct ForwardCache {
     pub layers: Vec<LayerCache>,
     /// Final logits.
     pub logits: Tensor,
-    /// Propagation matrix used (shared by all layers except feature-dependent
-    /// attention, which stores the per-layer matrices instead).
-    pub propagations: Vec<CsrMatrix>,
+    /// Per-layer propagation matrices. Feature-independent rules build the
+    /// matrix once and share it across layers (one `Arc` clone per layer
+    /// instead of a full CSR copy per layer per epoch); feature-dependent
+    /// attention stores genuinely distinct matrices.
+    pub propagations: Vec<Arc<CsrMatrix>>,
 }
 
 impl GnnModel {
@@ -262,6 +269,7 @@ impl GnnModel {
             config,
             layers,
             kernel: KernelKind::default(),
+            workers: 0,
         })
     }
 
@@ -290,6 +298,26 @@ impl GnnModel {
         self.kernel = kernel;
     }
 
+    /// The worker-lane count forward/backward run with (0 = the global
+    /// pool's count).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Selects the worker-lane count (builder form). Like the kernel choice,
+    /// this never changes the numerics — every count is bit-identical — only
+    /// the wall-clock of training and inference.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Selects the worker-lane count in place.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers;
+    }
+
     /// The architecture kind.
     pub fn kind(&self) -> ModelKind {
         self.config.kind
@@ -305,24 +333,8 @@ impl GnnModel {
         self.layers.iter().map(DenseLayer::num_params).sum()
     }
 
-    /// Runs inference and returns the logits (`N × classes`).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NnError::ModelGraphMismatch`] when the graph's feature
-    /// dimension differs from the configured input dimension.
-    pub fn forward(&self, graph: &Graph) -> Result<Tensor> {
-        Ok(self.forward_cached(graph)?.logits)
-    }
-
-    /// Runs inference keeping the per-layer caches needed for the backward
-    /// pass.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NnError::ModelGraphMismatch`] when the graph does not match
-    /// the configuration.
-    pub fn forward_cached(&self, graph: &Graph) -> Result<ForwardCache> {
+    /// Checks that `graph` matches the model configuration.
+    fn check_graph(&self, graph: &Graph) -> Result<()> {
         if graph.feature_dim() != self.config.input_dim {
             return Err(NnError::ModelGraphMismatch {
                 context: format!(
@@ -341,16 +353,35 @@ impl GnnModel {
                 ),
             });
         }
-        let propagation_rule = self.config.propagation();
-        let mut h = Tensor::from_vec(
+        Ok(())
+    }
+
+    /// The graph's node features as the input activation matrix.
+    fn input_features(graph: &Graph) -> Tensor {
+        Tensor::from_vec(
             graph.num_nodes(),
             graph.feature_dim(),
             graph.features().to_vec(),
         )
-        .expect("graph guarantees feature shape");
-        let mut caches = Vec::with_capacity(self.layers.len());
-        let mut propagations = Vec::with_capacity(self.layers.len());
-        let kernel = self.kernel.build();
+        .expect("graph guarantees feature shape")
+    }
+
+    /// Runs inference and returns the logits (`N × classes`).
+    ///
+    /// This is the lean inference path: activations ping-pong through one
+    /// live tensor per layer with in-place bias/activation/residual updates
+    /// and no cache bookkeeping. Bit-identical to
+    /// `self.forward_cached(graph)?.logits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ModelGraphMismatch`] when the graph's feature
+    /// dimension differs from the configured input dimension.
+    pub fn forward(&self, graph: &Graph) -> Result<Tensor> {
+        self.check_graph(graph)?;
+        let propagation_rule = self.config.propagation();
+        let kernel = self.kernel.build_with_workers(self.workers);
+        let mut h = Self::input_features(graph);
         // Feature-independent propagation matrices are built once and shared.
         let shared = if propagation_rule.is_feature_dependent() {
             None
@@ -358,24 +389,79 @@ impl GnnModel {
             Some(propagation_rule.matrix(graph, &h))
         };
         for (i, layer) in self.layers.iter().enumerate() {
+            let rebuilt;
             let propagation = match &shared {
-                Some(p) => p.clone(),
-                None => propagation_rule.matrix(graph, &h),
+                Some(p) => p,
+                None => {
+                    rebuilt = propagation_rule.matrix(graph, &h);
+                    &rebuilt
+                }
             };
-            let cache = graph_conv_forward_with(layer, &propagation, &h, kernel.as_ref())?;
-            let mut output = cache.output.clone();
+            let aggregated = kernel.spmm(propagation, &h)?;
+            let mut next = aggregated.matmul_with(&layer.weight, self.workers)?;
+            next.add_row_broadcast_in_place(&layer.bias)?;
+            layer.activation.apply_in_place(&mut next);
             // Residual connection between same-width hidden layers.
-            if self.config.residual && i > 0 && output.shape() == h.shape() {
-                output = output.add(&h)?;
+            if self.config.residual && i > 0 && next.shape() == h.shape() {
+                next.add_assign(&h)?;
             }
-            h = output.clone();
-            let mut cache = cache;
-            cache.output = output;
+            h = next;
+        }
+        Ok(h)
+    }
+
+    /// Runs inference keeping the per-layer caches needed for the backward
+    /// pass.
+    ///
+    /// Each layer reads its input straight out of the previous layer's
+    /// cached output — no per-layer activation clones survive from the
+    /// pre-pool implementation (which cloned every layer output twice and
+    /// the input once more into the cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ModelGraphMismatch`] when the graph does not match
+    /// the configuration.
+    pub fn forward_cached(&self, graph: &Graph) -> Result<ForwardCache> {
+        self.check_graph(graph)?;
+        let propagation_rule = self.config.propagation();
+        let features = Self::input_features(graph);
+        let mut caches: Vec<LayerCache> = Vec::with_capacity(self.layers.len());
+        let mut propagations = Vec::with_capacity(self.layers.len());
+        let kernel = self.kernel.build_with_workers(self.workers);
+        // Feature-independent propagation matrices are built once and shared.
+        let shared = if propagation_rule.is_feature_dependent() {
+            None
+        } else {
+            Some(Arc::new(propagation_rule.matrix(graph, &features)))
+        };
+        for (i, layer) in self.layers.iter().enumerate() {
+            let input = caches.last().map_or(&features, |c| &c.output);
+            let propagation = match &shared {
+                Some(p) => Arc::clone(p),
+                None => Arc::new(propagation_rule.matrix(graph, input)),
+            };
+            let mut cache = graph_conv_forward_workers(
+                layer,
+                &propagation,
+                input,
+                kernel.as_ref(),
+                self.workers,
+            )?;
+            // Residual connection between same-width hidden layers.
+            if self.config.residual && i > 0 && cache.output.shape() == input.shape() {
+                cache.output.add_assign(input)?;
+            }
             caches.push(cache);
             propagations.push(propagation);
         }
+        let logits = caches
+            .last()
+            .expect("configs validate num_layers >= 1")
+            .output
+            .clone();
         Ok(ForwardCache {
-            logits: h,
+            logits,
             layers: caches,
             propagations,
         })
@@ -396,14 +482,15 @@ impl GnnModel {
         let mut weight_grads = vec![Tensor::zeros(0, 0); self.layers.len()];
         let mut bias_grads = vec![Tensor::zeros(0, 0); self.layers.len()];
         let mut grad = grad_logits.clone();
-        let kernel = self.kernel.build();
+        let kernel = self.kernel.build_with_workers(self.workers);
         for i in (0..self.layers.len()).rev() {
-            let grads = graph_conv_backward_with(
+            let grads = graph_conv_backward_workers(
                 &self.layers[i],
                 &cache.propagations[i],
                 &cache.layers[i],
                 &grad,
                 kernel.as_ref(),
+                self.workers,
             )?;
             weight_grads[i] = grads.weight;
             bias_grads[i] = grads.bias;
@@ -556,6 +643,64 @@ mod tests {
             assert_eq!(w, ref_w, "{}", kind.name());
             assert_eq!(b, ref_b, "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn lean_forward_matches_cached_forward_for_all_kinds() {
+        let g = graph();
+        for kind in ModelKind::all() {
+            let mut cfg = ModelConfig::for_kind(kind, &g);
+            if kind == ModelKind::ResGcn {
+                cfg.num_layers = 4;
+                cfg.hidden_dim = 16;
+            }
+            let model = GnnModel::new(cfg, 11).unwrap();
+            let lean = model.forward(&g).unwrap();
+            let cached = model.forward_cached(&g).unwrap().logits;
+            assert_eq!(lean, cached, "{kind:?}: lean forward must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_logits_or_grads() {
+        let g = graph();
+        let reference = GnnModel::new(ModelConfig::gcn(&g), 8).unwrap();
+        assert_eq!(reference.workers(), 0);
+        let ref_cache = reference.forward_cached(&g).unwrap();
+        let grad_logits = Tensor::full(g.num_nodes(), g.num_classes(), 0.1);
+        let (ref_w, ref_b) = reference.backward(&ref_cache, &grad_logits).unwrap();
+        for workers in [1usize, 2, 3, 0] {
+            for kernel in [KernelKind::NaiveCsr, KernelKind::ParallelCsr] {
+                let model = GnnModel::new(ModelConfig::gcn(&g), 8)
+                    .unwrap()
+                    .with_kernel(kernel)
+                    .with_workers(workers);
+                assert_eq!(model.workers(), workers);
+                let cache = model.forward_cached(&g).unwrap();
+                assert_eq!(cache.logits, ref_cache.logits, "{workers}w {kernel}");
+                let (w, b) = model.backward(&cache, &grad_logits).unwrap();
+                assert_eq!(w, ref_w, "{workers}w {kernel}");
+                assert_eq!(b, ref_b, "{workers}w {kernel}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_propagation_is_one_matrix_behind_arcs() {
+        let g = graph();
+        let model = GnnModel::new(ModelConfig::gcn(&g), 0).unwrap();
+        let cache = model.forward_cached(&g).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&cache.propagations[0], &cache.propagations[1]),
+            "feature-independent layers must share one propagation matrix"
+        );
+        // Attention rebuilds per layer from the current features.
+        let gat = GnnModel::new(ModelConfig::gat(&g), 0).unwrap();
+        let cache = gat.forward_cached(&g).unwrap();
+        assert!(!std::sync::Arc::ptr_eq(
+            &cache.propagations[0],
+            &cache.propagations[1]
+        ));
     }
 
     #[test]

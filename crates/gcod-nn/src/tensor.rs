@@ -1,7 +1,22 @@
 //! Row-major dense matrix used throughout the GNN substrate.
 
 use crate::{NnError, Result};
+use gcod_runtime::Pool;
 use serde::{Deserialize, Serialize};
+
+/// Rows of the right-hand matrix one blocked-matmul inner pass streams: a
+/// 64-row × 128-column f32 block is 32 KiB, L1/L2-resident on any core, and
+/// reused across every output row of a worker's range.
+const MATMUL_K_BLOCK: usize = 64;
+
+/// Output columns one blocked-matmul pass touches before moving on; only
+/// bites for very wide outputs, keeping the output-row segment and the
+/// right-hand block cache-resident together.
+const MATMUL_COL_BLOCK: usize = 1024;
+
+/// Below this many elements a transpose is pure-serial: the pool dispatch
+/// cost (see [`crate::POOL_DISPATCH_MIN_MACS`]) dominates smaller moves.
+const TRANSPOSE_PARALLEL_MIN_ELEMS: usize = 1 << 16;
 
 /// A dense 2-D tensor stored row-major in `f32`.
 ///
@@ -122,12 +137,127 @@ impl Tensor {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Dense matrix multiplication `self × other`.
+    /// Dense matrix multiplication `self × other`: cache-blocked and
+    /// pool-parallel with the default block geometry and the global pool's
+    /// lane count.
+    ///
+    /// Bit-for-bit identical to [`Tensor::matmul_serial`] for every worker
+    /// count and block size: each output element accumulates its `k` terms
+    /// in the same ascending order regardless of how rows are split across
+    /// workers or how `k`/column blocks tile the traversal, so f32 summation
+    /// order — and therefore the result — never changes.
     ///
     /// # Errors
     ///
     /// Returns [`NnError::ShapeMismatch`] when the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        self.matmul_with(other, 0)
+    }
+
+    /// [`Tensor::matmul`] with an explicit worker count (0 = the global
+    /// pool's lane count). Results are identical for every count; only
+    /// wall-clock changes.
+    ///
+    /// Products too small to amortise a pool submission stay on the calling
+    /// thread *regardless* of the requested count — the worker knob bounds
+    /// parallelism, it never forces dispatch overhead onto tiny operations.
+    /// Use [`Tensor::matmul_blocked`] to drive the pooled path
+    /// unconditionally (the differential tests do).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the inner dimensions differ.
+    pub fn matmul_with(&self, other: &Tensor, workers: usize) -> Result<Tensor> {
+        let macs = self.rows as u64 * self.cols as u64 * other.cols as u64;
+        let workers = if macs < crate::POOL_DISPATCH_MIN_MACS {
+            1
+        } else {
+            workers
+        };
+        self.matmul_blocked(other, workers, MATMUL_K_BLOCK, MATMUL_COL_BLOCK)
+    }
+
+    /// Fully explicit blocked matmul: `workers` parallel lanes (0 = pool
+    /// default), `k_block` rows of `other` per inner pass and `col_block`
+    /// output columns per tile (0 = the whole axis as one block). An
+    /// explicit worker count is honoured unconditionally — no small-product
+    /// cut-off — so tests can drive the pooled path on tiny fixtures.
+    ///
+    /// Exposed for the differential tests; every geometry is bit-identical
+    /// to [`Tensor::matmul_serial`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the inner dimensions differ.
+    pub fn matmul_blocked(
+        &self,
+        other: &Tensor,
+        workers: usize,
+        k_block: usize,
+        col_block: usize,
+    ) -> Result<Tensor> {
+        if self.cols != other.rows {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "matmul: {}x{} × {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let (m, inner, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        if m == 0 || inner == 0 || n == 0 {
+            return Ok(out);
+        }
+        let k_block = if k_block == 0 { inner } else { k_block };
+        let col_block = if col_block == 0 { n } else { col_block };
+        let pool = Pool::global();
+        let macs = m as u64 * inner as u64 * n as u64;
+        let workers = if workers == 0 && macs < crate::POOL_DISPATCH_MIN_MACS {
+            1
+        } else {
+            pool.effective_workers(workers)
+        };
+        pool.parallel_for_ranges(
+            m,
+            out.data_mut(),
+            workers,
+            |_| 1,
+            |rows, chunk| {
+                // j-tile outer, k-tile middle: for any fixed output element the
+                // k tiles — and the `k`s inside each tile — arrive in ascending
+                // order, matching the serial i-k-j reference exactly. The tile
+                // of `other` loaded by one (j0, k0) pass stays cache-resident
+                // across every row of this worker's range.
+                for j0 in (0..n).step_by(col_block) {
+                    let j1 = (j0 + col_block).min(n);
+                    for k0 in (0..inner).step_by(k_block) {
+                        let k1 = (k0 + k_block).min(inner);
+                        for (local, i) in rows.clone().enumerate() {
+                            let a_row = &self.data[i * inner + k0..i * inner + k1];
+                            let out_row = &mut chunk[local * n + j0..local * n + j1];
+                            let b_rows = other.data[k0 * n..k1 * n].chunks_exact(n);
+                            for (&a, b_row) in a_row.iter().zip(b_rows) {
+                                for (o, &b) in out_row.iter_mut().zip(&b_row[j0..j1]) {
+                                    *o += a * b;
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+        );
+        Ok(out)
+    }
+
+    /// The serial reference matmul: the plain i-k-j scalar loop, kept as the
+    /// oracle the blocked/parallel implementation is differentially tested
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the inner dimensions differ.
+    pub fn matmul_serial(&self, other: &Tensor) -> Result<Tensor> {
         if self.cols != other.rows {
             return Err(NnError::ShapeMismatch {
                 context: format!(
@@ -138,13 +268,10 @@ impl Tensor {
         }
         let mut out = Tensor::zeros(self.rows, other.cols);
         // i-k-j loop order keeps the inner loop contiguous over `other` and
-        // `out`, which matters for the larger synthetic graphs.
+        // `out`.
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
                 let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
                 let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(other_row) {
@@ -155,14 +282,35 @@ impl Tensor {
         Ok(out)
     }
 
-    /// Transpose.
+    /// Transpose. Pool-parallel over output rows for large tensors; pure
+    /// data movement, so the result is trivially identical for every worker
+    /// count.
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
+        if self.data.is_empty() {
+            return out;
         }
+        let workers = if self.data.len() < TRANSPOSE_PARALLEL_MIN_ELEMS {
+            1
+        } else {
+            0 // pool default
+        };
+        let (rows, cols) = (self.rows, self.cols);
+        let data = &self.data;
+        Pool::global().parallel_for_ranges(
+            cols,
+            out.data_mut(),
+            workers,
+            |_| 1,
+            |col_range, chunk| {
+                for (local, c) in col_range.enumerate() {
+                    let out_row = &mut chunk[local * rows..(local + 1) * rows];
+                    for (r, slot) in out_row.iter_mut().enumerate() {
+                        *slot = data[r * cols + c];
+                    }
+                }
+            },
+        );
         out
     }
 
@@ -173,6 +321,27 @@ impl Tensor {
     /// Returns [`NnError::ShapeMismatch`] when shapes differ.
     pub fn add(&self, other: &Tensor) -> Result<Tensor> {
         self.zip_with(other, |a, b| a + b, "add")
+    }
+
+    /// Elementwise addition in place (`self += other`), avoiding the
+    /// allocation of [`Tensor::add`]. Numerically identical to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "add_assign: {}x{} vs {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
     }
 
     /// Elementwise subtraction.
@@ -193,7 +362,15 @@ impl Tensor {
         self.zip_with(other, |a, b| a * b, "hadamard")
     }
 
-    fn zip_with<F>(&self, other: &Tensor, op: F, name: &str) -> Result<Tensor>
+    /// Combines two same-shape tensors elementwise with `op` (`name` labels
+    /// the shape error). This is the primitive behind [`Tensor::add`],
+    /// [`Tensor::hadamard`] and friends; it is public so fused elementwise
+    /// passes (e.g. the ReLU backward) can run in one allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when shapes differ.
+    pub fn zip_with<F>(&self, other: &Tensor, op: F, name: &str) -> Result<Tensor>
     where
         F: Fn(f32, f32) -> f32,
     {
@@ -234,12 +411,32 @@ impl Tensor {
             });
         }
         let mut out = self.clone();
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[r * self.cols + c] += row.data[c];
+        out.add_row_broadcast_in_place(row)?;
+        Ok(out)
+    }
+
+    /// Adds `row` to every row of the tensor in place (allocation-free form
+    /// of [`Tensor::add_row_broadcast`], numerically identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `row.cols() != self.cols()` or
+    /// `row.rows() != 1`.
+    pub fn add_row_broadcast_in_place(&mut self, row: &Tensor) -> Result<()> {
+        if row.rows != 1 || row.cols != self.cols {
+            return Err(NnError::ShapeMismatch {
+                context: format!(
+                    "broadcast row must be 1x{}, got {}x{}",
+                    self.cols, row.rows, row.cols
+                ),
+            });
+        }
+        for chunk in self.data.chunks_exact_mut(self.cols.max(1)) {
+            for (slot, &b) in chunk.iter_mut().zip(&row.data) {
+                *slot += b;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Multiplies every element by `s`.
@@ -263,6 +460,14 @@ impl Tensor {
     /// ReLU non-linearity.
     pub fn relu(&self) -> Tensor {
         self.map(|v| v.max(0.0))
+    }
+
+    /// ReLU in place (allocation-free form of [`Tensor::relu`], numerically
+    /// identical).
+    pub fn relu_in_place(&mut self) {
+        for v in &mut self.data {
+            *v = v.max(0.0);
+        }
     }
 
     /// Gradient mask of the ReLU: 1 where the input was positive, else 0.
@@ -385,6 +590,61 @@ mod tests {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(2, 3);
         assert!(matches!(a.matmul(&b), Err(NnError::ShapeMismatch { .. })));
+        assert!(a.matmul_serial(&b).is_err());
+        assert!(a.matmul_blocked(&b, 2, 1, 1).is_err());
+    }
+
+    fn patterned(rows: usize, cols: usize, salt: u64) -> Tensor {
+        let data = (0..rows * cols)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+                ((h % 1024) as f32 - 512.0) / 128.0
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data).unwrap()
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_serial_reference() {
+        let a = patterned(37, 23, 1);
+        let b = patterned(23, 19, 2);
+        let reference = a.matmul_serial(&b).unwrap();
+        assert_eq!(bits(&a.matmul(&b).unwrap()), bits(&reference));
+        for workers in [0usize, 1, 2, 4] {
+            let out = a.matmul_with(&b, workers).unwrap();
+            assert_eq!(bits(&out), bits(&reference), "{workers} workers");
+        }
+        for (kb, jb) in [(1, 1), (3, 5), (0, 0), (23, 19), (100, 100)] {
+            let out = a.matmul_blocked(&b, 2, kb, jb).unwrap();
+            assert_eq!(bits(&out), bits(&reference), "blocks {kb}x{jb}");
+        }
+    }
+
+    #[test]
+    fn matmul_handles_degenerate_shapes() {
+        // Zero rows, zero inner dimension, zero columns.
+        assert_eq!(
+            Tensor::zeros(0, 3)
+                .matmul(&Tensor::zeros(3, 2))
+                .unwrap()
+                .shape(),
+            (0, 2)
+        );
+        assert_eq!(
+            Tensor::zeros(2, 0).matmul(&Tensor::zeros(0, 4)).unwrap(),
+            Tensor::zeros(2, 4)
+        );
+        assert_eq!(
+            Tensor::zeros(2, 3)
+                .matmul(&Tensor::zeros(3, 0))
+                .unwrap()
+                .shape(),
+            (2, 0)
+        );
     }
 
     #[test]
@@ -439,6 +699,29 @@ mod tests {
         assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
         assert_eq!(out.row(1), &[1.0, 2.0, 3.0]);
         assert!(x.add_row_broadcast(&Tensor::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn in_place_ops_match_their_allocating_forms() {
+        let a = patterned(5, 4, 3);
+        let b = patterned(5, 4, 9);
+        let bias = patterned(1, 4, 5);
+
+        let mut sum = a.clone();
+        sum.add_assign(&b).unwrap();
+        assert_eq!(bits(&sum), bits(&a.add(&b).unwrap()));
+        assert!(sum.add_assign(&Tensor::zeros(2, 2)).is_err());
+
+        let mut biased = a.clone();
+        biased.add_row_broadcast_in_place(&bias).unwrap();
+        assert_eq!(bits(&biased), bits(&a.add_row_broadcast(&bias).unwrap()));
+        assert!(biased
+            .add_row_broadcast_in_place(&Tensor::zeros(1, 3))
+            .is_err());
+
+        let mut rectified = a.clone();
+        rectified.relu_in_place();
+        assert_eq!(bits(&rectified), bits(&a.relu()));
     }
 
     #[test]

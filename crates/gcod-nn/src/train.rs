@@ -4,6 +4,14 @@
 //! 0.01, full-batch gradient descent on the masked cross-entropy loss, with a
 //! configurable epoch budget (the paper uses 400; the test-suite uses far
 //! fewer on scaled-down graphs).
+//!
+//! Every epoch runs on the persistent [`gcod_runtime::Pool`]: the cached
+//! forward pass, the backward pass and the in-loop evaluation (which takes
+//! [`GnnModel::forward`]'s lean, cache-free path) all inherit the model's
+//! kernel and worker settings, so the whole epoch — sparse aggregation and
+//! dense combination alike — is multi-core while staying bit-deterministic
+//! across worker counts. `benches/train.rs` in `gcod-bench` sweeps exactly
+//! this loop over workers × datasets.
 
 use crate::loss::masked_cross_entropy;
 use crate::metrics::masked_accuracy;

@@ -1,0 +1,757 @@
+//! Persistent worker-pool runtime shared by every parallel code path in the
+//! GCoD workspace.
+//!
+//! PR 3's `ParallelCsr` kernel paid a `std::thread::scope` spawn on *every*
+//! SpMM call — tens of microseconds that dominate the small and medium
+//! matrices a GCN training epoch is made of. This crate replaces per-call
+//! spawning with one process-wide pool:
+//!
+//! * [`Pool::global`] — a lazily-started pool whose worker count comes from
+//!   the `GCOD_WORKERS` environment variable (unset, empty, `0` or `auto`
+//!   selects [`std::thread::available_parallelism`]); workers are spawned
+//!   once and reused by every subsequent parallel call,
+//! * [`Pool::run`] — scoped execution of a batch of closures that may borrow
+//!   caller data (the pool joins the whole batch before returning),
+//! * [`Pool::parallel_for_ranges`] — the deterministic data-parallel
+//!   primitive the kernels build on: an index range is split into contiguous
+//!   sub-ranges balanced by a caller-supplied cost function
+//!   ([`split_by_cost`]), a mutable output slice is split into the matching
+//!   disjoint chunks, and the batch is joined in submission order,
+//! * graceful single-core fallback — a pool with one worker lane spawns **no
+//!   threads at all** and runs every task inline, in submission order.
+//!
+//! # Determinism
+//!
+//! The pool never makes results depend on the worker count. The range split
+//! is a pure function of the cost function and lane count, ranges are
+//! disjoint, and every task writes only its own output chunk — so a kernel
+//! that computes each output element in a fixed order inside one task
+//! produces bit-for-bit identical results at 1, 2 or N lanes. The
+//! differential suites in `gcod-nn` and the golden-report tests in
+//! `gcod-bench` pin this end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use gcod_runtime::Pool;
+//!
+//! // Double each element in parallel; 7 items, cost-uniform split.
+//! let mut out = vec![0u64; 7];
+//! Pool::global().parallel_for_ranges(7, &mut out, 0, |_| 1, |range, chunk| {
+//!     for (slot, i) in chunk.iter_mut().zip(range) {
+//!         *slot = 2 * i as u64;
+//!     }
+//! });
+//! assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased, lifetime-erased unit of work queued to the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// True on pool worker threads. A nested [`Pool::run`] issued from inside
+    /// a pooled task runs inline instead of re-queueing, so a task that
+    /// itself uses parallel tensor ops can never deadlock the pool.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The queue every worker thread blocks on.
+struct Shared {
+    queue: Mutex<QueueState>,
+    job_ready: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// A panic payload carried from a pooled task back to the submitting thread.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Counts a batch down to zero and wakes the submitting thread, carrying the
+/// first panic payload (if any) back to it.
+struct Latch {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+    panic_payload: Mutex<Option<PanicPayload>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: Mutex::new(count),
+            all_done: Condvar::new(),
+            panic_payload: Mutex::new(None),
+        }
+    }
+
+    fn complete_one(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    /// Records the first panic payload of the batch (later ones are dropped).
+    fn record_panic(&self, payload: PanicPayload) {
+        let mut slot = self.panic_payload.lock().expect("latch lock poisoned");
+        slot.get_or_insert(payload);
+    }
+
+    fn take_panic(&self) -> Option<PanicPayload> {
+        self.panic_payload
+            .lock()
+            .expect("latch lock poisoned")
+            .take()
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock poisoned");
+        while *remaining > 0 {
+            remaining = self.all_done.wait(remaining).expect("latch lock poisoned");
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().expect("latch lock poisoned") == 0
+    }
+}
+
+/// A persistent pool of worker threads executing scoped task batches.
+///
+/// A pool with `workers` lanes spawns `workers - 1` background threads; the
+/// thread submitting a batch is the final lane and always executes the last
+/// task of the batch itself. A single-lane pool therefore spawns nothing and
+/// runs every batch inline — the graceful single-core fallback.
+///
+/// Most code should use the process-wide [`Pool::global`]; explicit pools
+/// exist for tests and tools that need an isolated worker count.
+pub struct Pool {
+    shared: Option<Arc<Shared>>,
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+static GLOBAL_POOL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    /// The process-wide pool, started lazily on first use.
+    ///
+    /// The worker count comes from [`worker_count_from_env`] applied to the
+    /// `GCOD_WORKERS` environment variable, read once at first access.
+    pub fn global() -> &'static Pool {
+        GLOBAL_POOL.get_or_init(Pool::from_env)
+    }
+
+    /// A pool sized by the `GCOD_WORKERS` environment variable (see
+    /// [`worker_count_from_env`]).
+    pub fn from_env() -> Pool {
+        Pool::new(worker_count_from_env(
+            std::env::var("GCOD_WORKERS").ok().as_deref(),
+        ))
+    }
+
+    /// A pool with exactly `workers` lanes (clamped to at least 1).
+    ///
+    /// Spawns `workers - 1` background threads; a 1-lane pool spawns none.
+    /// Dropping a non-global pool shuts its workers down and joins them.
+    pub fn new(workers: usize) -> Pool {
+        let workers = workers.max(1);
+        if workers == 1 {
+            return Pool {
+                shared: None,
+                workers: 1,
+                handles: Vec::new(),
+            };
+        }
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+        });
+        let handles = (0..workers - 1)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gcod-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared: Some(shared),
+            workers,
+            handles,
+        }
+    }
+
+    /// Number of parallel lanes (background threads + the submitting
+    /// thread). Always at least 1.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Resolves a caller-requested lane count: 0 selects the pool's own lane
+    /// count, anything else is honoured as-is.
+    pub fn effective_workers(&self, requested: usize) -> usize {
+        if requested == 0 {
+            self.workers
+        } else {
+            requested
+        }
+    }
+
+    /// Executes a batch of tasks and returns once **all** of them have
+    /// completed (an in-order join: the call observes every task finished,
+    /// exactly as if they had been joined in submission order).
+    ///
+    /// Tasks may borrow caller data: the batch is fully joined before `run`
+    /// returns **or unwinds** — a panic in any task (including the one the
+    /// submitting thread runs itself) is caught, the join completes, and
+    /// only then does the panic propagate. Batches of one task, calls on a
+    /// single-lane pool, and calls issued from inside a pool worker all run
+    /// inline in submission order. While its batch finishes, the submitting
+    /// thread keeps draining queued jobs, so batches larger than the lane
+    /// count never leave it idle.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panicking task's original payload after the join
+    /// (the panic does not kill pool workers — they survive and keep
+    /// serving later batches).
+    pub fn run<F>(&self, mut tasks: Vec<F>)
+    where
+        F: FnOnce() + Send,
+    {
+        if tasks.is_empty() {
+            return;
+        }
+        let run_inline =
+            self.shared.is_none() || tasks.len() == 1 || IN_POOL_WORKER.with(Cell::get);
+        if run_inline {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        let shared = self.shared.as_ref().expect("checked above");
+        // The submitting thread is a lane too: it executes the batch's last
+        // task itself while the workers drain the rest.
+        let last = tasks.pop().expect("batch is non-empty");
+        let latch = Arc::new(Latch::new(tasks.len()));
+        {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            for task in tasks {
+                let latch = Arc::clone(&latch);
+                // The job itself catches its panic and parks the payload in
+                // the latch so the submitting thread can re-raise the real
+                // error (message, location) instead of a generic one; the
+                // latch is decremented on every path.
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                        latch.record_panic(payload);
+                    }
+                    latch.complete_one();
+                });
+                // SAFETY: `run` always reaches `latch.wait()` below — the
+                // submitter-lane task runs under `catch_unwind`, so even its
+                // panic cannot unwind past the join — and the job catches
+                // its own panic before counting the latch down, so a
+                // panicking job still counts down. Every borrow captured by
+                // the job therefore strictly outlives its execution. Only
+                // the lifetime is erased; the type is otherwise identical.
+                let job: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+                queue.jobs.push_back(job);
+            }
+            shared.job_ready.notify_all();
+        }
+        // Deferring the submitter task's panic until after the join is what
+        // keeps the lifetime erasure above sound: unwinding here while
+        // queued jobs still borrow caller data would be a use-after-free.
+        let last_result = catch_unwind(AssertUnwindSafe(last));
+        // Help drain the queue while the batch finishes: with more ranges
+        // than lanes, the submitting thread keeps executing queued jobs
+        // (its own batch's or a concurrent caller's) instead of sleeping on
+        // the latch while a lane sits idle.
+        while !latch.is_done() {
+            let job = {
+                let mut queue = shared.queue.lock().expect("pool queue poisoned");
+                queue.jobs.pop_front()
+            };
+            match job {
+                Some(job) => {
+                    let _ = catch_unwind(AssertUnwindSafe(job));
+                }
+                None => break,
+            }
+        }
+        latch.wait();
+        if let Err(payload) = last_result {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(payload) = latch.take_panic() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// The deterministic data-parallel primitive: splits `items` indices
+    /// into contiguous ranges balanced by `cost` (see [`split_by_cost`]),
+    /// splits `out` into the matching disjoint chunks (`out.len()` must be a
+    /// multiple of `items`), and runs `body(range, chunk)` for each pair,
+    /// joining the whole batch before returning.
+    ///
+    /// `workers` bounds the number of ranges: 0 uses the pool's lane count,
+    /// an explicit value is honoured even beyond it (extra ranges queue and
+    /// run as lanes free up). Because the split depends only on `cost` and
+    /// the resolved lane count never changes *how* an element is computed —
+    /// each output element lives in exactly one chunk — any `body` that
+    /// fills its chunk in a fixed per-element order is bit-deterministic
+    /// across worker counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `items > 0` and `out.len()` is not a multiple of `items`,
+    /// or when a `body` invocation panics.
+    pub fn parallel_for_ranges<T, C, F>(
+        &self,
+        items: usize,
+        out: &mut [T],
+        workers: usize,
+        cost: C,
+        body: F,
+    ) where
+        T: Send,
+        C: Fn(usize) -> u64,
+        F: Fn(Range<usize>, &mut [T]) + Send + Sync,
+    {
+        if items == 0 {
+            return;
+        }
+        assert!(
+            out.len().is_multiple_of(items),
+            "parallel_for_ranges: output length {} is not a multiple of {items} items",
+            out.len()
+        );
+        let unit = out.len() / items;
+        let lanes = self.effective_workers(workers).min(items);
+        let ranges = split_by_cost(items, lanes, cost);
+        let body = &body;
+        let mut rest = out;
+        let mut tasks = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len() * unit);
+            rest = tail;
+            tasks.push(move || body(range, chunk));
+        }
+        self.run(tasks);
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            shared.queue.lock().expect("pool queue poisoned").shutdown = true;
+            shared.job_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IN_POOL_WORKER.with(|flag| flag.set(true));
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break Some(job);
+                }
+                if queue.shutdown {
+                    break None;
+                }
+                queue = shared.job_ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        match job {
+            // A panicking task must not kill the worker: the completion
+            // guard inside the job records the panic for the submitter, and
+            // the worker moves on to the next batch.
+            Some(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            None => return,
+        }
+    }
+}
+
+/// Resolves a `GCOD_WORKERS`-style setting to a worker-lane count.
+///
+/// Unset, empty, `0`, `auto` and unparsable values all select
+/// [`std::thread::available_parallelism`] (1 when unavailable); an explicit
+/// positive integer is honoured as-is.
+pub fn worker_count_from_env(value: Option<&str>) -> usize {
+    let auto = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    match value.map(str::trim) {
+        None | Some("") | Some("0") | Some("auto") => auto(),
+        Some(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(auto),
+    }
+}
+
+/// Splits `[0, len)` into at most `parts` non-empty contiguous ranges with
+/// roughly equal total `cost`, covering the whole interval in order.
+///
+/// The split is a pure function of `len`, `parts` and `cost` — the same
+/// inputs always produce the same ranges, which is what makes the pool's
+/// data-parallel calls deterministic. `cost(i)` is the relative weight of
+/// index `i` (e.g. a CSR row's non-zero count); a uniform `|_| 1` yields
+/// (nearly) equal-length ranges.
+pub fn split_by_cost<C>(len: usize, parts: usize, cost: C) -> Vec<Range<usize>>
+where
+    C: Fn(usize) -> u64,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    if parts == 1 {
+        return std::iter::once(0..len).collect();
+    }
+    let total: u64 = (0..len).map(&cost).sum();
+    let per_part = total / parts as u64 + 1;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    // Cost of [0, end) maintained incrementally across the walk.
+    let mut prefix = 0u64;
+    for p in 0..parts {
+        if start >= len {
+            break;
+        }
+        // Everything after this range still needs at least one index per
+        // remaining part.
+        let remaining = parts - p - 1;
+        let max_end = len - remaining.min(len - start - 1);
+        let target = ((p as u64 + 1) * per_part).min(total);
+        let mut end = start + 1;
+        prefix += cost(start);
+        while end < max_end && prefix < target {
+            prefix += cost(end);
+            end += 1;
+        }
+        if remaining == 0 {
+            end = len;
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread::ThreadId;
+
+    fn assert_ranges_partition(ranges: &[Range<usize>], len: usize, parts: usize) {
+        assert!(!ranges.is_empty());
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, len);
+        assert!(ranges.len() <= parts);
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "ranges must be contiguous");
+        }
+        for range in ranges {
+            assert!(!range.is_empty(), "ranges must be non-empty");
+        }
+    }
+
+    #[test]
+    fn split_covers_and_respects_part_count() {
+        for len in [1usize, 2, 7, 97, 256] {
+            for parts in [1usize, 2, 3, 8, 300] {
+                let ranges = split_by_cost(len, parts, |_| 1);
+                assert_ranges_partition(&ranges, len, parts.clamp(1, len));
+            }
+        }
+        assert!(split_by_cost(0, 4, |_| 1).is_empty());
+    }
+
+    #[test]
+    fn split_balances_skewed_costs() {
+        // One huge index at the front: it should get its own range.
+        let cost = |i: usize| if i == 0 { 1_000 } else { 1 };
+        let ranges = split_by_cost(100, 4, cost);
+        assert_ranges_partition(&ranges, 100, 4);
+        assert_eq!(ranges[0], 0..1, "the heavy index dominates its range");
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let a = split_by_cost(250, 7, |i| (i % 13) as u64);
+        let b = split_by_cost(250, 7, |i| (i % 13) as u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_executes_every_task() {
+        for workers in [1usize, 2, 4] {
+            let pool = Pool::new(workers);
+            let counter = AtomicUsize::new(0);
+            let tasks: Vec<_> = (0..64)
+                .map(|_| {
+                    || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+                .collect();
+            pool.run(tasks);
+            assert_eq!(counter.load(Ordering::SeqCst), 64, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn workers_are_reused_across_calls() {
+        // ThreadIds are never reused within a process, so per-call spawning
+        // would accumulate fresh ids batch after batch. A persistent 3-lane
+        // pool can only ever show 3 distinct ids (2 workers + the caller).
+        let pool = Pool::new(3);
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        for _ in 0..8 {
+            let tasks: Vec<_> = (0..16)
+                .map(|_| {
+                    || {
+                        seen.lock().unwrap().insert(std::thread::current().id());
+                        // Give the other lanes a chance to pick up work too.
+                        std::thread::yield_now();
+                    }
+                })
+                .collect();
+            pool.run(tasks);
+        }
+        let distinct = seen.lock().unwrap().len();
+        assert!(
+            distinct <= 3,
+            "a persistent pool must reuse its workers, saw {distinct} distinct threads"
+        );
+    }
+
+    #[test]
+    fn single_lane_pool_runs_inline_in_order() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.workers(), 1);
+        let order = Mutex::new(Vec::new());
+        let caller = std::thread::current().id();
+        let ids = Mutex::new(HashSet::new());
+        let tasks: Vec<_> = (0..10)
+            .map(|i| {
+                let order = &order;
+                let ids = &ids;
+                move || {
+                    order.lock().unwrap().push(i);
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                }
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            *ids.lock().unwrap(),
+            HashSet::from([caller]),
+            "a 1-lane pool must never leave the calling thread"
+        );
+    }
+
+    #[test]
+    fn parallel_for_ranges_fills_disjoint_chunks() {
+        for workers in [1usize, 2, 5] {
+            let pool = Pool::new(workers);
+            let mut out = vec![0usize; 30];
+            // Two output slots per item, skewed cost.
+            pool.parallel_for_ranges(
+                15,
+                &mut out,
+                0,
+                |i| 1 + i as u64,
+                |range, chunk| {
+                    for (pair, i) in chunk.chunks_exact_mut(2).zip(range) {
+                        pair[0] = i;
+                        pair[1] = i * i;
+                    }
+                },
+            );
+            let expected: Vec<usize> = (0..15).flat_map(|i| [i, i * i]).collect();
+            assert_eq!(out, expected, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn parallel_for_ranges_honours_explicit_worker_count() {
+        let pool = Pool::new(1);
+        let mut out = vec![0u8; 8];
+        // An explicit worker count beyond the pool's lanes still covers
+        // everything (ranges queue and run inline on the single lane).
+        pool.parallel_for_ranges(
+            8,
+            &mut out,
+            4,
+            |_| 1,
+            |range, chunk| {
+                for (slot, i) in chunk.iter_mut().zip(range) {
+                    *slot = i as u8 + 1;
+                }
+            },
+        );
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn parallel_for_ranges_rejects_misaligned_output() {
+        Pool::new(1).parallel_for_ranges(3, &mut [0u8; 4], 0, |_| 1, |_, _| {});
+    }
+
+    #[test]
+    fn submitter_lane_panic_still_joins_queued_jobs_first() {
+        // The soundness of the lifetime erasure in `run` depends on every
+        // queued job finishing before the call unwinds — even when the task
+        // the submitting thread executes itself is the one that panics.
+        let pool = Pool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut tasks: Vec<Box<dyn FnOnce() + Send>> = (0..7)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                Box::new(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        // The last task is the one `run` executes on the submitting lane.
+        tasks.push(Box::new(|| panic!("submitter boom")));
+        let result = catch_unwind(AssertUnwindSafe(|| pool.run(tasks)));
+        assert!(result.is_err(), "the submitter panic must propagate");
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            7,
+            "every queued job must have completed before `run` unwound"
+        );
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_survives() {
+        let pool = Pool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| {}),
+            Box::new(|| panic!("boom")),
+            Box::new(|| {}),
+            Box::new(|| {}),
+        ];
+        let result = catch_unwind(AssertUnwindSafe(|| pool.run(tasks)));
+        let payload = result.expect_err("the panic must reach the submitter");
+        assert_eq!(
+            payload.downcast_ref::<&str>(),
+            Some(&"boom"),
+            "the original panic payload must be preserved, not a generic message"
+        );
+        // The pool keeps serving batches after a task panicked.
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..8)
+            .map(|_| {
+                || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_run_from_a_pooled_task_does_not_deadlock() {
+        let pool = Pool::new(2);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..4)
+            .map(|_| {
+                let counter = &counter;
+                move || {
+                    // A nested batch issued from whatever lane runs this
+                    // task (worker or caller) must complete inline.
+                    let inner: Vec<_> = (0..4)
+                        .map(|_| {
+                            || {
+                                counter.fetch_add(1, Ordering::SeqCst);
+                            }
+                        })
+                        .collect();
+                    Pool::global().run(inner);
+                }
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn worker_count_from_env_parses_all_forms() {
+        assert!(worker_count_from_env(None) >= 1);
+        assert_eq!(worker_count_from_env(Some("3")), 3);
+        assert_eq!(worker_count_from_env(Some(" 12 ")), 12);
+        // Auto selectors and garbage all fall back to the hardware count.
+        let auto = worker_count_from_env(None);
+        for raw in ["", "0", "auto", "-4", "lots", "1.5"] {
+            assert_eq!(worker_count_from_env(Some(raw)), auto, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn gcod_workers_env_is_honoured() {
+        // `from_env` reads GCOD_WORKERS at construction time; the global
+        // pool does the same at first access.
+        std::env::set_var("GCOD_WORKERS", "5");
+        let pool = Pool::from_env();
+        assert_eq!(pool.workers(), 5);
+        std::env::remove_var("GCOD_WORKERS");
+    }
+
+    #[test]
+    fn effective_workers_resolves_zero_to_pool_lanes() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.effective_workers(0), 4);
+        assert_eq!(pool.effective_workers(2), 2);
+        assert_eq!(pool.effective_workers(9), 9);
+    }
+}

@@ -141,6 +141,21 @@ impl Experiment {
         self
     }
 
+    /// Selects the worker-lane count every GCN trained by this experiment
+    /// runs its parallel kernels with (default: 0 = the global
+    /// `gcod_runtime` pool's lane count, i.e. `GCOD_WORKERS` or the
+    /// hardware's parallelism).
+    ///
+    /// Worker count is bit-deterministic: 1, 2 and auto all produce
+    /// identical accuracies, splits and platform reports — only training
+    /// wall-clock changes. Like [`kernel`](Experiment::kernel), this lives
+    /// on the [`GcodConfig`], so call `.gcod(..)` *before* `.workers(..)`
+    /// when combining the two.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
     /// Sets the seed used for graph generation, layout and training
     /// (default: 0).
     pub fn seed(mut self, seed: u64) -> Self {
@@ -466,6 +481,27 @@ mod tests {
             .gcod(fast_config())
             .kernel(KernelKind::DegreeBinned);
         assert_eq!(exp.config().kernel, KernelKind::DegreeBinned);
+    }
+
+    #[test]
+    fn workers_stage_selects_the_training_worker_count() {
+        let exp = tiny().workers(3);
+        assert_eq!(exp.config().workers, 3);
+        // .gcod(..) resets the worker count along with the rest of the config.
+        let exp = tiny().workers(4).gcod(fast_config());
+        assert_eq!(exp.config().workers, 0);
+    }
+
+    #[test]
+    fn worker_count_never_changes_training_outcomes() {
+        let base = tiny().kernel(KernelKind::ParallelCsr);
+        let one = base.clone().workers(1).train().unwrap();
+        let two = base.clone().workers(2).train().unwrap();
+        let auto = base.workers(0).train().unwrap();
+        assert_eq!(one.gcod_accuracy, two.gcod_accuracy);
+        assert_eq!(one.gcod_accuracy, auto.gcod_accuracy);
+        assert_eq!(one.baseline_accuracy, two.baseline_accuracy);
+        assert_eq!(one.split.total_nnz(), auto.split.total_nnz());
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!
 //! The subcrates remain available for direct use:
 //!
+//! * [`runtime`] — the persistent worker pool every parallel kernel runs on
+//!   ([`runtime::Pool`], `GCOD_WORKERS`),
 //! * [`graph`] — sparse formats, synthetic datasets, partitioning,
 //! * [`nn`] — the GNN models (GCN, GIN, GAT, GraphSAGE, ResGCN) and training,
 //! * [`core`] — the GCoD split-and-conquer training algorithm,
@@ -76,6 +78,11 @@ pub mod prelude;
 
 pub use error::{Error, Result};
 pub use experiment::{Experiment, ExperimentReport, StructuralRun, SuiteRequests};
+
+/// The persistent worker-pool runtime (re-export of `gcod-runtime`).
+pub mod runtime {
+    pub use gcod_runtime::*;
+}
 
 /// Sparse graph substrate (re-export of `gcod-graph`).
 pub mod graph {

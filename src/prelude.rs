@@ -18,6 +18,8 @@ pub use crate::experiment::{Experiment, ExperimentReport, StructuralRun, SuiteRe
 
 pub use gcod_graph::{DatasetProfile, Graph, GraphGenerator, GraphStats, KNOWN_DATASETS};
 
+pub use gcod_runtime::Pool;
+
 pub use gcod_nn::kernels::{KernelKind, SpmmKernel};
 pub use gcod_nn::models::{GnnModel, ModelConfig, ModelKind};
 pub use gcod_nn::quant::Precision;

@@ -98,8 +98,14 @@ proptest! {
         let x = features(a.cols(), 4, salt);
         let reference = spmm(&a, &x).expect("shapes consistent");
         for workers in [0usize, 1, 2, 4] {
-            let out = ParallelCsr::with_workers(workers).spmm(&a, &x).expect("shapes consistent");
+            // Cut-off zeroed so these small fixtures drive the pooled
+            // range-split path; the default-cutoff kernel is covered too.
+            let out = ParallelCsr::with_workers_and_cutoff(workers, 0)
+                .spmm(&a, &x)
+                .expect("shapes consistent");
             prop_assert_eq!(bits(&out), bits(&reference), "{} workers", workers);
+            let defaulted = ParallelCsr::with_workers(workers).spmm(&a, &x).expect("shapes consistent");
+            prop_assert_eq!(bits(&defaulted), bits(&reference), "{} workers (default cutoff)", workers);
         }
     }
 
