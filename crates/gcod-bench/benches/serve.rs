@@ -1,0 +1,100 @@
+//! Serving-layer benchmark: end-to-end submit→wait latency and throughput
+//! of the `gcod-serve` front-end swept over fused-batch sizes, plus the
+//! cost-scored backend-routing path.
+//!
+//! Each classify case submits `batch` compatible requests (same served
+//! model) and waits for all tickets; the batcher coalesces them into fused
+//! forward passes of at most `batch` requests, so the sweep exposes the
+//! batching win directly: per-request latency should fall as the batch
+//! grows, because one propagation pass is amortised over the whole batch.
+//! The case list and fixtures live in [`gcod_bench::sweeps`], shared with
+//! the `bench_gate` CI binary so the gate re-measures exactly this sweep.
+//!
+//! Writes a machine-readable summary to `target/BENCH_serve.json` **and**
+//! the repo-root `BENCH_serve.json` tracked across PRs (override both with
+//! the `BENCH_SERVE_JSON` environment variable), recording per-case median
+//! latency, per-request latency, throughput and the resolved worker count
+//! (one `Pool::global()` resolution, reused for every row). Run with
+//! `cargo bench --bench serve`; CI smokes it with
+//! `cargo bench --bench serve -- --test`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcod_bench::sweeps::{
+    serve_classify_request, serve_server, SERVE_BATCH_SIZES, SERVE_MODEL_NAME,
+};
+use gcod_runtime::Pool;
+use gcod_serve::ServeRequest;
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(9);
+    for &batch in SERVE_BATCH_SIZES {
+        let handle = serve_server(batch).spawn();
+        group.bench_with_input(BenchmarkId::new("classify", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let tickets: Vec<_> = (0..batch)
+                    .map(|i| {
+                        handle
+                            .submit_blocking(serve_classify_request(i))
+                            .expect("server is live")
+                    })
+                    .collect();
+                for ticket in tickets {
+                    ticket.wait().expect("classification succeeds");
+                }
+            });
+        });
+        handle.shutdown();
+    }
+
+    // The backend router: score the full platform suite, dispatch to the
+    // cheapest model.
+    let handle = serve_server(1).spawn();
+    group.bench_with_input(BenchmarkId::new("route-auto", 1usize), &1usize, |b, _| {
+        b.iter(|| {
+            handle
+                .submit_blocking(ServeRequest::predict_perf(SERVE_MODEL_NAME))
+                .expect("server is live")
+                .wait()
+                .expect("routing succeeds")
+        });
+    });
+    handle.shutdown();
+    group.finish();
+
+    if !c.is_test_mode() {
+        gcod_bench::write_bench_summary("BENCH_serve.json", "BENCH_SERVE_JSON", &render_summary(c));
+    }
+}
+
+/// Renders the recorded medians as JSON by hand (the vendored serde shim has
+/// no serializer). The worker count is resolved **once** via the global pool
+/// and reused for every row — the same resolution the execution path uses.
+fn render_summary(c: &Criterion) -> String {
+    let resolved_workers = Pool::global().workers();
+    let mut entries = Vec::new();
+    for (label, median) in c.results() {
+        // Labels are "serve/<case>/<batch>".
+        let mut parts = label.splitn(3, '/');
+        let (Some(_), Some(case), Some(batch)) = (parts.next(), parts.next(), parts.next()) else {
+            continue;
+        };
+        let batch: usize = batch.parse().unwrap_or(1);
+        let median_ns = median.as_nanos();
+        let per_request_us = median_ns as f64 / batch.max(1) as f64 / 1e3;
+        let throughput_rps = if median_ns > 0 {
+            batch as f64 / (median_ns as f64 / 1e9)
+        } else {
+            0.0
+        };
+        entries.push(format!(
+            "  {{\"case\": \"{case}\", \"batch\": {batch}, \"median_ns\": {median_ns}, \
+             \"per_request_us\": {per_request_us:.3}, \"throughput_rps\": {throughput_rps:.1}, \
+             \"resolved_workers\": {resolved_workers}}}"
+        ));
+    }
+    format!("[\n{}\n]\n", entries.join(",\n"))
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -3,46 +3,29 @@
 //! datasets of increasing size, plus the column-wise (CSC, "distributed")
 //! traversal the AWB-GCN-style engines model.
 //!
+//! The case list and fixtures live in [`gcod_bench::sweeps`], shared with
+//! the `bench_gate` CI binary so the gate re-measures exactly this sweep.
+//!
 //! Writes a machine-readable summary to `target/BENCH_spmm.json` **and**
 //! the repo-root `BENCH_spmm.json` tracked across PRs (override both with
 //! the `BENCH_SPMM_JSON` environment variable) recording the median time
 //! per kernel × dataset and each kernel's speedup over `naive-csr`. Run the
 //! sweep with `cargo bench --bench spmm`; CI smokes it with
-//! `cargo bench --bench spmm -- --test` (one sample, no JSON).
+//! `cargo bench --bench spmm -- --test` (one sample, no JSON) and gates the
+//! committed summary with `bench_gate`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gcod_graph::{DatasetProfile, GraphGenerator};
-use gcod_nn::kernels::KernelKind;
-use gcod_nn::sparse_ops::spmm_csc;
-use gcod_nn::Tensor;
-
-/// The swept datasets: `(nodes, avg_degree, feature_cols)`. The largest one
-/// carries enough work (~15M MACs per SpMM) for the parallel kernel's
-/// thread-spawn cost to amortise.
-const DATASETS: &[(usize, usize, usize)] = &[(500, 5, 16), (2_000, 5, 16), (30_000, 8, 64)];
+use gcod_bench::sweeps::{run_spmm, spmm_fixture, spmm_kernel_names, SPMM_DATASETS};
 
 fn bench_spmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("spmm");
-    for &(nodes, degree, feat) in DATASETS {
-        let profile = DatasetProfile::custom("bench", nodes, nodes * degree, feat, 4);
-        let graph = GraphGenerator::new(1).generate(&profile).expect("generate");
-        let csr = graph.adjacency().clone();
-        let csc = csr.to_csc();
-        let features = Tensor::full(nodes, feat, 0.5);
-
-        for kind in KernelKind::all() {
-            let kernel = kind.build();
-            group.bench_with_input(BenchmarkId::new(kind.name(), nodes), &nodes, |b, _| {
-                b.iter(|| kernel.spmm(&csr, &features).expect("spmm"));
+    for &(nodes, degree, feat) in SPMM_DATASETS {
+        let fixture = spmm_fixture(nodes, degree, feat);
+        for kernel in spmm_kernel_names() {
+            group.bench_with_input(BenchmarkId::new(kernel, nodes), &nodes, |b, _| {
+                b.iter(|| run_spmm(&fixture, kernel));
             });
         }
-        group.bench_with_input(
-            BenchmarkId::new("csc-column-wise", nodes),
-            &nodes,
-            |b, _| {
-                b.iter(|| spmm_csc(&csc, &features).expect("spmm_csc"));
-            },
-        );
     }
     group.finish();
 

@@ -6,7 +6,8 @@
 //! kernel for a fixed epoch budget at an explicit worker-lane count (`w1`,
 //! `w2`, and `auto` = the pool's lane count). Worker count is
 //! bit-deterministic — every sweep point computes identical logits — so the
-//! only thing this bench measures is wall-clock.
+//! only thing this bench measures is wall-clock. The case list and fixtures
+//! live in [`gcod_bench::sweeps`], shared with the `bench_gate` CI binary.
 //!
 //! Writes a machine-readable summary to `target/BENCH_train.json` **and**
 //! the repo-root `BENCH_train.json` tracked across PRs (override both with
@@ -19,52 +20,29 @@
 //! `cargo bench --bench train -- --test` (one sample, no JSON).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gcod_graph::{DatasetProfile, GraphGenerator};
-use gcod_nn::kernels::KernelKind;
-use gcod_nn::models::{GnnModel, ModelConfig};
-use gcod_nn::train::{TrainConfig, Trainer};
+use gcod_bench::sweeps::{
+    train_graph, train_template, train_trainer, worker_label, TRAIN_DATASETS, TRAIN_EPOCHS,
+    TRAIN_WORKER_COUNTS,
+};
 use gcod_runtime::Pool;
 
-/// The swept datasets: `(label, nodes, avg_degree, feature_dim, classes)`.
-/// The largest carries enough work per epoch (~50M MACs across both layer
-/// halves) for the pool's per-call submission cost to vanish.
-const DATASETS: &[(&str, usize, usize, usize, usize)] = &[
-    ("small", 500, 5, 16, 4),
-    ("medium", 2_000, 5, 32, 4),
-    ("large", 12_000, 8, 64, 8),
-];
-
-/// Worker-lane counts per case; 0 = the pool's auto count.
-const WORKER_COUNTS: &[usize] = &[1, 2, 0];
-
-/// Epochs per timed sample: enough to amortise model construction, few
-/// enough that the full sweep stays in benchmark territory.
-const EPOCHS: usize = 3;
-
-fn worker_label(workers: usize) -> String {
-    if workers == 0 {
-        "auto".to_string()
-    } else {
-        format!("w{workers}")
-    }
-}
-
 fn bench_train(c: &mut Criterion) {
+    // The auto (`workers = 0`) rows resolve to the global pool's lane count.
+    // Resolve it exactly once, here, and reuse it for the JSON rows — the
+    // execution path resolves 0 through the very same pool, so the recorded
+    // `resolved_workers` can never drift from what the training actually ran
+    // with (on any core count).
+    let resolved_auto_workers = Pool::global().workers();
+
     let mut group = c.benchmark_group("train");
     group.sample_size(9);
-    for &(label, nodes, degree, feat, classes) in DATASETS {
-        let profile = DatasetProfile::custom(label, nodes, nodes * degree, feat, classes);
-        let graph = GraphGenerator::new(1).generate(&profile).expect("generate");
-        let trainer = Trainer::new(TrainConfig {
-            epochs: EPOCHS,
-            ..TrainConfig::default()
-        });
+    for &(label, ..) in TRAIN_DATASETS {
+        let graph = train_graph(label);
+        let trainer = train_trainer();
         // Built once per case: the timed closure clones it (a plain memcpy)
         // so the samples measure the training loop, not weight initialisation.
-        let template = GnnModel::new(ModelConfig::gcn(&graph), 0)
-            .expect("valid config")
-            .with_kernel(KernelKind::ParallelCsr);
-        for &workers in WORKER_COUNTS {
+        let template = train_template(&graph);
+        for &workers in TRAIN_WORKER_COUNTS {
             let id = BenchmarkId::new(format!("gcn-{label}"), worker_label(workers));
             group.bench_with_input(id, &workers, |b, &workers| {
                 b.iter(|| {
@@ -77,14 +55,20 @@ fn bench_train(c: &mut Criterion) {
     group.finish();
 
     if !c.is_test_mode() {
-        gcod_bench::write_bench_summary("BENCH_train.json", "BENCH_TRAIN_JSON", &render_summary(c));
+        gcod_bench::write_bench_summary(
+            "BENCH_train.json",
+            "BENCH_TRAIN_JSON",
+            &render_summary(c, resolved_auto_workers),
+        );
     }
 }
 
 /// Renders the recorded medians as JSON by hand (the vendored serde shim has
 /// no serializer): one entry per dataset × worker count with the per-epoch
-/// median and the speedup over the single-worker (`w1`) run.
-fn render_summary(c: &Criterion) -> String {
+/// median and the speedup over the single-worker (`w1`) run. The `auto`
+/// rows record `resolved_auto_workers`, the single upfront `Pool::global()`
+/// resolution.
+fn render_summary(c: &Criterion, resolved_auto_workers: usize) -> String {
     let single_worker_ns = |dataset: &str| {
         let label = format!("train/gcn-{dataset}/w1");
         c.results()
@@ -92,7 +76,6 @@ fn render_summary(c: &Criterion) -> String {
             .find(|(l, _)| *l == label)
             .map(|(_, d)| d.as_nanos())
     };
-    let pool_workers = Pool::global().workers();
     let mut entries = Vec::new();
     for (label, median) in c.results() {
         // Labels are "train/gcn-<dataset>/<workers>".
@@ -104,22 +87,22 @@ fn render_summary(c: &Criterion) -> String {
         let Some(dataset) = case.strip_prefix("gcn-") else {
             continue;
         };
-        let nodes = DATASETS
+        let nodes = TRAIN_DATASETS
             .iter()
             .find(|(l, ..)| *l == dataset)
             .map_or(0, |&(_, n, ..)| n);
         let resolved_workers = if workers == "auto" {
-            pool_workers
+            resolved_auto_workers
         } else {
             workers.trim_start_matches('w').parse().unwrap_or(1)
         };
-        let epoch_ms = median.as_nanos() as f64 / EPOCHS as f64 / 1e6;
+        let epoch_ms = median.as_nanos() as f64 / TRAIN_EPOCHS as f64 / 1e6;
         let speedup = single_worker_ns(dataset)
             .map(|base| base as f64 / median.as_nanos().max(1) as f64)
             .unwrap_or(1.0);
         entries.push(format!(
             "  {{\"dataset\": \"{dataset}\", \"nodes\": {nodes}, \"workers\": \"{workers}\", \
-             \"resolved_workers\": {resolved_workers}, \"epochs\": {EPOCHS}, \
+             \"resolved_workers\": {resolved_workers}, \"epochs\": {TRAIN_EPOCHS}, \
              \"epoch_ms\": {epoch_ms:.3}, \"speedup_over_w1\": {speedup:.3}}}"
         ));
     }

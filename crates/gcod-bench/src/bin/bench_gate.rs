@@ -1,0 +1,150 @@
+//! CI perf-regression gate over the committed bench trajectory.
+//!
+//! Re-runs the SpMM, training and serving sweeps of [`gcod_bench::sweeps`]
+//! in smoke mode and compares each per-benchmark median against the
+//! committed repo-root `BENCH_spmm.json` / `BENCH_train.json` /
+//! `BENCH_serve.json`, failing (exit code 1) with a per-row delta table when
+//! any median regressed beyond the tolerance.
+//!
+//! Knobs:
+//!
+//! * `BENCH_GATE_TOL` — allowed fractional slowdown (default 2.0, i.e. fail
+//!   above 3× the committed median; generous for noisy runners),
+//! * `BENCH_GATE_SAMPLES` — timed samples per case (default 5),
+//! * a trajectory file that does not exist is skipped with a warning, so the
+//!   gate degrades gracefully on fresh checkouts that have not committed a
+//!   trajectory for a new bench yet — but a *stale* committed row (present
+//!   in the file, absent from the sweep) is a hard failure.
+//!
+//! Caveat: the gate compares **absolute** wall-clock medians, so the
+//! committed trajectory carries the speed of the machine that recorded it.
+//! The tolerance must absorb the hardware delta between that machine and
+//! the runner (hence the generous defaults, and CI's wider override); a
+//! runner dramatically slower than the recording machine needs a larger
+//! `BENCH_GATE_TOL`, or freshly re-recorded trajectory files. Gating the
+//! machine-independent relative columns (`speedup_over_naive`,
+//! `speedup_over_w1`) alongside the absolute medians is the tracked
+//! hardening follow-up (see ROADMAP).
+//!
+//! Run it the way CI does: `cargo run --release -p gcod-bench --bin
+//! bench_gate`.
+
+use gcod_bench::gate::{compare, parse_bench_rows, tolerance_from_env, GateOutcome};
+use gcod_bench::sweeps;
+use std::path::{Path, PathBuf};
+
+/// Timed samples per sweep case.
+fn samples_from_env() -> usize {
+    std::env::var("BENCH_GATE_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(5)
+}
+
+/// The repo root (this crate sits at `<workspace>/crates/gcod-bench`).
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Gates one trajectory file; `None` when the file does not exist (skipped).
+fn gate_file(
+    path: &Path,
+    name: &str,
+    prefix: &str,
+    key_fields: &[&str],
+    value_field: &str,
+    measured: &[(String, f64)],
+    tolerance: f64,
+) -> Option<GateOutcome> {
+    let json = match std::fs::read_to_string(path) {
+        Ok(json) => json,
+        Err(_) => {
+            println!(
+                "{name}: no committed trajectory at {} — skipped",
+                path.display()
+            );
+            return None;
+        }
+    };
+    let committed = match parse_bench_rows(&json, prefix, key_fields, value_field) {
+        Ok(rows) => rows,
+        Err(e) => {
+            // A malformed committed file is itself a failure: surface it as
+            // an outcome with one missing row so the verdict is FAIL.
+            println!("{name}: cannot parse committed trajectory: {e}");
+            return Some(GateOutcome {
+                name: name.to_string(),
+                rows: Vec::new(),
+                missing: vec![format!("<unparsable: {e}>")],
+                tolerance,
+            });
+        }
+    };
+    Some(compare(name, &committed, measured, tolerance))
+}
+
+fn main() {
+    let tolerance = tolerance_from_env();
+    let samples = samples_from_env();
+    let root = workspace_root();
+    println!(
+        "bench_gate: tolerance {tolerance} (fail above {:.2}x committed), {samples} samples/case",
+        1.0 + tolerance
+    );
+
+    println!("re-measuring SpMM sweep...");
+    let spmm = sweeps::smoke_spmm_medians(samples);
+    println!("re-measuring training sweep...");
+    let train = sweeps::smoke_train_medians(samples.min(3));
+    println!("re-measuring serving sweep...");
+    let serve = sweeps::smoke_serve_medians(samples);
+
+    let outcomes: Vec<GateOutcome> = [
+        gate_file(
+            &root.join("BENCH_spmm.json"),
+            "BENCH_spmm.json",
+            "spmm",
+            &["kernel", "nodes"],
+            "median_ns",
+            &spmm,
+            tolerance,
+        ),
+        gate_file(
+            &root.join("BENCH_train.json"),
+            "BENCH_train.json",
+            "train",
+            &["dataset", "workers"],
+            "epoch_ms",
+            &train,
+            tolerance,
+        ),
+        gate_file(
+            &root.join("BENCH_serve.json"),
+            "BENCH_serve.json",
+            "serve",
+            &["case", "batch"],
+            "median_ns",
+            &serve,
+            tolerance,
+        ),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+
+    let mut passed = true;
+    for outcome in &outcomes {
+        println!("\n{}", outcome.render_table());
+        passed &= outcome.passed();
+    }
+    if outcomes.is_empty() {
+        println!("bench_gate: no committed trajectories found — nothing gated");
+    }
+    if passed {
+        println!("bench_gate: PASS");
+    } else {
+        println!("bench_gate: FAIL — perf trajectory regressed beyond tolerance");
+        std::process::exit(1);
+    }
+}

@@ -21,6 +21,9 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
+pub mod sweeps;
+
 use gcod::{Experiment, SuiteRequests};
 use gcod_accel::config::AcceleratorConfig;
 use gcod_accel::simulator::GcodAccelerator;

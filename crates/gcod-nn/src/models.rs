@@ -410,6 +410,29 @@ impl GnnModel {
         Ok(h)
     }
 
+    /// Batched inference for a stack of node queries: one fused forward pass
+    /// over the whole graph, with the logit rows of `nodes` (in order,
+    /// duplicates allowed) stacked into a `nodes.len() × classes` tensor.
+    ///
+    /// This is the serving entry point: a batcher that coalesces many
+    /// node-classification requests against the same model concatenates
+    /// their node lists, pays for **one** propagation + combination pass,
+    /// and splits the stacked rows back out per request. Because graph
+    /// convolution computes every node's logits from the full neighbourhood
+    /// anyway, the fused pass is bit-for-bit identical to running
+    /// [`forward`](GnnModel::forward) once per request and gathering each
+    /// request's rows — batching never changes a single bit of any answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ModelGraphMismatch`] when the graph does not match
+    /// the configuration and [`NnError::ShapeMismatch`] when a node index is
+    /// out of bounds.
+    pub fn forward_rows(&self, graph: &Graph, nodes: &[usize]) -> Result<Tensor> {
+        let logits = self.forward(graph)?;
+        logits.gather_rows(nodes)
+    }
+
     /// Runs inference keeping the per-layer caches needed for the backward
     /// pass.
     ///
@@ -683,6 +706,41 @@ mod tests {
                 assert_eq!(b, ref_b, "{workers}w {kernel}");
             }
         }
+    }
+
+    #[test]
+    fn forward_rows_is_bit_identical_to_per_request_inference() {
+        let g = graph();
+        let model = GnnModel::new(ModelConfig::gcn(&g), 13).unwrap();
+        let full = model.forward(&g).unwrap();
+        // A "batch" of three requests with overlapping, unsorted nodes.
+        let requests: Vec<Vec<usize>> = vec![vec![5, 0, 17], vec![17, 3], vec![1]];
+        let stacked_nodes: Vec<usize> = requests.iter().flatten().copied().collect();
+        let fused = model.forward_rows(&g, &stacked_nodes).unwrap();
+        assert_eq!(fused.shape(), (stacked_nodes.len(), g.num_classes()));
+        // Fused batch equals per-request gathers of independent passes.
+        let mut offset = 0;
+        for nodes in &requests {
+            let solo = model.forward_rows(&g, nodes).unwrap();
+            for (i, &node) in nodes.iter().enumerate() {
+                assert_eq!(fused.row(offset + i), solo.row(i));
+                assert_eq!(solo.row(i), full.row(node));
+            }
+            offset += nodes.len();
+        }
+    }
+
+    #[test]
+    fn forward_rows_rejects_out_of_range_nodes() {
+        let g = graph();
+        let model = GnnModel::new(ModelConfig::gcn(&g), 0).unwrap();
+        assert!(matches!(
+            model.forward_rows(&g, &[0, g.num_nodes()]),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+        // An empty query is legal and yields an empty stack.
+        let empty = model.forward_rows(&g, &[]).unwrap();
+        assert_eq!(empty.shape(), (0, g.num_classes()));
     }
 
     #[test]

@@ -504,6 +504,36 @@ impl Tensor {
         self.zip_with(other, f32::max, "maximum")
     }
 
+    /// Stacks the given rows (in order, duplicates allowed) into a new
+    /// `rows.len() × cols` tensor.
+    ///
+    /// This is the gather half of batched inference serving: a fused forward
+    /// pass computes logits for the whole graph once, and each request's
+    /// node rows are stacked out of that one result. Each output row is a
+    /// bitwise copy, so gathering commutes exactly with any per-row
+    /// computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when any row index is out of
+    /// bounds.
+    pub fn gather_rows(&self, rows: &[usize]) -> Result<Tensor> {
+        let mut data = Vec::with_capacity(rows.len() * self.cols);
+        for &r in rows {
+            if r >= self.rows {
+                return Err(NnError::ShapeMismatch {
+                    context: format!("row index {r} out of bounds for {} rows", self.rows),
+                });
+            }
+            data.extend_from_slice(self.row(r));
+        }
+        Ok(Tensor {
+            rows: rows.len(),
+            cols: self.cols,
+            data,
+        })
+    }
+
     /// Index of the maximum value in each row.
     pub fn argmax_rows(&self) -> Vec<usize> {
         (0..self.rows)

@@ -51,7 +51,7 @@ pub mod memory;
 mod platform;
 pub mod report;
 
-pub use platform::{Platform, PlatformError, SimRequest};
+pub use platform::{cheapest_platform, Platform, PlatformError, SimRequest};
 
 /// Result alias for platform simulations.
 pub type Result<T> = std::result::Result<T, PlatformError>;

@@ -94,7 +94,10 @@ impl std::error::Error for PlatformError {}
 ///
 /// The trait is object-safe: heterogeneous suites are iterated as
 /// `Vec<Box<dyn Platform>>` (see `gcod_baselines::suite::all_platforms`).
-pub trait Platform: fmt::Debug {
+/// Platform models are immutable data, so the contract demands
+/// `Send + Sync` — a suite can move into a serving dispatcher thread and be
+/// scored concurrently.
+pub trait Platform: fmt::Debug + Send + Sync {
     /// Platform name as it appears in reports (e.g. "gcod", "pyg-cpu").
     fn name(&self) -> &str;
 
@@ -123,6 +126,66 @@ pub trait Platform: fmt::Debug {
     /// [requires a split](Platform::requires_split) and the request carries
     /// none.
     fn simulate(&self, request: &SimRequest) -> crate::Result<PerfReport>;
+
+    /// The scalar cost this platform predicts for `request`: its simulated
+    /// end-to-end latency in milliseconds.
+    ///
+    /// This is the scoring surface multi-backend routers rank platforms by
+    /// (see [`cheapest_platform`]); the default implementation simply runs
+    /// [`simulate`](Platform::simulate) and reads the latency, and platform
+    /// models with a cheaper closed-form estimate may override it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`simulate`](Platform::simulate) failures.
+    fn predicted_cost_ms(&self, request: &SimRequest) -> crate::Result<f64> {
+        Ok(self.simulate(request)?.latency_ms)
+    }
+}
+
+/// Routes a request across a heterogeneous platform suite: scores every
+/// platform via [`Platform::predicted_cost_ms`] on the request `request_for`
+/// assigns it (returning `None` skips the platform — e.g. a split-aware
+/// accelerator when no split exists), then simulates only the winner and
+/// returns its index and report, or `None` when no platform was eligible.
+///
+/// Scoring goes through the `predicted_cost_ms` hook — not `simulate`
+/// directly — so a platform overriding it with a cheaper closed-form
+/// estimate is both honoured and cheap to score; only the dispatched winner
+/// pays for a full simulation. Ties break toward the earlier suite index,
+/// so routing is deterministic for a fixed suite order.
+///
+/// # Errors
+///
+/// Propagates the first scoring failure of an eligible platform, or the
+/// winner's simulation failure.
+pub fn cheapest_platform<'r>(
+    platforms: &[Box<dyn Platform>],
+    request_for: impl Fn(&dyn Platform) -> Option<&'r SimRequest>,
+) -> crate::Result<Option<(usize, PerfReport)>> {
+    let mut best: Option<(usize, f64)> = None;
+    for (index, platform) in platforms.iter().enumerate() {
+        let Some(request) = request_for(platform.as_ref()) else {
+            continue;
+        };
+        let cost = platform.predicted_cost_ms(request)?;
+        let better = best
+            .as_ref()
+            .map(|&(_, incumbent)| cost < incumbent)
+            .unwrap_or(true);
+        if better {
+            best = Some((index, cost));
+        }
+    }
+    match best {
+        Some((index, _)) => {
+            let platform = &platforms[index];
+            let request = request_for(platform.as_ref())
+                .expect("winner was scored on a request request_for assigned it");
+            Ok(Some((index, platform.simulate(request)?)))
+        }
+        None => Ok(None),
+    }
 }
 
 #[cfg(test)]
@@ -155,34 +218,124 @@ mod tests {
         assert!(text.contains("with_split"));
     }
 
-    #[test]
-    fn platform_trait_is_object_safe() {
-        #[derive(Debug)]
-        struct Fixed;
-        impl Platform for Fixed {
-            fn name(&self) -> &str {
-                "fixed"
-            }
-            fn simulate(&self, request: &SimRequest) -> crate::Result<PerfReport> {
-                Ok(PerfReport {
-                    platform: self.name().to_string(),
-                    dataset: request.workload.dataset.clone(),
-                    model: request.workload.model.clone(),
-                    latency_ms: 1.0,
-                    cycles: 0,
-                    off_chip_bytes: 0,
-                    off_chip_accesses: 0,
-                    peak_bandwidth_gbps: 0.0,
-                    utilization: 1.0,
-                    energy: crate::energy::EnergyBreakdown::default(),
-                    traffic: crate::memory::TrafficCounter::new(),
-                })
+    /// A platform reporting a fixed latency, optionally requiring a split.
+    #[derive(Debug)]
+    struct Fixed {
+        name: &'static str,
+        latency_ms: f64,
+        needs_split: bool,
+    }
+
+    impl Fixed {
+        fn new(name: &'static str, latency_ms: f64) -> Self {
+            Self {
+                name,
+                latency_ms,
+                needs_split: false,
             }
         }
-        let boxed: Box<dyn Platform> = Box::new(Fixed);
+    }
+
+    impl Platform for Fixed {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn requires_split(&self) -> bool {
+            self.needs_split
+        }
+        fn simulate(&self, request: &SimRequest) -> crate::Result<PerfReport> {
+            Ok(PerfReport {
+                platform: self.name().to_string(),
+                dataset: request.workload.dataset.clone(),
+                model: request.workload.model.clone(),
+                latency_ms: self.latency_ms,
+                cycles: 0,
+                off_chip_bytes: 0,
+                off_chip_accesses: 0,
+                peak_bandwidth_gbps: 0.0,
+                utilization: 1.0,
+                energy: crate::energy::EnergyBreakdown::default(),
+                traffic: crate::memory::TrafficCounter::new(),
+            })
+        }
+    }
+
+    #[test]
+    fn platform_trait_is_object_safe() {
+        let boxed: Box<dyn Platform> = Box::new(Fixed::new("fixed", 1.0));
         assert!(!boxed.requires_split());
         assert!(boxed.native_precision().is_none());
         let report = boxed.simulate(&SimRequest::new(workload())).unwrap();
         assert_eq!(report.platform, "fixed");
+    }
+
+    #[test]
+    fn predicted_cost_defaults_to_simulated_latency() {
+        let platform = Fixed::new("fixed", 2.5);
+        let request = SimRequest::new(workload());
+        let cost = platform.predicted_cost_ms(&request).unwrap();
+        assert_eq!(cost, platform.simulate(&request).unwrap().latency_ms);
+    }
+
+    #[test]
+    fn cheapest_platform_picks_the_lowest_cost() {
+        let suite: Vec<Box<dyn Platform>> = vec![
+            Box::new(Fixed::new("slow", 9.0)),
+            Box::new(Fixed::new("fast", 0.5)),
+            Box::new(Fixed::new("mid", 2.0)),
+        ];
+        let request = SimRequest::new(workload());
+        let (index, report) = cheapest_platform(&suite, |_| Some(&request))
+            .unwrap()
+            .expect("at least one candidate");
+        assert_eq!(index, 1);
+        assert_eq!(report.platform, "fast");
+    }
+
+    #[test]
+    fn cheapest_platform_honours_predicted_cost_overrides() {
+        /// Reports a high simulated latency but advertises a low predicted
+        /// cost — the router must trust the override, not raw simulation.
+        #[derive(Debug)]
+        struct Estimated;
+        impl Platform for Estimated {
+            fn name(&self) -> &str {
+                "estimated"
+            }
+            fn predicted_cost_ms(&self, _request: &SimRequest) -> crate::Result<f64> {
+                Ok(0.1)
+            }
+            fn simulate(&self, request: &SimRequest) -> crate::Result<PerfReport> {
+                Fixed::new("estimated", 100.0).simulate(request)
+            }
+        }
+        let suite: Vec<Box<dyn Platform>> =
+            vec![Box::new(Fixed::new("plain", 1.0)), Box::new(Estimated)];
+        let request = SimRequest::new(workload());
+        let (index, report) = cheapest_platform(&suite, |_| Some(&request))
+            .unwrap()
+            .expect("candidates exist");
+        assert_eq!(index, 1, "the predicted-cost override must win routing");
+        // The dispatched winner still reports its full simulation.
+        assert_eq!(report.latency_ms, 100.0);
+    }
+
+    #[test]
+    fn cheapest_platform_skips_ineligible_and_breaks_ties_by_index() {
+        let suite: Vec<Box<dyn Platform>> = vec![
+            Box::new(Fixed::new("fastest-but-skipped", 0.1)),
+            Box::new(Fixed::new("a", 1.0)),
+            Box::new(Fixed::new("b", 1.0)),
+        ];
+        let request = SimRequest::new(workload());
+        let (index, report) = cheapest_platform(&suite, |p| {
+            (p.name() != "fastest-but-skipped").then_some(&request)
+        })
+        .unwrap()
+        .expect("candidates remain");
+        assert_eq!((index, report.platform.as_str()), (1, "a"));
+        // No eligible platform at all: None, not an error.
+        let routed = cheapest_platform(&suite, |_| None).unwrap();
+        assert!(routed.is_none());
     }
 }

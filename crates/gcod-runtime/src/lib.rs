@@ -48,8 +48,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod queue;
+
+pub use queue::{PopTimeout, PushError, SyncQueue};
+
 use std::cell::Cell;
-use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -65,30 +68,34 @@ thread_local! {
     static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
-/// The queue every worker thread blocks on.
-struct Shared {
-    queue: Mutex<QueueState>,
-    job_ready: Condvar,
-}
-
-struct QueueState {
-    jobs: VecDeque<Job>,
-    shutdown: bool,
-}
-
 /// A panic payload carried from a pooled task back to the submitting thread.
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
-/// Counts a batch down to zero and wakes the submitting thread, carrying the
-/// first panic payload (if any) back to it.
-struct Latch {
+/// Counts a batch of work items down to zero and wakes every waiter, with a
+/// side slot carrying the first panic payload of the batch back to the
+/// submitting thread.
+///
+/// The pool joins every [`Pool::run`] batch behind one of these; `gcod-serve`
+/// reuses it to signal ticket completion to blocked clients. The counter only
+/// moves down — a `Latch` is a one-shot join, not a reusable barrier.
+pub struct Latch {
     remaining: Mutex<usize>,
     all_done: Condvar,
     panic_payload: Mutex<Option<PanicPayload>>,
 }
 
+impl std::fmt::Debug for Latch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Latch")
+            .field("remaining", &*self.remaining.lock().expect("latch lock"))
+            .finish()
+    }
+}
+
 impl Latch {
-    fn new(count: usize) -> Self {
+    /// A latch waiting for `count` completions ([`Latch::wait`] on a 0-count
+    /// latch returns immediately).
+    pub fn new(count: usize) -> Self {
         Self {
             remaining: Mutex::new(count),
             all_done: Condvar::new(),
@@ -96,7 +103,13 @@ impl Latch {
         }
     }
 
-    fn complete_one(&self) {
+    /// Records one completion, waking every waiter when the count reaches
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on underflow) when called more than `count` times.
+    pub fn complete_one(&self) {
         let mut remaining = self.remaining.lock().expect("latch lock poisoned");
         *remaining -= 1;
         if *remaining == 0 {
@@ -117,14 +130,35 @@ impl Latch {
             .take()
     }
 
-    fn wait(&self) {
+    /// Blocks until the completion count reaches zero.
+    pub fn wait(&self) {
         let mut remaining = self.remaining.lock().expect("latch lock poisoned");
         while *remaining > 0 {
             remaining = self.all_done.wait(remaining).expect("latch lock poisoned");
         }
     }
 
-    fn is_done(&self) -> bool {
+    /// Blocks until the count reaches zero or `timeout` elapses; `true` when
+    /// the latch completed.
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut remaining = self.remaining.lock().expect("latch lock poisoned");
+        while *remaining > 0 {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .all_done
+                .wait_timeout(remaining, deadline - now)
+                .expect("latch lock poisoned");
+            remaining = guard;
+        }
+        true
+    }
+
+    /// Whether the completion count has reached zero.
+    pub fn is_done(&self) -> bool {
         *self.remaining.lock().expect("latch lock poisoned") == 0
     }
 }
@@ -139,7 +173,9 @@ impl Latch {
 /// Most code should use the process-wide [`Pool::global`]; explicit pools
 /// exist for tests and tools that need an isolated worker count.
 pub struct Pool {
-    shared: Option<Arc<Shared>>,
+    /// The job feed every worker blocks on; `None` for inline 1-lane pools.
+    /// Closing the queue (see [`SyncQueue::close`]) is the shutdown signal.
+    shared: Option<Arc<SyncQueue<Job>>>,
     workers: usize,
     handles: Vec<JoinHandle<()>>,
 }
@@ -184,13 +220,7 @@ impl Pool {
                 handles: Vec::new(),
             };
         }
-        let shared = Arc::new(Shared {
-            queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
-            job_ready: Condvar::new(),
-        });
+        let shared = Arc::new(SyncQueue::unbounded());
         let handles = (0..workers - 1)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -261,9 +291,9 @@ impl Pool {
         // task itself while the workers drain the rest.
         let last = tasks.pop().expect("batch is non-empty");
         let latch = Arc::new(Latch::new(tasks.len()));
-        {
-            let mut queue = shared.queue.lock().expect("pool queue poisoned");
-            for task in tasks {
+        let jobs: Vec<Job> = tasks
+            .into_iter()
+            .map(|task| {
                 let latch = Arc::clone(&latch);
                 // The job itself catches its panic and parks the payload in
                 // the latch so the submitting thread can re-raise the real
@@ -282,12 +312,14 @@ impl Pool {
                 // panicking job still counts down. Every borrow captured by
                 // the job therefore strictly outlives its execution. Only
                 // the lifetime is erased; the type is otherwise identical.
-                let job: Job =
-                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
-                queue.jobs.push_back(job);
-            }
-            shared.job_ready.notify_all();
-        }
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) }
+            })
+            .collect();
+        // The queue is only ever closed by `Drop`, which cannot race a live
+        // `run` call (it takes `&mut self`), so the batch push cannot fail.
+        shared
+            .push_many(jobs)
+            .unwrap_or_else(|_| unreachable!("pool queue closed while running"));
         // Deferring the submitter task's panic until after the join is what
         // keeps the lifetime erasure above sound: unwinding here while
         // queued jobs still borrow caller data would be a use-after-free.
@@ -297,11 +329,7 @@ impl Pool {
         // (its own batch's or a concurrent caller's) instead of sleeping on
         // the latch while a lane sits idle.
         while !latch.is_done() {
-            let job = {
-                let mut queue = shared.queue.lock().expect("pool queue poisoned");
-                queue.jobs.pop_front()
-            };
-            match job {
+            match shared.try_pop() {
                 Some(job) => {
                     let _ = catch_unwind(AssertUnwindSafe(job));
                 }
@@ -373,8 +401,7 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         if let Some(shared) = &self.shared {
-            shared.queue.lock().expect("pool queue poisoned").shutdown = true;
-            shared.job_ready.notify_all();
+            shared.close();
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -382,30 +409,15 @@ impl Drop for Pool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &SyncQueue<Job>) {
     IN_POOL_WORKER.with(|flag| flag.set(true));
-    loop {
-        let job = {
-            let mut queue = shared.queue.lock().expect("pool queue poisoned");
-            loop {
-                if let Some(job) = queue.jobs.pop_front() {
-                    break Some(job);
-                }
-                if queue.shutdown {
-                    break None;
-                }
-                queue = shared.job_ready.wait(queue).expect("pool queue poisoned");
-            }
-        };
-        match job {
-            // A panicking task must not kill the worker: the completion
-            // guard inside the job records the panic for the submitter, and
-            // the worker moves on to the next batch.
-            Some(job) => {
-                let _ = catch_unwind(AssertUnwindSafe(job));
-            }
-            None => return,
-        }
+    // `pop` blocks until a job arrives and returns `None` only once the
+    // queue is closed (pool drop) and fully drained.
+    while let Some(job) = shared.pop() {
+        // A panicking task must not kill the worker: the completion guard
+        // inside the job records the panic for the submitter, and the
+        // worker moves on to the next batch.
+        let _ = catch_unwind(AssertUnwindSafe(job));
     }
 }
 
@@ -745,6 +757,27 @@ mod tests {
         let pool = Pool::from_env();
         assert_eq!(pool.workers(), 5);
         std::env::remove_var("GCOD_WORKERS");
+    }
+
+    #[test]
+    fn latch_counts_down_and_times_out() {
+        let latch = Latch::new(2);
+        assert!(!latch.is_done());
+        assert!(!latch.wait_timeout(std::time::Duration::from_millis(5)));
+        latch.complete_one();
+        latch.complete_one();
+        assert!(latch.is_done());
+        assert!(latch.wait_timeout(std::time::Duration::from_millis(5)));
+        latch.wait(); // returns immediately once done
+                      // Cross-thread: a waiter wakes when another thread counts down.
+        let shared = Arc::new(Latch::new(1));
+        let waiter = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || shared.wait())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        shared.complete_one();
+        waiter.join().unwrap();
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Pure batching helpers: grouping compatible submissions and splitting a
+//! fused result back into per-request pieces.
+//!
+//! Keeping these free of queue/thread state makes the coalescing logic unit
+//! testable on its own; the dispatcher in [`crate::server`] is a thin driver
+//! around them.
+
+use gcod_nn::{Result as NnResult, Tensor};
+
+/// Groups `items` by `key`, preserving arrival order both across groups
+/// (first-appearance order of each key) and within a group (submission
+/// order). This is the coalescing rule of the batcher: every member of a
+/// group shares a served model — hence dataset, architecture and precision —
+/// and may be fused into one forward pass.
+pub(crate) fn group_in_arrival_order<T, K: Eq + Clone>(
+    items: Vec<T>,
+    key: impl Fn(&T) -> K,
+) -> Vec<(K, Vec<T>)> {
+    let mut groups: Vec<(K, Vec<T>)> = Vec::new();
+    for item in items {
+        let k = key(&item);
+        match groups.iter_mut().find(|(existing, _)| *existing == k) {
+            Some((_, members)) => members.push(item),
+            None => groups.push((k, vec![item])),
+        }
+    }
+    groups
+}
+
+/// Splits a fused, row-stacked result tensor back into per-member tensors of
+/// `lens[i]` rows each. Every row is a bitwise copy, so splitting a fused
+/// pass yields exactly the tensors the members would have received from
+/// independent passes.
+///
+/// # Errors
+///
+/// Propagates shape errors when `lens` does not sum to the stacked row count
+/// (a dispatcher bug, surfaced rather than silently truncated).
+pub(crate) fn split_stacked(stacked: &Tensor, lens: &[usize]) -> NnResult<Vec<Tensor>> {
+    let mut pieces = Vec::with_capacity(lens.len());
+    let mut offset = 0usize;
+    for &len in lens {
+        let rows: Vec<usize> = (offset..offset + len).collect();
+        pieces.push(stacked.gather_rows(&rows)?);
+        offset += len;
+    }
+    if offset != stacked.rows() {
+        return Err(gcod_nn::NnError::ShapeMismatch {
+            context: format!(
+                "batch split covered {offset} of {} stacked rows",
+                stacked.rows()
+            ),
+        });
+    }
+    Ok(pieces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_preserves_arrival_order() {
+        let items = vec![("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5)];
+        let groups = group_in_arrival_order(items, |&(k, _)| k);
+        let shape: Vec<(&str, Vec<i32>)> = groups
+            .into_iter()
+            .map(|(k, members)| (k, members.into_iter().map(|(_, v)| v).collect()))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![("a", vec![1, 3]), ("b", vec![2, 5]), ("c", vec![4])]
+        );
+    }
+
+    #[test]
+    fn split_stacked_partitions_exactly() {
+        let stacked = Tensor::from_vec(5, 2, (0..10).map(|v| v as f32).collect()).unwrap();
+        let pieces = split_stacked(&stacked, &[2, 0, 3]).unwrap();
+        assert_eq!(pieces.len(), 3);
+        assert_eq!(pieces[0].data(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(pieces[1].shape(), (0, 2));
+        assert_eq!(pieces[2].data(), &[4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        // Lengths that do not cover the stack are a hard error.
+        assert!(split_stacked(&stacked, &[2, 2]).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Error type of the serving front-end.
+
+use gcod_nn::NnError;
+use gcod_platform::PlatformError;
+use std::fmt;
+
+/// Errors the serving layer reports to clients.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The bounded submission queue is at capacity — backpressure. Retry
+    /// later, use `submit_blocking`, or raise `queue_capacity`.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The request's deadline passed before the server got to execute it.
+    DeadlineExpired,
+    /// The server is shutting down and accepts no further submissions
+    /// (already-accepted work is still drained and completed).
+    ShuttingDown,
+    /// The request named a model the server does not own.
+    UnknownModel {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every model the server currently serves.
+        known: Vec<String>,
+    },
+    /// The request named a backend platform outside the server's suite.
+    UnknownBackend {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// No backend in the suite could take the request (e.g. a split-aware
+    /// accelerator was requested for a model served without a GCoD split).
+    NoEligibleBackend {
+        /// The model the request targeted.
+        model: String,
+    },
+    /// The ticket's work was abandoned without a result (the dispatcher
+    /// terminated abnormally). Should not happen in correct operation.
+    Canceled,
+    /// A model-execution error (shape mismatches, bad node indices).
+    Nn(NnError),
+    /// A platform-simulation error from the backend router.
+    Platform(PlatformError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => write!(
+                f,
+                "submission queue full (capacity {capacity}); retry later or submit_blocking"
+            ),
+            ServeError::DeadlineExpired => {
+                write!(f, "request deadline expired before execution")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::UnknownModel { name, known } => write!(
+                f,
+                "unknown served model `{name}`; server owns: {}",
+                known.join(", ")
+            ),
+            ServeError::UnknownBackend { name } => {
+                write!(f, "unknown backend platform `{name}`")
+            }
+            ServeError::NoEligibleBackend { model } => {
+                write!(f, "no eligible backend for model `{model}`")
+            }
+            ServeError::Canceled => write!(f, "request canceled without a result"),
+            ServeError::Nn(e) => write!(f, "model error: {e}"),
+            ServeError::Platform(e) => write!(f, "platform error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Nn(e) => Some(e),
+            ServeError::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for ServeError {
+    fn from(e: NnError) -> Self {
+        ServeError::Nn(e)
+    }
+}
+
+impl From<PlatformError> for ServeError {
+    fn from(e: PlatformError) -> Self {
+        ServeError::Platform(e)
+    }
+}
+
+/// Result alias for the serving layer.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_carry_context() {
+        let err = ServeError::QueueFull { capacity: 8 };
+        assert!(err.to_string().contains('8'));
+        let err = ServeError::UnknownModel {
+            name: "nope".into(),
+            known: vec!["cora-gcn".into()],
+        };
+        let text = err.to_string();
+        assert!(text.contains("nope") && text.contains("cora-gcn"));
+    }
+
+    #[test]
+    fn sources_chain_for_wrapped_errors() {
+        let err = ServeError::from(NnError::ShapeMismatch {
+            context: "bad".into(),
+        });
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(std::error::Error::source(&ServeError::Canceled).is_none());
+    }
+}

@@ -1,0 +1,65 @@
+//! Batched inference serving over trained GCoD models.
+//!
+//! This crate is the front-end the ROADMAP's serving item called for: it
+//! owns trained [`GnnModel`](gcod_nn::models::GnnModel)s (packaged as
+//! [`ServedModel`]s, typically built via the facade's `Experiment::serve()`
+//! stage) and answers two request families through one queued surface:
+//!
+//! * **node classification** ([`ServeRequest::Classify`]) — executed on the
+//!   CPU kernel path. A batcher coalesces compatible requests (same served
+//!   model, hence same dataset / architecture / precision) into **one fused
+//!   forward pass** over the `gcod-runtime` pool and splits the stacked
+//!   logit rows back out per request. Batching is bit-deterministic: the
+//!   fused pass produces exactly the bytes of one-by-one execution (pinned
+//!   by this crate's tests and the workspace `serve_differential` suite).
+//! * **perf prediction** ([`ServeRequest::PredictPerf`]) — routed across the
+//!   platform suite by scoring each eligible backend with
+//!   [`Platform::predicted_cost_ms`](gcod_platform::Platform::predicted_cost_ms)
+//!   and dispatching to the cheapest (or an explicitly named) platform
+//!   model.
+//!
+//! The client surface is synchronous-client + handle-based async-style:
+//! [`Server::spawn`] starts the dispatcher and returns a cloneable
+//! [`Handle`]; [`Handle::submit`] enqueues onto a **bounded** queue
+//! (rejecting with [`ServeError::QueueFull`] backpressure when loaded, or
+//! blocking via [`Handle::submit_blocking`]) and returns a [`Ticket`];
+//! [`Ticket::wait`] blocks for the response. Requests may carry deadlines
+//! ([`Handle::submit_with_deadline`]); [`Handle::shutdown`] (or dropping the
+//! last handle) drains and resolves every accepted ticket before the
+//! dispatcher exits.
+//!
+//! ```
+//! use gcod_graph::{DatasetProfile, GraphGenerator};
+//! use gcod_nn::models::{GnnModel, ModelConfig};
+//! use gcod_serve::{ServedModel, ServeRequest, Server};
+//!
+//! # fn main() -> gcod_serve::Result<()> {
+//! let graph = GraphGenerator::new(1)
+//!     .generate(&DatasetProfile::custom("demo", 80, 240, 8, 3))
+//!     .expect("generate");
+//! let model = GnnModel::new(ModelConfig::gcn(&graph), 1).expect("model");
+//! let server = Server::new().register(ServedModel::new("demo-gcn", graph, model));
+//!
+//! let handle = server.spawn();
+//! let ticket = handle.submit(ServeRequest::classify("demo-gcn", vec![0, 5, 2]))?;
+//! let response = ticket.wait()?;
+//! assert_eq!(response.as_classification().unwrap().classes.len(), 3);
+//! handle.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+mod error;
+mod model;
+mod request;
+mod server;
+mod ticket;
+
+pub use error::{Result, ServeError};
+pub use model::ServedModel;
+pub use request::{Backend, Classification, PerfPrediction, ServeRequest, ServeResponse};
+pub use server::{Handle, Server, ServerConfig, ServerStats};
+pub use ticket::Ticket;

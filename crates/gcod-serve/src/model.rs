@@ -1,0 +1,173 @@
+//! A trained model packaged for serving.
+
+use gcod_core::SplitWorkload;
+use gcod_graph::Graph;
+use gcod_nn::kernels::KernelKind;
+use gcod_nn::models::GnnModel;
+use gcod_nn::quant::Precision;
+use gcod_nn::workload::InferenceWorkload;
+use gcod_platform::{Platform, SimRequest};
+
+/// One model the server owns: the trained [`GnnModel`], the (tuned) graph it
+/// answers queries on, and the simulation requests the backend router feeds
+/// to the platform suite.
+///
+/// The name keys batching compatibility: two requests naming the same served
+/// model share the dataset, architecture and precision by construction, so
+/// the batcher may fuse them into one forward pass.
+#[derive(Debug, Clone)]
+pub struct ServedModel {
+    name: String,
+    graph: Graph,
+    model: GnnModel,
+    baseline: SimRequest,
+    gcod_fp32: Option<SimRequest>,
+    gcod_int8: Option<SimRequest>,
+}
+
+impl ServedModel {
+    /// Packages a trained `model` and its inference `graph` under `name`.
+    ///
+    /// The baseline (full-workload, fp32) simulation request the router uses
+    /// for split-less platforms is derived from the graph and model
+    /// configuration; attach GCoD split requests with
+    /// [`with_gcod_split`](ServedModel::with_gcod_split) to make the
+    /// accelerator platforms eligible too.
+    pub fn new(name: impl Into<String>, graph: Graph, model: GnnModel) -> Self {
+        let baseline = SimRequest::new(InferenceWorkload::build(
+            &graph,
+            model.config(),
+            Precision::Fp32,
+        ));
+        Self {
+            name: name.into(),
+            graph,
+            model,
+            baseline,
+            gcod_fp32: None,
+            gcod_int8: None,
+        }
+    }
+
+    /// Attaches the GCoD denser/sparser split with its pruned workloads at
+    /// both precisions, making split-aware accelerator platforms eligible
+    /// backends for this model.
+    #[must_use]
+    pub fn with_gcod_split(
+        mut self,
+        fp32: InferenceWorkload,
+        int8: InferenceWorkload,
+        split: SplitWorkload,
+    ) -> Self {
+        self.gcod_fp32 = Some(SimRequest::with_split(fp32, split.clone()));
+        self.gcod_int8 = Some(SimRequest::with_split(int8, split));
+        self
+    }
+
+    /// Renames the served model (the batching/routing key).
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Selects the SpMM kernel the CPU execution path aggregates with.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.model.set_kernel(kernel);
+        self
+    }
+
+    /// Selects the worker-lane count the CPU execution path runs with
+    /// (0 = the global pool's count). Bit-deterministic: every count
+    /// produces identical answers.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.model.set_workers(workers);
+        self
+    }
+
+    /// The serving key.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The graph queries are answered on.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &GnnModel {
+        &self.model
+    }
+
+    /// Whether a GCoD split is attached (accelerator backends eligible).
+    pub fn has_split(&self) -> bool {
+        self.gcod_fp32.is_some()
+    }
+
+    /// The simulation request `platform` should consume for this model:
+    /// split-aware platforms get the split request matching their native
+    /// precision (`None` when no split is attached — the platform is not an
+    /// eligible backend), every other platform gets the baseline request.
+    pub fn request_for(&self, platform: &dyn Platform) -> Option<&SimRequest> {
+        if platform.requires_split() {
+            match platform.native_precision() {
+                Some(Precision::Int8) => self.gcod_int8.as_ref(),
+                _ => self.gcod_fp32.as_ref(),
+            }
+        } else {
+            Some(&self.baseline)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcod_baselines::suite;
+    use gcod_graph::{DatasetProfile, GraphGenerator};
+    use gcod_nn::models::ModelConfig;
+
+    fn served() -> ServedModel {
+        let graph = GraphGenerator::new(3)
+            .generate(&DatasetProfile::custom("sm", 60, 200, 8, 3))
+            .unwrap();
+        let model = GnnModel::new(ModelConfig::gcn(&graph), 0).unwrap();
+        ServedModel::new("sm-gcn", graph, model)
+    }
+
+    #[test]
+    fn baseline_request_matches_the_model_precision() {
+        let m = served();
+        assert_eq!(m.name(), "sm-gcn");
+        assert!(!m.has_split());
+        assert_eq!(m.baseline.precision(), Precision::Fp32);
+        assert_eq!(m.baseline.workload.dataset, "sm");
+    }
+
+    #[test]
+    fn split_less_models_make_accelerators_ineligible() {
+        let m = served();
+        for platform in suite::all_platforms() {
+            let request = m.request_for(platform.as_ref());
+            if platform.requires_split() {
+                assert!(request.is_none(), "{}", platform.name());
+            } else {
+                assert!(request.unwrap().split.is_none(), "{}", platform.name());
+            }
+        }
+    }
+
+    #[test]
+    fn builders_set_name_kernel_and_workers() {
+        let m = served()
+            .named("renamed")
+            .with_kernel(KernelKind::ParallelCsr)
+            .with_workers(2);
+        assert_eq!(m.name(), "renamed");
+        assert_eq!(m.model().kernel(), KernelKind::ParallelCsr);
+        assert_eq!(m.model().workers(), 2);
+    }
+}

@@ -1,0 +1,868 @@
+//! The serving engine: a bounded submission queue feeding a batcher that
+//! coalesces compatible requests into fused forward passes, plus the
+//! cost-scored backend router for perf predictions.
+//!
+//! ```text
+//! clients ──submit──▶ SyncQueue (bounded; Full = backpressure)
+//!                        │ pop (dispatcher thread)
+//!                        ▼
+//!                    batcher: deadline triage → group by served model
+//!                        │                         │
+//!                        ▼                         ▼
+//!                  fused forward_rows       Platform cost router
+//!                  (CPU kernel path on      (cheapest / named
+//!                   the gcod-runtime pool)   accelerator model)
+//!                        │                         │
+//!                        └────────▶ Ticket.fulfill ◀┘
+//! ```
+
+use crate::batch::{group_in_arrival_order, split_stacked};
+use crate::error::{Result, ServeError};
+use crate::model::ServedModel;
+use crate::request::{Backend, Classification, PerfPrediction, ServeRequest, ServeResponse};
+use crate::ticket::{ticket_pair, Completion, Ticket};
+use gcod_baselines::suite;
+use gcod_platform::{cheapest_platform, Platform};
+use gcod_runtime::{PopTimeout, PushError, SyncQueue};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Capacity of the bounded submission queue; a full queue rejects
+    /// submissions with [`ServeError::QueueFull`] (backpressure).
+    pub queue_capacity: usize,
+    /// Most requests one fused batch may coalesce.
+    pub max_batch: usize,
+    /// Deadline applied to submissions that carry none (`None` = requests
+    /// never expire).
+    pub default_deadline: Option<Duration>,
+    /// How often the idle dispatcher re-checks its control flags (pause,
+    /// shutdown). Purely a liveness knob; it never affects results.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            max_batch: 32,
+            default_deadline: None,
+            poll_interval: Duration::from_millis(10),
+        }
+    }
+}
+
+/// A point-in-time snapshot of server counters (see `Handle::stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Submissions accepted into the queue.
+    pub submitted: u64,
+    /// Submissions rejected with queue-full backpressure.
+    pub rejected: u64,
+    /// Accepted requests whose deadline expired before execution.
+    pub expired: u64,
+    /// Requests completed successfully.
+    pub completed_ok: u64,
+    /// Requests completed with an error (deadline expiries included).
+    pub completed_err: u64,
+    /// Dispatcher batches executed (each may fuse several requests).
+    pub batches: u64,
+    /// Largest number of requests fused into one forward pass so far.
+    pub largest_batch: usize,
+}
+
+/// One queued unit of work: the request, its deadline, and the write half of
+/// the client's ticket.
+struct Submission {
+    request: ServeRequest,
+    deadline: Option<Instant>,
+    completion: Completion,
+}
+
+#[derive(Default)]
+struct Stats {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    completed_ok: AtomicU64,
+    completed_err: AtomicU64,
+    batches: AtomicU64,
+    largest_batch: AtomicUsize,
+}
+
+impl Stats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            expired: self.expired.load(Ordering::SeqCst),
+            completed_ok: self.completed_ok.load(Ordering::SeqCst),
+            completed_err: self.completed_err.load(Ordering::SeqCst),
+            batches: self.batches.load(Ordering::SeqCst),
+            largest_batch: self.largest_batch.load(Ordering::SeqCst),
+        }
+    }
+}
+
+struct ControlState {
+    paused: bool,
+    /// Set by the dispatcher while it is parked in the pause wait — the
+    /// acknowledgement `Handle::pause` blocks on.
+    parked: bool,
+}
+
+/// State shared between client handles and the dispatcher thread.
+struct Shared {
+    queue: SyncQueue<Submission>,
+    control: Mutex<ControlState>,
+    control_changed: Condvar,
+    stats: Stats,
+    next_id: AtomicU64,
+    queue_capacity: usize,
+    default_deadline: Option<Duration>,
+    poll_interval: Duration,
+}
+
+impl Shared {
+    fn new(config: &ServerConfig) -> Self {
+        Self {
+            queue: SyncQueue::bounded(config.queue_capacity),
+            control: Mutex::new(ControlState {
+                paused: false,
+                parked: false,
+            }),
+            control_changed: Condvar::new(),
+            stats: Stats::default(),
+            next_id: AtomicU64::new(0),
+            queue_capacity: config.queue_capacity.max(1),
+            default_deadline: config.default_deadline,
+            poll_interval: config.poll_interval,
+        }
+    }
+
+    /// Parks the dispatcher while paused; returns when unpaused or when the
+    /// queue is closed (shutdown must always reach the drain).
+    fn wait_while_paused(&self) {
+        let mut control = self.control.lock().expect("control lock poisoned");
+        while control.paused && !self.queue.is_closed() {
+            if !control.parked {
+                control.parked = true;
+                self.control_changed.notify_all();
+            }
+            // Timed wait so a close() issued without a control notification
+            // still wakes the parked dispatcher promptly.
+            let (guard, _) = self
+                .control_changed
+                .wait_timeout(control, self.poll_interval)
+                .expect("control lock poisoned");
+            control = guard;
+        }
+        control.parked = false;
+    }
+}
+
+/// The serving front-end: owns trained [`ServedModel`]s and the platform
+/// suite, and answers [`ServeRequest`]s either synchronously
+/// ([`serve_one`](Server::serve_one)) or through the queued, batching
+/// dispatcher ([`spawn`](Server::spawn)).
+pub struct Server {
+    models: BTreeMap<String, ServedModel>,
+    platforms: Vec<Box<dyn Platform>>,
+    config: ServerConfig,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("models", &self.model_names())
+            .field("platforms", &self.platforms.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Server {
+    /// An empty server with the default configuration and the full platform
+    /// suite ([`suite::all_platforms`]) as backend candidates.
+    pub fn new() -> Self {
+        Self::with_config(ServerConfig::default())
+    }
+
+    /// An empty server with an explicit configuration.
+    pub fn with_config(config: ServerConfig) -> Self {
+        Self {
+            models: BTreeMap::new(),
+            platforms: suite::all_platforms(),
+            config,
+        }
+    }
+
+    /// Replaces the backend platform suite the router scores.
+    #[must_use]
+    pub fn with_platforms(mut self, platforms: Vec<Box<dyn Platform>>) -> Self {
+        self.platforms = platforms;
+        self
+    }
+
+    /// Registers a served model (replacing any previous model of the same
+    /// name).
+    #[must_use]
+    pub fn register(mut self, model: ServedModel) -> Self {
+        self.models.insert(model.name().to_string(), model);
+        self
+    }
+
+    /// Names of every served model, sorted.
+    pub fn model_names(&self) -> Vec<String> {
+        self.models.keys().cloned().collect()
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Answers one request synchronously on the calling thread — the
+    /// sequential oracle the batched path is bit-identical to.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] / [`ServeError::UnknownBackend`] /
+    /// [`ServeError::NoEligibleBackend`] for unroutable requests, plus
+    /// model-execution and simulation failures.
+    pub fn serve_one(&self, request: &ServeRequest) -> Result<ServeResponse> {
+        match request {
+            ServeRequest::Classify { model, nodes } => {
+                let served = self.lookup(model)?;
+                Ok(ServeResponse::Classification(self.classify(served, nodes)?))
+            }
+            ServeRequest::PredictPerf { model, backend } => {
+                let served = self.lookup(model)?;
+                Ok(ServeResponse::Perf(self.predict_perf(served, backend)?))
+            }
+        }
+    }
+
+    /// Starts the dispatcher thread and hands back the (cloneable) client
+    /// handle. The server shuts down when [`Handle::shutdown`] is called or
+    /// the last handle is dropped — either way the queue is drained and
+    /// every accepted ticket resolves first.
+    pub fn spawn(self) -> Handle {
+        let shared = Arc::new(Shared::new(&self.config));
+        let dispatcher_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("gcod-serve-dispatcher".to_string())
+            .spawn(move || self.dispatcher_loop(&dispatcher_shared))
+            .expect("spawn serve dispatcher");
+        Handle {
+            shared: Arc::clone(&shared),
+            joiner: Arc::new(Joiner {
+                shared,
+                thread: Mutex::new(Some(thread)),
+            }),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Result<&ServedModel> {
+        self.models
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel {
+                name: name.to_string(),
+                known: self.model_names(),
+            })
+    }
+
+    fn classify(&self, served: &ServedModel, nodes: &[usize]) -> Result<Classification> {
+        let logits = served.model().forward_rows(served.graph(), nodes)?;
+        Ok(Classification {
+            model: served.name().to_string(),
+            nodes: nodes.to_vec(),
+            classes: logits.argmax_rows(),
+            logits,
+        })
+    }
+
+    fn predict_perf(&self, served: &ServedModel, backend: &Backend) -> Result<PerfPrediction> {
+        match backend {
+            Backend::Auto => {
+                let candidates = self
+                    .platforms
+                    .iter()
+                    .filter(|p| served.request_for(p.as_ref()).is_some())
+                    .count();
+                let (index, report) =
+                    cheapest_platform(&self.platforms, |p| served.request_for(p))?.ok_or_else(
+                        || ServeError::NoEligibleBackend {
+                            model: served.name().to_string(),
+                        },
+                    )?;
+                Ok(PerfPrediction {
+                    model: served.name().to_string(),
+                    platform: self.platforms[index].name().to_string(),
+                    report,
+                    candidates,
+                })
+            }
+            Backend::Named(name) => {
+                let platform = self
+                    .platforms
+                    .iter()
+                    .find(|p| p.name() == name)
+                    .ok_or_else(|| ServeError::UnknownBackend { name: name.clone() })?;
+                let request = served.request_for(platform.as_ref()).ok_or_else(|| {
+                    ServeError::NoEligibleBackend {
+                        model: served.name().to_string(),
+                    }
+                })?;
+                let report = platform.simulate(request)?;
+                Ok(PerfPrediction {
+                    model: served.name().to_string(),
+                    platform: name.clone(),
+                    report,
+                    candidates: 1,
+                })
+            }
+        }
+    }
+
+    fn dispatcher_loop(self, shared: &Shared) {
+        loop {
+            shared.wait_while_paused();
+            let first = match shared.queue.pop_timeout(shared.poll_interval) {
+                PopTimeout::Item(submission) => submission,
+                PopTimeout::TimedOut => continue,
+                // Closed and fully drained: every accepted ticket has been
+                // resolved — the graceful-shutdown contract.
+                PopTimeout::Closed => break,
+            };
+            let mut pending = vec![first];
+            while pending.len() < self.config.max_batch.max(1) {
+                match shared.queue.try_pop() {
+                    Some(submission) => pending.push(submission),
+                    None => break,
+                }
+            }
+            shared.stats.batches.fetch_add(1, Ordering::SeqCst);
+            self.execute_pending(shared, pending);
+        }
+    }
+
+    /// Executes one dispatcher batch: deadline triage, then perf requests
+    /// individually and classification requests fused per served model.
+    fn execute_pending(&self, shared: &Shared, pending: Vec<Submission>) {
+        let now = Instant::now();
+        let mut classify = Vec::new();
+        let mut perf = Vec::new();
+        for submission in pending {
+            if submission.deadline.map(|d| now >= d).unwrap_or(false) {
+                shared.stats.expired.fetch_add(1, Ordering::SeqCst);
+                finish(
+                    shared,
+                    submission.completion,
+                    Err(ServeError::DeadlineExpired),
+                );
+                continue;
+            }
+            match submission.request {
+                ServeRequest::Classify { .. } => classify.push(submission),
+                ServeRequest::PredictPerf { .. } => perf.push(submission),
+            }
+        }
+        for submission in perf {
+            let result = self.serve_one(&submission.request);
+            finish(shared, submission.completion, result);
+        }
+        let groups = group_in_arrival_order(classify, |s| s.request.model().to_string());
+        for (model_name, members) in groups {
+            self.execute_classify_group(shared, &model_name, members);
+        }
+    }
+
+    /// Runs one coalesced classification group as a single fused forward
+    /// pass, splitting the stacked logits back out per member. Falls back to
+    /// per-member execution when the fused pass fails (e.g. one member holds
+    /// an out-of-range node index) so a bad request cannot poison its batch
+    /// mates.
+    fn execute_classify_group(&self, shared: &Shared, model_name: &str, members: Vec<Submission>) {
+        shared
+            .stats
+            .largest_batch
+            .fetch_max(members.len(), Ordering::SeqCst);
+        let served = match self.lookup(model_name) {
+            Ok(served) => served,
+            Err(e) => {
+                for member in members {
+                    finish(shared, member.completion, Err(e.clone()));
+                }
+                return;
+            }
+        };
+        let member_nodes: Vec<Vec<usize>> = members
+            .iter()
+            .map(|m| match &m.request {
+                ServeRequest::Classify { nodes, .. } => nodes.clone(),
+                ServeRequest::PredictPerf { .. } => unreachable!("perf routed separately"),
+            })
+            .collect();
+        let lens: Vec<usize> = member_nodes.iter().map(Vec::len).collect();
+        let stacked_nodes: Vec<usize> = member_nodes.iter().flatten().copied().collect();
+        let fused = served
+            .model()
+            .forward_rows(served.graph(), &stacked_nodes)
+            .map_err(ServeError::from)
+            .and_then(|stacked| split_stacked(&stacked, &lens).map_err(ServeError::from));
+        match fused {
+            Ok(pieces) => {
+                for ((member, nodes), logits) in members.into_iter().zip(member_nodes).zip(pieces) {
+                    let response = ServeResponse::Classification(Classification {
+                        model: served.name().to_string(),
+                        nodes,
+                        classes: logits.argmax_rows(),
+                        logits,
+                    });
+                    finish(shared, member.completion, Ok(response));
+                }
+            }
+            Err(_) => {
+                for member in members {
+                    let result = self.serve_one(&member.request);
+                    finish(shared, member.completion, result);
+                }
+            }
+        }
+    }
+}
+
+/// Fulfils a ticket and maintains the completion counters.
+fn finish(shared: &Shared, completion: Completion, result: Result<ServeResponse>) {
+    let counter = if result.is_ok() {
+        &shared.stats.completed_ok
+    } else {
+        &shared.stats.completed_err
+    };
+    counter.fetch_add(1, Ordering::SeqCst);
+    completion.fulfill(result);
+}
+
+/// Joins the dispatcher exactly once, at explicit shutdown or when the last
+/// handle is dropped.
+struct Joiner {
+    shared: Arc<Shared>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Joiner {
+    fn shutdown_and_join(&self) {
+        // Closing the queue rejects new submissions, lets the dispatcher
+        // drain the backlog, and breaks any pause.
+        self.shared.queue.close();
+        {
+            let mut control = self.shared.control.lock().expect("control lock poisoned");
+            control.paused = false;
+        }
+        self.shared.control_changed.notify_all();
+        let handle = self.thread.lock().expect("joiner lock poisoned").take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Joiner {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+/// The cloneable client handle of a spawned [`Server`].
+///
+/// Submissions return a [`Ticket`] immediately (async-style); clients block
+/// on [`Ticket::wait`] when they need the answer. The dispatcher shuts down
+/// — draining all accepted work first — on [`shutdown`](Handle::shutdown) or
+/// when the last clone is dropped.
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+    joiner: Arc<Joiner>,
+}
+
+impl std::fmt::Debug for Handle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Handle")
+            .field("queue_len", &self.shared.queue.len())
+            .field("stats", &self.shared.stats.snapshot())
+            .finish()
+    }
+}
+
+impl Handle {
+    /// Submits a request without blocking, applying the server's default
+    /// deadline (if any).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity
+    /// (backpressure — nothing was enqueued), [`ServeError::ShuttingDown`]
+    /// after shutdown began.
+    pub fn submit(&self, request: ServeRequest) -> Result<Ticket> {
+        self.submit_inner(request, self.shared.default_deadline, false)
+    }
+
+    /// Submits a request with an explicit deadline measured from now;
+    /// requests still queued when it passes resolve with
+    /// [`ServeError::DeadlineExpired`] instead of executing.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Handle::submit).
+    pub fn submit_with_deadline(&self, request: ServeRequest, within: Duration) -> Result<Ticket> {
+        self.submit_inner(request, Some(within), false)
+    }
+
+    /// Submits a request, blocking while the queue is full instead of
+    /// reporting backpressure.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] when the server shuts down before a
+    /// queue slot frees up.
+    pub fn submit_blocking(&self, request: ServeRequest) -> Result<Ticket> {
+        self.submit_inner(request, self.shared.default_deadline, true)
+    }
+
+    fn submit_inner(
+        &self,
+        request: ServeRequest,
+        deadline: Option<Duration>,
+        blocking: bool,
+    ) -> Result<Ticket> {
+        let id = self.shared.next_id.fetch_add(1, Ordering::SeqCst);
+        let (ticket, completion) = ticket_pair(id);
+        let submission = Submission {
+            request,
+            deadline: deadline.map(|d| Instant::now() + d),
+            completion,
+        };
+        let pushed = if blocking {
+            self.shared.queue.push_blocking(submission)
+        } else {
+            self.shared.queue.try_push(submission)
+        };
+        match pushed {
+            Ok(()) => {
+                self.shared.stats.submitted.fetch_add(1, Ordering::SeqCst);
+                Ok(ticket)
+            }
+            Err(PushError::Full(_rejected)) => {
+                self.shared.stats.rejected.fetch_add(1, Ordering::SeqCst);
+                Err(ServeError::QueueFull {
+                    capacity: self.shared.queue_capacity,
+                })
+            }
+            Err(PushError::Closed(_rejected)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Number of submissions currently queued (excluding the batch being
+    /// executed).
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Pauses the dispatcher **between** batches and returns once it is
+    /// parked: afterwards no new batch starts until [`resume`](Handle::resume)
+    /// (submissions keep queueing — this is how tests and drain-style
+    /// maintenance build deterministic queue states).
+    pub fn pause(&self) {
+        let mut control = self.shared.control.lock().expect("control lock poisoned");
+        control.paused = true;
+        self.shared.control_changed.notify_all();
+        while !control.parked && !self.shared.queue.is_closed() {
+            let (guard, _) = self
+                .shared
+                .control_changed
+                .wait_timeout(control, self.shared.poll_interval)
+                .expect("control lock poisoned");
+            control = guard;
+        }
+    }
+
+    /// Resumes a paused dispatcher.
+    pub fn resume(&self) {
+        let mut control = self.shared.control.lock().expect("control lock poisoned");
+        control.paused = false;
+        drop(control);
+        self.shared.control_changed.notify_all();
+    }
+
+    /// A snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Shuts the server down gracefully: stops accepting submissions, drains
+    /// and resolves every accepted ticket, joins the dispatcher, and returns
+    /// the final counters. Idempotent; later submissions report
+    /// [`ServeError::ShuttingDown`].
+    pub fn shutdown(&self) -> ServerStats {
+        self.joiner.shutdown_and_join();
+        self.shared.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcod_graph::{DatasetProfile, GraphGenerator};
+    use gcod_nn::models::{GnnModel, ModelConfig};
+
+    /// Two tiny served models (distinct datasets) on a deterministic seed —
+    /// building the server twice yields bit-identical models, which is what
+    /// lets the tests compare a spawned server against a fresh oracle.
+    fn build_server(config: ServerConfig) -> Server {
+        let mut server = Server::with_config(config);
+        for (name, nodes, seed) in [("alpha", 70usize, 5u64), ("beta", 50, 9)] {
+            let graph = GraphGenerator::new(seed)
+                .generate(&DatasetProfile::custom(name, nodes, nodes * 3, 8, 3))
+                .unwrap();
+            let model = GnnModel::new(ModelConfig::gcn(&graph), seed).unwrap();
+            server = server.register(ServedModel::new(format!("{name}-gcn"), graph, model));
+        }
+        server
+    }
+
+    fn classify_requests() -> Vec<ServeRequest> {
+        vec![
+            ServeRequest::classify("alpha-gcn", vec![0, 3, 7]),
+            ServeRequest::classify("beta-gcn", vec![1, 2]),
+            ServeRequest::classify("alpha-gcn", vec![7, 7, 12]),
+            ServeRequest::classify("beta-gcn", vec![0]),
+            ServeRequest::classify("alpha-gcn", vec![42]),
+        ]
+    }
+
+    #[test]
+    fn serve_one_answers_classification_and_perf() {
+        let server = build_server(ServerConfig::default());
+        let response = server
+            .serve_one(&ServeRequest::classify("alpha-gcn", vec![0, 1]))
+            .unwrap();
+        let c = response.as_classification().unwrap();
+        assert_eq!(c.nodes, vec![0, 1]);
+        assert_eq!(c.classes.len(), 2);
+        assert_eq!(c.logits.shape(), (2, 3));
+        let response = server
+            .serve_one(&ServeRequest::predict_perf("alpha-gcn"))
+            .unwrap();
+        let p = response.as_perf().unwrap();
+        assert!(p.candidates >= 9, "all split-less platforms are candidates");
+        assert!(p.report.latency_ms > 0.0);
+    }
+
+    #[test]
+    fn unknown_names_are_reported_with_the_known_set() {
+        let server = build_server(ServerConfig::default());
+        let err = server
+            .serve_one(&ServeRequest::classify("nope", vec![0]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::UnknownModel { ref name, ref known }
+                if name == "nope" && known == &vec!["alpha-gcn".to_string(), "beta-gcn".to_string()]
+        ));
+        let err = server
+            .serve_one(&ServeRequest::PredictPerf {
+                model: "alpha-gcn".into(),
+                backend: Backend::named("not-a-platform"),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownBackend { .. }));
+        // Split-aware accelerators are ineligible for split-less models.
+        let err = server
+            .serve_one(&ServeRequest::PredictPerf {
+                model: "alpha-gcn".into(),
+                backend: Backend::named("gcod"),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::NoEligibleBackend { .. }));
+    }
+
+    #[test]
+    fn auto_routing_picks_the_cheapest_eligible_backend() {
+        let server = build_server(ServerConfig::default());
+        let auto = server
+            .serve_one(&ServeRequest::predict_perf("beta-gcn"))
+            .unwrap();
+        let auto = auto.as_perf().unwrap();
+        // No named backend beats the auto-routed one.
+        for platform in suite::all_platforms() {
+            let named = server.serve_one(&ServeRequest::PredictPerf {
+                model: "beta-gcn".into(),
+                backend: Backend::named(platform.name()),
+            });
+            if let Ok(response) = named {
+                assert!(
+                    auto.report.latency_ms <= response.as_perf().unwrap().report.latency_ms,
+                    "{} undercuts the auto route",
+                    platform.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_execution_is_bit_identical_to_the_sequential_oracle() {
+        let oracle = build_server(ServerConfig::default());
+        let requests = classify_requests();
+        let expected: Vec<_> = requests.iter().map(|r| oracle.serve_one(r)).collect();
+
+        let handle = build_server(ServerConfig::default()).spawn();
+        // Pause so every submission lands in one dispatcher drain — maximal
+        // coalescing.
+        handle.pause();
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| handle.submit(r.clone()).unwrap())
+            .collect();
+        handle.resume();
+        for (ticket, expected) in tickets.into_iter().zip(expected) {
+            assert_eq!(ticket.wait(), expected);
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.completed_ok, 5);
+        assert!(stats.largest_batch >= 3, "alpha requests must coalesce");
+    }
+
+    #[test]
+    fn full_queue_reports_backpressure_without_losing_accepted_work() {
+        let handle = build_server(ServerConfig {
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        })
+        .spawn();
+        handle.pause();
+        let a = handle
+            .submit(ServeRequest::classify("alpha-gcn", vec![0]))
+            .unwrap();
+        let b = handle
+            .submit(ServeRequest::classify("alpha-gcn", vec![1]))
+            .unwrap();
+        let err = handle
+            .submit(ServeRequest::classify("alpha-gcn", vec![2]))
+            .unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { capacity: 2 });
+        assert_eq!(handle.queue_len(), 2);
+        handle.resume();
+        assert!(a.wait().is_ok());
+        assert!(b.wait().is_ok());
+        let stats = handle.shutdown();
+        assert_eq!((stats.submitted, stats.rejected), (2, 1));
+    }
+
+    #[test]
+    fn submit_blocking_waits_for_a_slot_instead_of_rejecting() {
+        let handle = build_server(ServerConfig {
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        })
+        .spawn();
+        handle.pause();
+        let first = handle
+            .submit(ServeRequest::classify("beta-gcn", vec![0]))
+            .unwrap();
+        let blocked = {
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                handle
+                    .submit_blocking(ServeRequest::classify("beta-gcn", vec![1]))
+                    .unwrap()
+                    .wait()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        handle.resume();
+        assert!(first.wait().is_ok());
+        assert!(blocked.join().unwrap().is_ok());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_resolve_with_deadline_expired() {
+        let handle = build_server(ServerConfig::default()).spawn();
+        handle.pause();
+        let expired = handle
+            .submit_with_deadline(ServeRequest::classify("alpha-gcn", vec![0]), Duration::ZERO)
+            .unwrap();
+        let alive = handle
+            .submit(ServeRequest::classify("alpha-gcn", vec![0]))
+            .unwrap();
+        handle.resume();
+        assert_eq!(expired.wait(), Err(ServeError::DeadlineExpired));
+        assert!(alive.wait().is_ok());
+        let stats = handle.shutdown();
+        assert_eq!(stats.expired, 1);
+        assert_eq!((stats.completed_ok, stats.completed_err), (1, 1));
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work_and_rejects_later_submissions() {
+        let handle = build_server(ServerConfig::default()).spawn();
+        handle.pause();
+        let tickets: Vec<Ticket> = classify_requests()
+            .into_iter()
+            .map(|r| handle.submit(r).unwrap())
+            .collect();
+        // Shutdown while paused with a full backlog: the drain must still
+        // execute and resolve every accepted ticket.
+        let stats = handle.shutdown();
+        assert_eq!(stats.completed_ok, 5);
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+        assert_eq!(
+            handle
+                .submit(ServeRequest::classify("alpha-gcn", vec![0]))
+                .unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn bad_member_cannot_poison_its_batch_mates() {
+        let oracle = build_server(ServerConfig::default());
+        let good = ServeRequest::classify("alpha-gcn", vec![1, 2]);
+        let bad = ServeRequest::classify("alpha-gcn", vec![10_000]);
+        let expected_good = oracle.serve_one(&good);
+
+        let handle = build_server(ServerConfig::default()).spawn();
+        handle.pause();
+        let good_ticket = handle.submit(good).unwrap();
+        let bad_ticket = handle.submit(bad).unwrap();
+        handle.resume();
+        assert_eq!(good_ticket.wait(), expected_good);
+        assert!(matches!(bad_ticket.wait(), Err(ServeError::Nn(_))));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn last_handle_drop_shuts_the_dispatcher_down() {
+        let handle = build_server(ServerConfig::default()).spawn();
+        let ticket = handle
+            .submit(ServeRequest::classify("beta-gcn", vec![0]))
+            .unwrap();
+        drop(handle); // joins the dispatcher after the drain
+        assert!(ticket.wait().is_ok());
+    }
+}

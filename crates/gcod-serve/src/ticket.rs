@@ -1,0 +1,189 @@
+//! The client-side half of an asynchronous submission: a [`Ticket`] the
+//! client blocks on, and the server-side [`Completion`] that fulfils it.
+//!
+//! Completion signalling reuses [`gcod_runtime::Latch`] (a 1-count latch is
+//! exactly a one-shot done flag with blocking wait), with the response stored
+//! in a separate slot the latch publishes.
+
+use crate::error::{Result, ServeError};
+use crate::request::ServeResponse;
+use gcod_runtime::Latch;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+struct TicketState {
+    done: Latch,
+    result: Mutex<Option<Result<ServeResponse>>>,
+}
+
+/// A handle to one in-flight request, returned by `Handle::submit`.
+///
+/// The ticket resolves exactly once: either with the server's response, or
+/// with the error that prevented execution ([`ServeError::DeadlineExpired`],
+/// [`ServeError::UnknownModel`], …). Waiting is synchronous-client style —
+/// submit several tickets, then [`wait`](Ticket::wait) them in any order.
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    state: Arc<TicketState>,
+    id: u64,
+}
+
+impl std::fmt::Debug for TicketState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TicketState")
+            .field("done", &self.done.is_done())
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Identifier of this submission (unique per server, in submission
+    /// order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the server has resolved this ticket.
+    pub fn is_done(&self) -> bool {
+        self.state.done.is_done()
+    }
+
+    /// Blocks until the server resolves the ticket and returns the outcome.
+    pub fn wait(self) -> Result<ServeResponse> {
+        self.state.done.wait();
+        self.take_result()
+    }
+
+    /// Blocks at most `timeout`; `None` when the ticket is still pending.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<ServeResponse>> {
+        if self.state.done.wait_timeout(timeout) {
+            Some(self.take_result())
+        } else {
+            None
+        }
+    }
+
+    /// Non-blocking probe: the outcome if resolved, `None` while pending.
+    pub fn try_result(&self) -> Option<Result<ServeResponse>> {
+        if self.state.done.is_done() {
+            Some(self.take_result())
+        } else {
+            None
+        }
+    }
+
+    /// Clones the stored outcome (the slot is filled exactly once before the
+    /// latch completes, so this never observes an empty slot after `done`).
+    fn take_result(&self) -> Result<ServeResponse> {
+        self.state
+            .result
+            .lock()
+            .expect("ticket lock poisoned")
+            .clone()
+            .unwrap_or(Err(ServeError::Canceled))
+    }
+}
+
+/// The server-side write half of a ticket. Fulfils exactly once; dropping an
+/// unfulfilled completion resolves the ticket with [`ServeError::Canceled`]
+/// so a crashing dispatcher can never leave clients blocked forever.
+#[derive(Debug)]
+pub(crate) struct Completion {
+    state: Arc<TicketState>,
+    fulfilled: bool,
+}
+
+impl Completion {
+    /// Resolves the ticket with `result`, waking every waiter.
+    pub(crate) fn fulfill(mut self, result: Result<ServeResponse>) {
+        self.fulfill_inner(result);
+    }
+
+    fn fulfill_inner(&mut self, result: Result<ServeResponse>) {
+        if self.fulfilled {
+            return;
+        }
+        self.fulfilled = true;
+        *self.state.result.lock().expect("ticket lock poisoned") = Some(result);
+        // Publish after the slot is filled: waiters wake through the latch.
+        self.state.done.complete_one();
+    }
+}
+
+impl Drop for Completion {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            self.fulfill_inner(Err(ServeError::Canceled));
+        }
+    }
+}
+
+/// Creates a linked ticket/completion pair for submission `id`.
+pub(crate) fn ticket_pair(id: u64) -> (Ticket, Completion) {
+    let state = Arc::new(TicketState {
+        done: Latch::new(1),
+        result: Mutex::new(None),
+    });
+    (
+        Ticket {
+            state: Arc::clone(&state),
+            id,
+        },
+        Completion {
+            state,
+            fulfilled: false,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Classification, ServeResponse};
+    use gcod_nn::Tensor;
+
+    fn response() -> ServeResponse {
+        ServeResponse::Classification(Classification {
+            model: "m".into(),
+            nodes: vec![0],
+            classes: vec![1],
+            logits: Tensor::zeros(1, 2),
+        })
+    }
+
+    #[test]
+    fn fulfilled_ticket_resolves_for_every_accessor() {
+        let (ticket, completion) = ticket_pair(7);
+        assert_eq!(ticket.id(), 7);
+        assert!(!ticket.is_done());
+        assert!(ticket.try_result().is_none());
+        assert!(ticket.wait_timeout(Duration::from_millis(1)).is_none());
+        completion.fulfill(Ok(response()));
+        assert!(ticket.is_done());
+        assert_eq!(ticket.try_result().unwrap().unwrap(), response());
+        assert_eq!(
+            ticket
+                .wait_timeout(Duration::from_millis(1))
+                .unwrap()
+                .unwrap(),
+            response()
+        );
+        assert_eq!(ticket.wait().unwrap(), response());
+    }
+
+    #[test]
+    fn wait_blocks_until_fulfilled_cross_thread() {
+        let (ticket, completion) = ticket_pair(0);
+        let waiter = std::thread::spawn(move || ticket.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        completion.fulfill(Ok(response()));
+        assert_eq!(waiter.join().unwrap().unwrap(), response());
+    }
+
+    #[test]
+    fn dropped_completion_cancels_instead_of_hanging() {
+        let (ticket, completion) = ticket_pair(0);
+        drop(completion);
+        assert_eq!(ticket.wait(), Err(ServeError::Canceled));
+    }
+}

@@ -1,0 +1,153 @@
+//! Serving demo: train two models through [`Experiment::serve`], spawn the
+//! batched inference server, hammer it with concurrent clients, and verify
+//! every batched answer bit-for-bit against the sequential oracle.
+//!
+//! Run with
+//! `cargo run --release --example serving [nodes] [clients] [requests-per-client]`
+//! (defaults 160 / 4 / 6). CI runs it at tiny scale with `GCOD_WORKERS=2`;
+//! the example exits non-zero if any ticket fails to resolve or any batched
+//! response differs from the oracle.
+
+use gcod::prelude::*;
+
+fn fast_config() -> GcodConfig {
+    GcodConfig {
+        num_classes: 2,
+        num_subgraphs: 6,
+        num_groups: 2,
+        pretrain_epochs: 8,
+        retrain_epochs: 5,
+        prune_ratio: 0.1,
+        patch_size: 16,
+        patch_threshold: 6,
+        ..GcodConfig::default()
+    }
+}
+
+/// The two experiments the server trains and serves.
+fn experiments(nodes: usize) -> Vec<Experiment> {
+    vec![
+        Experiment::on(DatasetProfile::cora())
+            .scale_to_nodes(nodes)
+            .gcod(fast_config())
+            .seed(7),
+        Experiment::on(DatasetProfile::citeseer())
+            .scale_to_nodes(nodes * 3 / 4)
+            .gcod(fast_config())
+            .seed(9),
+    ]
+}
+
+/// The request stream of one client: a few classifications with wrapping
+/// node windows plus one auto-routed perf prediction per model.
+fn client_requests(
+    client: usize,
+    per_client: usize,
+    models: &[(String, usize)],
+) -> Vec<ServeRequest> {
+    let mut requests = Vec::new();
+    for i in 0..per_client {
+        let (model, nodes) = &models[(client + i) % models.len()];
+        if i + 1 == per_client {
+            requests.push(ServeRequest::predict_perf(model.clone()));
+        } else {
+            let start = (client * 13 + i * 7) % nodes;
+            let window: Vec<usize> = (0..4).map(|k| (start + k * 3) % nodes).collect();
+            requests.push(ServeRequest::classify(model.clone(), window));
+        }
+    }
+    requests
+}
+
+fn main() -> gcod::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let nodes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(160);
+    let clients: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let per_client: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    println!("training served models ({nodes}-node replicas)...");
+    let mut server = Server::with_config(ServerConfig {
+        queue_capacity: (clients * per_client).max(8),
+        max_batch: 16,
+        ..ServerConfig::default()
+    });
+    let mut models: Vec<(String, usize)> = Vec::new();
+    for experiment in experiments(nodes) {
+        let served = experiment.serve()?;
+        println!(
+            "  {}: {} nodes, {} edges after tuning, split attached: {}",
+            served.name(),
+            served.graph().num_nodes(),
+            served.graph().num_edges(),
+            served.has_split(),
+        );
+        models.push((served.name().to_string(), served.graph().num_nodes()));
+        server = server.register(served);
+    }
+
+    // Plan every client's stream up front and compute the sequential oracle
+    // before spawning — the batched server must reproduce these bytes.
+    let streams: Vec<Vec<ServeRequest>> = (0..clients)
+        .map(|c| client_requests(c, per_client, &models))
+        .collect();
+    let oracle: Vec<Vec<gcod::Result<ServeResponse>>> = streams
+        .iter()
+        .map(|stream| {
+            stream
+                .iter()
+                .map(|r| server.serve_one(r).map_err(gcod::Error::from))
+                .collect()
+        })
+        .collect();
+
+    println!("spawning server, {clients} concurrent clients x {per_client} requests...");
+    let handle = server.spawn();
+    let workers: Vec<_> = streams
+        .iter()
+        .cloned()
+        .map(|stream| {
+            let handle = handle.clone();
+            std::thread::spawn(move || -> Vec<gcod::Result<ServeResponse>> {
+                stream
+                    .iter()
+                    .map(|request| {
+                        handle
+                            .submit_blocking(request.clone())
+                            .and_then(Ticket::wait)
+                            .map_err(gcod::Error::from)
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+
+    let mut mismatches = 0usize;
+    let mut resolved = 0usize;
+    for (client, worker) in workers.into_iter().enumerate() {
+        let responses = worker.join().expect("client thread panicked");
+        for (i, (got, want)) in responses.iter().zip(&oracle[client]).enumerate() {
+            resolved += 1;
+            if got != want {
+                mismatches += 1;
+                eprintln!("client {client} request {i}: batched != oracle");
+            }
+        }
+    }
+    let stats = handle.shutdown();
+    println!(
+        "resolved {resolved}/{} tickets; batches {}, largest fused batch {}, expired {}, rejected {}",
+        clients * per_client,
+        stats.batches,
+        stats.largest_batch,
+        stats.expired,
+        stats.rejected,
+    );
+    assert_eq!(
+        resolved,
+        clients * per_client,
+        "every submitted ticket must resolve"
+    );
+    assert_eq!(mismatches, 0, "batched serving must match the oracle");
+    println!("OK: all batched responses bit-identical to the sequential oracle");
+    Ok(())
+}

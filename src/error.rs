@@ -10,6 +10,7 @@ use gcod_core::GcodError;
 use gcod_graph::GraphError;
 use gcod_nn::NnError;
 use gcod_platform::PlatformError;
+use gcod_serve::ServeError;
 use std::fmt;
 
 /// Any error the GCoD workspace can produce, unified for facade callers.
@@ -30,6 +31,9 @@ pub enum Error {
     Gcod(GcodError),
     /// An error from a platform simulation.
     Platform(PlatformError),
+    /// An error from the serving front-end (queue backpressure, deadlines,
+    /// routing).
+    Serve(ServeError),
 }
 
 impl fmt::Display for Error {
@@ -44,6 +48,7 @@ impl fmt::Display for Error {
             Error::Nn(e) => write!(f, "model error: {e}"),
             Error::Gcod(e) => write!(f, "{e}"),
             Error::Platform(e) => write!(f, "platform error: {e}"),
+            Error::Serve(e) => write!(f, "serving error: {e}"),
         }
     }
 }
@@ -56,6 +61,7 @@ impl std::error::Error for Error {
             Error::Nn(e) => Some(e),
             Error::Gcod(e) => Some(e),
             Error::Platform(e) => Some(e),
+            Error::Serve(e) => Some(e),
         }
     }
 }
@@ -93,6 +99,18 @@ impl From<PlatformError> for Error {
     }
 }
 
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Self {
+        // Flatten the substrate wrappers the serving crate adds, mirroring
+        // the `GcodError` treatment: facade callers match one level only.
+        match e {
+            ServeError::Nn(n) => Error::Nn(n),
+            ServeError::Platform(p) => Error::Platform(p),
+            other => Error::Serve(other),
+        }
+    }
+}
+
 /// Result alias for the facade crate.
 pub type Result<T> = std::result::Result<T, Error>;
 
@@ -122,6 +140,22 @@ mod tests {
             context: "bad".to_string(),
         });
         assert!(matches!(err, Error::Gcod(_)));
+    }
+
+    #[test]
+    fn serve_wrappers_are_flattened() {
+        let err = Error::from(ServeError::Nn(NnError::ShapeMismatch {
+            context: "bad".to_string(),
+        }));
+        assert!(matches!(err, Error::Nn(_)));
+        let err = Error::from(ServeError::Platform(PlatformError::MissingSplit {
+            platform: "gcod".to_string(),
+        }));
+        assert!(matches!(err, Error::Platform(_)));
+        let err = Error::from(ServeError::QueueFull { capacity: 4 });
+        assert!(matches!(err, Error::Serve(ServeError::QueueFull { .. })));
+        assert!(err.to_string().contains("serving error"));
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //!   returning the [`GcodResult`] with accuracies and training cost,
 //! * [`Experiment::run`] — training plus the platform comparison: every
 //!   baseline and both GCoD accelerator variants simulated on the matching
-//!   requests.
+//!   requests,
+//! * [`Experiment::serve`] — training packaged for the `gcod-serve`
+//!   front-end: a [`ServedModel`](gcod_serve::ServedModel) carrying the
+//!   trained model, tuned graph and the split-aware simulation requests the
+//!   backend router scores.
 //!
 //! ```no_run
 //! use gcod::prelude::*;
@@ -238,6 +242,59 @@ impl Experiment {
     pub fn train(&self) -> Result<GcodResult> {
         let graph = self.generate()?;
         Ok(GcodPipeline::new(self.config.clone()).run(&graph, self.model, self.seed)?)
+    }
+
+    /// Stage 4: trains the full GCoD pipeline and packages the result for
+    /// the serving front-end — the trained model, the tuned graph it answers
+    /// queries on, and the pruned fp32/int8 workloads plus denser/sparser
+    /// split that make the accelerator platforms eligible routing backends.
+    ///
+    /// The served model is named `"<dataset>-<model>"` (rename with
+    /// [`ServedModel::named`](gcod_serve::ServedModel::named)); register it
+    /// on a [`Server`](gcod_serve::Server) and
+    /// [`spawn`](gcod_serve::Server::spawn) to start answering requests:
+    ///
+    /// ```no_run
+    /// use gcod::prelude::*;
+    ///
+    /// # fn main() -> gcod::Result<()> {
+    /// let served = Experiment::on_dataset("cora")?.scale(0.05).serve()?;
+    /// let handle = Server::new().register(served).spawn();
+    /// let ticket = handle.submit(ServeRequest::classify("cora-gcn", vec![0, 1]))?;
+    /// println!("{:?}", ticket.wait()?);
+    /// handle.shutdown();
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation, configuration, partitioning and training
+    /// errors.
+    pub fn serve(&self) -> Result<gcod_serve::ServedModel> {
+        let result = self.train()?;
+        let model_cfg = ModelConfig::for_kind(self.model, &result.graph);
+        let nnz = result.split.total_nnz();
+        let fp32 = InferenceWorkload::build_with_adjacency_nnz(
+            &result.graph,
+            &model_cfg,
+            Precision::Fp32,
+            nnz,
+        );
+        let int8 = InferenceWorkload::build_with_adjacency_nnz(
+            &result.graph,
+            &model_cfg,
+            Precision::Int8,
+            nnz,
+        );
+        let name = format!("{}-{}", self.profile.name, self.model.name());
+        Ok(
+            gcod_serve::ServedModel::new(name, result.graph, result.model).with_gcod_split(
+                fp32,
+                int8,
+                result.split,
+            ),
+        )
     }
 
     /// Stage 3: the full co-design experiment — training plus the platform
@@ -502,6 +559,27 @@ mod tests {
         assert_eq!(one.gcod_accuracy, auto.gcod_accuracy);
         assert_eq!(one.baseline_accuracy, two.baseline_accuracy);
         assert_eq!(one.split.total_nnz(), auto.split.total_nnz());
+    }
+
+    #[test]
+    fn serve_packages_the_trained_pipeline() {
+        let exp = tiny();
+        let served = exp.serve().unwrap();
+        assert_eq!(served.name(), "exp-gcn");
+        assert!(served.has_split());
+        // The served graph/model are the tuned pipeline outputs.
+        let result = exp.train().unwrap();
+        assert_eq!(served.graph().num_edges(), result.graph.num_edges());
+        let logits = served.model().forward(served.graph()).unwrap();
+        let expected = result.model.forward(&result.graph).unwrap();
+        assert_eq!(logits, expected, "served model must be the trained model");
+        // Served models route through the serving stack end to end.
+        let server = gcod_serve::Server::new().register(served);
+        let response = server
+            .serve_one(&gcod_serve::ServeRequest::predict_perf("exp-gcn"))
+            .unwrap();
+        let perf = response.as_perf().unwrap();
+        assert!(perf.candidates >= 11, "split makes accelerators eligible");
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //! * [`accel`] — the two-pronged GCoD accelerator simulator,
 //! * [`baselines`] — CPU/GPU/HyGCN/AWB-GCN/FPGA baseline platform models,
 //!   plus [`baselines::suite::all_platforms`] bundling the accelerator and
-//!   all baselines behind one `dyn Platform` surface.
+//!   all baselines behind one `dyn Platform` surface,
+//! * [`serve`] — the batched inference serving front-end: a bounded
+//!   submission queue, a batcher fusing compatible requests into one forward
+//!   pass, and a cost-scored multi-backend router (build served models with
+//!   [`Experiment::serve`]).
 //!
 //! # Quickstart
 //!
@@ -112,4 +116,9 @@ pub mod accel {
 /// Baseline platform models (re-export of `gcod-baselines`).
 pub mod baselines {
     pub use gcod_baselines::*;
+}
+
+/// The batched inference serving front-end (re-export of `gcod-serve`).
+pub mod serve {
+    pub use gcod_serve::*;
 }

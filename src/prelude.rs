@@ -35,3 +35,8 @@ pub use gcod_accel::config::{AcceleratorConfig, PipelineKind};
 pub use gcod_accel::simulator::GcodAccelerator;
 
 pub use gcod_baselines::{suite, PlatformSpec};
+
+pub use gcod_serve::{
+    Backend, Classification, Handle, PerfPrediction, ServeError, ServeRequest, ServeResponse,
+    ServedModel, Server, ServerConfig, ServerStats, Ticket,
+};
