@@ -16,22 +16,22 @@
 //!   trajectory for a new bench yet — but a *stale* committed row (present
 //!   in the file, absent from the sweep) is a hard failure.
 //!
-//! Caveat: the gate compares **absolute** wall-clock medians, so the
-//! committed trajectory carries the speed of the machine that recorded it.
-//! The tolerance must absorb the hardware delta between that machine and
-//! the runner (hence the generous defaults, and CI's wider override); a
-//! runner dramatically slower than the recording machine needs a larger
-//! `BENCH_GATE_TOL`, or freshly re-recorded trajectory files. Gating the
-//! machine-independent relative columns (`speedup_over_naive`,
-//! `speedup_over_w1`) alongside the absolute medians is the tracked
-//! hardening follow-up (see ROADMAP).
+//! Two kinds of columns are gated. The **absolute** wall-clock medians
+//! carry the speed of the machine that recorded them, so their tolerance
+//! must absorb the hardware delta between that machine and the runner
+//! (hence the generous defaults, and CI's wider override). The
+//! **relative** columns (`speedup_over_naive` per SpMM kernel,
+//! `speedup_over_w1` per training worker count) are recomputed from the
+//! fresh medians and gated in the higher-is-better direction — they are
+//! machine-independent, so a collapse there is a real algorithmic
+//! regression no matter how slow the runner is.
 //!
 //! Run it the way CI does: `cargo run --release -p gcod-bench --bin
 //! bench_gate`.
 
-use gcod_bench::gate::{compare, parse_bench_rows, tolerance_from_env, GateOutcome};
+use gcod_bench::gate::{compare, parse_bench_rows, tolerance_from_env, Direction, GateOutcome};
 use gcod_bench::sweeps;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 /// Timed samples per sweep case.
 fn samples_from_env() -> usize {
@@ -47,27 +47,31 @@ fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
+/// One gated column of one committed trajectory file.
+struct GateSpec<'a> {
+    path: PathBuf,
+    name: &'a str,
+    prefix: &'a str,
+    key_fields: &'a [&'a str],
+    value_field: &'a str,
+    measured: &'a [(String, f64)],
+    direction: Direction,
+}
+
 /// Gates one trajectory file; `None` when the file does not exist (skipped).
-fn gate_file(
-    path: &Path,
-    name: &str,
-    prefix: &str,
-    key_fields: &[&str],
-    value_field: &str,
-    measured: &[(String, f64)],
-    tolerance: f64,
-) -> Option<GateOutcome> {
-    let json = match std::fs::read_to_string(path) {
+fn gate_file(spec: &GateSpec<'_>, tolerance: f64) -> Option<GateOutcome> {
+    let name = spec.name;
+    let json = match std::fs::read_to_string(&spec.path) {
         Ok(json) => json,
         Err(_) => {
             println!(
                 "{name}: no committed trajectory at {} — skipped",
-                path.display()
+                spec.path.display()
             );
             return None;
         }
     };
-    let committed = match parse_bench_rows(&json, prefix, key_fields, value_field) {
+    let committed = match parse_bench_rows(&json, spec.prefix, spec.key_fields, spec.value_field) {
         Ok(rows) => rows,
         Err(e) => {
             // A malformed committed file is itself a failure: surface it as
@@ -81,7 +85,13 @@ fn gate_file(
             });
         }
     };
-    Some(compare(name, &committed, measured, tolerance))
+    Some(compare(
+        name,
+        &committed,
+        spec.measured,
+        tolerance,
+        spec.direction,
+    ))
 }
 
 fn main() {
@@ -99,39 +109,60 @@ fn main() {
     let train = sweeps::smoke_train_medians(samples.min(3));
     println!("re-measuring serving sweep...");
     let serve = sweeps::smoke_serve_medians(samples);
+    let spmm_rel = sweeps::relative_spmm_rows(&spmm);
+    let train_rel = sweeps::relative_train_rows(&train);
 
-    let outcomes: Vec<GateOutcome> = [
-        gate_file(
-            &root.join("BENCH_spmm.json"),
-            "BENCH_spmm.json",
-            "spmm",
-            &["kernel", "nodes"],
-            "median_ns",
-            &spmm,
-            tolerance,
-        ),
-        gate_file(
-            &root.join("BENCH_train.json"),
-            "BENCH_train.json",
-            "train",
-            &["dataset", "workers"],
-            "epoch_ms",
-            &train,
-            tolerance,
-        ),
-        gate_file(
-            &root.join("BENCH_serve.json"),
-            "BENCH_serve.json",
-            "serve",
-            &["case", "batch"],
-            "median_ns",
-            &serve,
-            tolerance,
-        ),
-    ]
-    .into_iter()
-    .flatten()
-    .collect();
+    let specs = [
+        GateSpec {
+            path: root.join("BENCH_spmm.json"),
+            name: "BENCH_spmm.json",
+            prefix: "spmm",
+            key_fields: &["kernel", "nodes"],
+            value_field: "median_ns",
+            measured: &spmm,
+            direction: Direction::LowerIsBetter,
+        },
+        GateSpec {
+            path: root.join("BENCH_train.json"),
+            name: "BENCH_train.json",
+            prefix: "train",
+            key_fields: &["dataset", "workers"],
+            value_field: "epoch_ms",
+            measured: &train,
+            direction: Direction::LowerIsBetter,
+        },
+        GateSpec {
+            path: root.join("BENCH_serve.json"),
+            name: "BENCH_serve.json",
+            prefix: "serve",
+            key_fields: &["case", "batch"],
+            value_field: "median_ns",
+            measured: &serve,
+            direction: Direction::LowerIsBetter,
+        },
+        GateSpec {
+            path: root.join("BENCH_spmm.json"),
+            name: "BENCH_spmm.json (speedup_over_naive)",
+            prefix: "spmm-rel",
+            key_fields: &["kernel", "nodes"],
+            value_field: "speedup_over_naive",
+            measured: &spmm_rel,
+            direction: Direction::HigherIsBetter,
+        },
+        GateSpec {
+            path: root.join("BENCH_train.json"),
+            name: "BENCH_train.json (speedup_over_w1)",
+            prefix: "train-rel",
+            key_fields: &["dataset", "workers"],
+            value_field: "speedup_over_w1",
+            measured: &train_rel,
+            direction: Direction::HigherIsBetter,
+        },
+    ];
+    let outcomes: Vec<GateOutcome> = specs
+        .iter()
+        .filter_map(|spec| gate_file(spec, tolerance))
+        .collect();
 
     let mut passed = true;
     for outcome in &outcomes {

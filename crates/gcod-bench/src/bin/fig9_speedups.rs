@@ -20,8 +20,8 @@ fn main() {
     let cases = DatasetCase::citation_graphs();
     println!("Fig. 9: normalized speedups over PyG-CPU (citation graphs)\n");
 
-    let mut geo_means: std::collections::HashMap<String, (f64, usize)> =
-        std::collections::HashMap::new();
+    let mut geo_means: std::collections::BTreeMap<String, (f64, usize)> =
+        std::collections::BTreeMap::new();
 
     for model in models {
         let table = speedup_table(&cases, model, &config);

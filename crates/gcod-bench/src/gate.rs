@@ -36,6 +36,18 @@ pub fn tolerance_from_env() -> f64 {
     tolerance_from(std::env::var("BENCH_GATE_TOL").ok().as_deref())
 }
 
+/// Which way a gated metric improves. Wall-clock medians regress upward;
+/// relative speedup columns (`speedup_over_naive`, `speedup_over_w1`)
+/// regress downward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Direction {
+    /// Smaller measured values are better (latencies, medians).
+    #[default]
+    LowerIsBetter,
+    /// Larger measured values are better (speedup ratios).
+    HigherIsBetter,
+}
+
 /// One compared benchmark row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateRow {
@@ -45,15 +57,23 @@ pub struct GateRow {
     pub committed: f64,
     /// The freshly measured median.
     pub measured: f64,
+    /// Which way this row's metric improves.
+    pub direction: Direction,
 }
 
 impl GateRow {
-    /// Measured / committed (∞ when the committed value is 0 but the
-    /// measured one is not).
+    /// The regression factor, oriented so `> 1` always means "worse than
+    /// committed": measured/committed for lower-is-better metrics,
+    /// committed/measured for higher-is-better ones. A zero denominator
+    /// yields 1 when both sides are zero and ∞ otherwise.
     pub fn ratio(&self) -> f64 {
-        if self.committed > 0.0 {
-            self.measured / self.committed
-        } else if self.measured == 0.0 {
+        let (numerator, denominator) = match self.direction {
+            Direction::LowerIsBetter => (self.measured, self.committed),
+            Direction::HigherIsBetter => (self.committed, self.measured),
+        };
+        if denominator > 0.0 {
+            numerator / denominator
+        } else if numerator == 0.0 {
             1.0
         } else {
             f64::INFINITY
@@ -96,7 +116,7 @@ impl GateOutcome {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{} (tolerance: fail above {limit:.2}x committed)",
+            "{} (tolerance: fail above a {limit:.2}x regression factor)",
             self.name
         );
         let key_width = self
@@ -154,6 +174,7 @@ pub fn compare(
     committed: &[(String, f64)],
     measured: &[(String, f64)],
     tolerance: f64,
+    direction: Direction,
 ) -> GateOutcome {
     let mut rows = Vec::new();
     let mut missing = Vec::new();
@@ -163,6 +184,7 @@ pub fn compare(
                 key: key.clone(),
                 committed: *committed_value,
                 measured: *measured_value,
+                direction,
             }),
             None => missing.push(key.clone()),
         }
@@ -336,7 +358,7 @@ mod tests {
     fn gate_passes_at_parity_and_on_improvements() {
         let committed = rows(&[("a", 100.0), ("b", 50.0)]);
         let measured = rows(&[("a", 100.0), ("b", 10.0), ("new-row", 5.0)]);
-        let outcome = compare("test", &committed, &measured, 0.5);
+        let outcome = compare("test", &committed, &measured, 0.5, Direction::LowerIsBetter);
         assert!(outcome.passed());
         assert!(outcome.regressions().is_empty());
         assert!(outcome.missing.is_empty());
@@ -348,7 +370,13 @@ mod tests {
         // Tolerance 0.5 allows up to 1.5x; inject a 2x slowdown on one row.
         let committed = rows(&[("spmm/naive-csr/500", 100.0), ("spmm/tiled-csr/500", 80.0)]);
         let measured = rows(&[("spmm/naive-csr/500", 200.0), ("spmm/tiled-csr/500", 80.0)]);
-        let outcome = compare("BENCH_spmm.json", &committed, &measured, 0.5);
+        let outcome = compare(
+            "BENCH_spmm.json",
+            &committed,
+            &measured,
+            0.5,
+            Direction::LowerIsBetter,
+        );
         assert!(!outcome.passed());
         let regressed = outcome.regressions();
         assert_eq!(regressed.len(), 1);
@@ -356,14 +384,55 @@ mod tests {
         assert_eq!(regressed[0].ratio(), 2.0);
         // A slowdown just inside tolerance passes.
         let borderline = rows(&[("spmm/naive-csr/500", 149.0), ("spmm/tiled-csr/500", 80.0)]);
-        assert!(compare("x", &committed, &borderline, 0.5).passed());
+        assert!(compare("x", &committed, &borderline, 0.5, Direction::LowerIsBetter).passed());
+    }
+
+    #[test]
+    fn gate_fails_on_an_injected_speedup_collapse() {
+        // Relative columns regress *downward*: a committed 2x speedup that
+        // measures at 0.9x is a 2.22x regression factor — beyond a 0.5
+        // tolerance (1.5x limit) — while an improved speedup passes.
+        let committed = rows(&[
+            ("spmm-rel/tiled-csr/2000", 2.0),
+            ("spmm-rel/degree-binned/2000", 1.5),
+        ]);
+        let collapsed = rows(&[
+            ("spmm-rel/tiled-csr/2000", 0.9),
+            ("spmm-rel/degree-binned/2000", 1.5),
+        ]);
+        let outcome = compare(
+            "BENCH_spmm.json (relative)",
+            &committed,
+            &collapsed,
+            0.5,
+            Direction::HigherIsBetter,
+        );
+        assert!(!outcome.passed());
+        let regressed = outcome.regressions();
+        assert_eq!(regressed.len(), 1);
+        assert_eq!(regressed[0].key, "spmm-rel/tiled-csr/2000");
+        assert!((regressed[0].ratio() - 2.0 / 0.9).abs() < 1e-12);
+        // A *higher* measured speedup is an improvement, never a regression.
+        let improved = rows(&[
+            ("spmm-rel/tiled-csr/2000", 4.0),
+            ("spmm-rel/degree-binned/2000", 3.0),
+        ]);
+        assert!(compare("x", &committed, &improved, 0.5, Direction::HigherIsBetter).passed());
+        // A measured speedup of zero (kernel now slower than measurable)
+        // is an unbounded regression, not a division crash.
+        let dead = rows(&[
+            ("spmm-rel/tiled-csr/2000", 0.0),
+            ("spmm-rel/degree-binned/2000", 1.5),
+        ]);
+        let outcome = compare("x", &committed, &dead, 0.5, Direction::HigherIsBetter);
+        assert!(outcome.regressions()[0].ratio().is_infinite());
     }
 
     #[test]
     fn stale_committed_rows_fail_the_gate() {
         let committed = rows(&[("a", 100.0), ("gone", 10.0)]);
         let measured = rows(&[("a", 100.0)]);
-        let outcome = compare("test", &committed, &measured, 1.0);
+        let outcome = compare("test", &committed, &measured, 1.0, Direction::LowerIsBetter);
         assert!(!outcome.passed());
         assert_eq!(outcome.missing, vec!["gone".to_string()]);
     }
@@ -372,14 +441,20 @@ mod tests {
     fn delta_table_names_the_regressed_rows() {
         let committed = rows(&[("fast", 100.0), ("slow", 100.0)]);
         let measured = rows(&[("fast", 90.0), ("slow", 500.0)]);
-        let outcome = compare("BENCH_train.json", &committed, &measured, 1.0);
+        let outcome = compare(
+            "BENCH_train.json",
+            &committed,
+            &measured,
+            1.0,
+            Direction::LowerIsBetter,
+        );
         let table = outcome.render_table();
         assert!(table.contains("BENCH_train.json"));
         assert!(table.contains("REGRESSED"));
         assert!(table.contains("slow"));
         assert!(table.contains("5.00x"));
         assert!(table.contains("FAIL"));
-        let ok = compare("t", &committed, &committed, 1.0).render_table();
+        let ok = compare("t", &committed, &committed, 1.0, Direction::LowerIsBetter).render_table();
         assert!(ok.contains("PASS"));
     }
 
@@ -399,12 +474,14 @@ mod tests {
             key: "z".into(),
             committed: 0.0,
             measured: 0.0,
+            direction: Direction::LowerIsBetter,
         };
         assert_eq!(row.ratio(), 1.0);
         let row = GateRow {
             key: "z".into(),
             committed: 0.0,
             measured: 5.0,
+            direction: Direction::LowerIsBetter,
         };
         assert!(row.ratio().is_infinite());
     }

@@ -19,6 +19,7 @@
 //! Every binary in `src/bin/` is one table or figure; `cargo bench`
 //! (criterion) covers the kernel-level measurements.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gate;

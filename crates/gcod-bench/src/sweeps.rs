@@ -323,9 +323,103 @@ pub fn smoke_serve_medians(samples: usize) -> Vec<(String, f64)> {
     rows
 }
 
+/// Recomputes the machine-independent `speedup_over_naive` column from
+/// fresh SpMM medians: `naive-csr` time over each kernel's time, per node
+/// count, keyed `spmm-rel/<kernel>/<nodes>` — the fresh counterpart of the
+/// committed `BENCH_spmm.json` `speedup_over_naive` field. Unlike the
+/// absolute medians, these rows carry no machine speed, so the gate can
+/// hold them to the same tolerance on any runner.
+pub fn relative_spmm_rows(medians: &[(String, f64)]) -> Vec<(String, f64)> {
+    relative_rows(medians, "spmm-rel", 1, "naive-csr")
+}
+
+/// Recomputes the machine-independent `speedup_over_w1` column from fresh
+/// training medians: single-worker epoch time over each worker count's,
+/// per dataset, keyed `train-rel/<dataset>/<workers>` — the fresh
+/// counterpart of the committed `BENCH_train.json` `speedup_over_w1` field.
+pub fn relative_train_rows(medians: &[(String, f64)]) -> Vec<(String, f64)> {
+    relative_rows(medians, "train-rel", 2, "w1")
+}
+
+/// Shared shape of both relative columns. Keys are
+/// `<prefix>/<a>/<b>`; `variant_index` (1 or 2) selects which of the two
+/// trailing components names the compared variant, the other is the
+/// grouping (dataset / node count). Each row becomes
+/// `baseline_time / row_time` against its group's `baseline` variant; rows
+/// without a positive baseline or measurement are skipped.
+fn relative_rows(
+    medians: &[(String, f64)],
+    out_prefix: &str,
+    variant_index: usize,
+    baseline: &str,
+) -> Vec<(String, f64)> {
+    let group_index = 3 - variant_index;
+    let split = |key: &str| -> Option<Vec<String>> {
+        let parts: Vec<String> = key.split('/').map(str::to_string).collect();
+        (parts.len() == 3).then_some(parts)
+    };
+    let mut rows = Vec::new();
+    for (key, value) in medians {
+        let Some(parts) = split(key) else { continue };
+        let base = medians.iter().find_map(|(candidate, v)| {
+            let p = split(candidate)?;
+            (p[variant_index] == baseline && p[group_index] == parts[group_index]).then_some(*v)
+        });
+        let Some(base) = base else { continue };
+        if base <= 0.0 || *value <= 0.0 {
+            continue;
+        }
+        rows.push((
+            format!("{out_prefix}/{}/{}", parts[1], parts[2]),
+            base / value,
+        ));
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn relative_columns_recompute_speedups_per_group() {
+        let medians = vec![
+            ("spmm/naive-csr/500".to_string(), 100.0),
+            ("spmm/tiled-csr/500".to_string(), 50.0),
+            ("spmm/naive-csr/2000".to_string(), 1000.0),
+            ("spmm/tiled-csr/2000".to_string(), 400.0),
+        ];
+        let rel = relative_spmm_rows(&medians);
+        assert_eq!(
+            rel,
+            vec![
+                ("spmm-rel/naive-csr/500".to_string(), 1.0),
+                ("spmm-rel/tiled-csr/500".to_string(), 2.0),
+                ("spmm-rel/naive-csr/2000".to_string(), 1.0),
+                ("spmm-rel/tiled-csr/2000".to_string(), 2.5),
+            ]
+        );
+        let train = vec![
+            ("train/small/w1".to_string(), 8.0),
+            ("train/small/w2".to_string(), 4.0),
+            ("train/medium/w1".to_string(), 80.0),
+            ("train/medium/w2".to_string(), 50.0),
+        ];
+        let rel = relative_train_rows(&train);
+        assert_eq!(rel[1], ("train-rel/small/w2".to_string(), 2.0));
+        assert_eq!(rel[3], ("train-rel/medium/w2".to_string(), 1.6));
+    }
+
+    #[test]
+    fn relative_columns_skip_groups_without_a_baseline() {
+        let medians = vec![
+            ("spmm/tiled-csr/500".to_string(), 50.0),
+            ("spmm/naive-csr/2000".to_string(), 0.0),
+            ("spmm/tiled-csr/2000".to_string(), 400.0),
+            ("malformed-key".to_string(), 1.0),
+        ];
+        assert!(relative_spmm_rows(&medians).is_empty());
+    }
 
     #[test]
     fn worker_labels_match_the_bench_rows() {

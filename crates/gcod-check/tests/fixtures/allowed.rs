@@ -1,0 +1,19 @@
+// Fixture: every violation below carries a well-formed allow annotation —
+// must produce zero findings under the strict scope.
+
+// gcod-check: allow(hash-container) — fixture: annotation on the line above suppresses.
+use std::collections::HashMap;
+
+// gcod-check: allow(hash-container) — fixture: membership-only map, no iteration.
+pub fn lookup(map: &HashMap<u32, u32>, key: u32) -> u32 {
+    map.get(&key).copied().unwrap_or(0)
+}
+
+pub fn must(values: &[u32]) -> u32 {
+    *values.first().unwrap() // gcod-check: allow(no-unwrap) — fixture: same-line annotation suppresses.
+}
+
+pub fn nap() {
+    // gcod-check: allow(thread-sleep) — fixture: deliberate example backoff.
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

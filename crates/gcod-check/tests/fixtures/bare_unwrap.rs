@@ -1,0 +1,12 @@
+// Fixture: [no-unwrap] must fire on the bare unwrap (line 5) and the
+// panic (line 10), and nowhere else.
+
+pub fn first(values: &[u32]) -> u32 {
+    *values.first().unwrap()
+}
+
+pub fn must_be_even(v: u32) {
+    if v % 2 != 0 {
+        panic!("odd value");
+    }
+}

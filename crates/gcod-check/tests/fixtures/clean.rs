@@ -1,0 +1,31 @@
+// Fixture: the disciplined spellings of everything the other fixtures get
+// wrong — must produce zero findings under the strict scope.
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Waits until the flag flips, re-checking the predicate in a loop.
+pub fn wait_ready(lock: &Mutex<bool>, cond: &Condvar) {
+    let mut guard = lock.lock().unwrap_or_else(PoisonError::into_inner);
+    while !*guard {
+        guard = cond.wait(guard).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Deterministic histogram: sorted iteration order.
+pub fn histogram(values: &[u32]) -> BTreeMap<u32, usize> {
+    let mut out = BTreeMap::new();
+    for v in values {
+        *out.entry(*v).or_insert(0usize) += 1;
+    }
+    out
+}
+
+/// The documented-invariant spelling the `no-unwrap` lint points at.
+pub fn first(values: &[u32]) -> u32 {
+    *values.first().expect("caller guarantees a non-empty slice")
+}
+
+pub fn first_unchecked(values: &[u32]) -> u32 {
+    // SAFETY: callers guarantee `values` is non-empty.
+    unsafe { *values.get_unchecked(0) }
+}

@@ -1,0 +1,11 @@
+// Fixture: [condvar-wait-while] must fire on the wait under `if`
+// (line 8) — a single wakeup check instead of a predicate loop.
+use std::sync::{Condvar, Mutex, PoisonError};
+
+pub fn wait_once(lock: &Mutex<bool>, cond: &Condvar) {
+    let mut guard = lock.lock().unwrap_or_else(PoisonError::into_inner);
+    if !*guard {
+        guard = cond.wait(guard).unwrap_or_else(PoisonError::into_inner);
+    }
+    drop(guard);
+}

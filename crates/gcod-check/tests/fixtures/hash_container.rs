@@ -1,0 +1,7 @@
+// Fixture: [hash-container] must fire on the import (line 3) and the
+// signature (line 5).
+use std::collections::HashMap;
+
+pub fn total(map: &HashMap<String, u32>) -> u32 {
+    map.values().sum()
+}

@@ -1,0 +1,5 @@
+// Fixture: [thread-sleep] must fire on the sleep (line 4).
+
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

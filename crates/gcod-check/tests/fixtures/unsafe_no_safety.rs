@@ -1,0 +1,5 @@
+// Fixture: [safety-comment] must fire on the unsafe block (line 4).
+
+pub fn peek(values: &[u32]) -> u32 {
+    unsafe { *values.get_unchecked(0) }
+}

@@ -1,0 +1,7 @@
+// Fixture: [wall-clock] must fire on the clock read (line 6), not the
+// import.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

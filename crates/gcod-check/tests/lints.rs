@@ -1,0 +1,110 @@
+//! Fixture tests for the lint pass: each seeded fixture fires exactly the
+//! expected lint on the expected lines, the clean fixture is silent, the
+//! allow annotation suppresses, and the CLI's exit codes match.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use gcod_check::{
+    lint_file, LintScope, LINT_CONDVAR, LINT_HASH, LINT_SAFETY, LINT_SLEEP, LINT_UNWRAP,
+    LINT_WALL_CLOCK,
+};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn findings_of(name: &str) -> Vec<(usize, &'static str)> {
+    lint_file(&fixture(name), LintScope::STRICT)
+        .expect("fixture file is readable")
+        .into_iter()
+        .map(|f| (f.line, f.lint))
+        .collect()
+}
+
+#[test]
+fn bare_unwrap_fixture_fires_on_unwrap_and_panic() {
+    assert_eq!(
+        findings_of("bare_unwrap.rs"),
+        vec![(5, LINT_UNWRAP), (10, LINT_UNWRAP)]
+    );
+}
+
+#[test]
+fn unsafe_fixture_fires_without_safety_comment() {
+    assert_eq!(findings_of("unsafe_no_safety.rs"), vec![(4, LINT_SAFETY)]);
+}
+
+#[test]
+fn hash_container_fixture_fires_on_import_and_signature() {
+    assert_eq!(
+        findings_of("hash_container.rs"),
+        vec![(3, LINT_HASH), (5, LINT_HASH)]
+    );
+}
+
+#[test]
+fn wall_clock_fixture_fires_on_the_clock_read() {
+    assert_eq!(findings_of("wall_clock.rs"), vec![(6, LINT_WALL_CLOCK)]);
+}
+
+#[test]
+fn thread_sleep_fixture_fires_on_the_sleep() {
+    assert_eq!(findings_of("thread_sleep.rs"), vec![(4, LINT_SLEEP)]);
+}
+
+#[test]
+fn condvar_fixture_fires_on_wait_under_if() {
+    assert_eq!(findings_of("condvar_wait_if.rs"), vec![(8, LINT_CONDVAR)]);
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    assert_eq!(findings_of("clean.rs"), vec![]);
+}
+
+#[test]
+fn allow_annotations_suppress_every_violation() {
+    assert_eq!(findings_of("allowed.rs"), vec![]);
+}
+
+/// The CLI contract CI relies on: exit 0 on the real tree, non-0 on each
+/// seeded violation fixture.
+#[test]
+fn cli_exits_zero_on_tree_and_nonzero_on_violations() {
+    let bin = env!("CARGO_BIN_EXE_gcod-check");
+    let tree = Command::new(bin)
+        .arg("lint")
+        .output()
+        .expect("lint pass runs");
+    assert!(
+        tree.status.success(),
+        "workspace tree must lint clean:\n{}",
+        String::from_utf8_lossy(&tree.stderr)
+    );
+    for violation in [
+        "bare_unwrap.rs",
+        "unsafe_no_safety.rs",
+        "hash_container.rs",
+        "wall_clock.rs",
+        "thread_sleep.rs",
+        "condvar_wait_if.rs",
+    ] {
+        let status = Command::new(bin)
+            .arg("lint")
+            .arg(fixture(violation))
+            .status()
+            .expect("lint pass runs");
+        assert!(!status.success(), "{violation} must fail the lint pass");
+    }
+    for clean in ["clean.rs", "allowed.rs"] {
+        let status = Command::new(bin)
+            .arg("lint")
+            .arg(fixture(clean))
+            .status()
+            .expect("lint pass runs");
+        assert!(status.success(), "{clean} must pass the lint pass");
+    }
+}

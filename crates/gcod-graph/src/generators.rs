@@ -166,6 +166,7 @@ impl GraphGenerator {
         // 3. Sample undirected edges. Self loops and duplicates are rejected
         //    via a hash set keyed on the ordered pair.
         let target_edges = config.edges.min(n * (n - 1) / 2);
+        // gcod-check: allow(hash-container) — membership-only dedup; iteration order is never observed.
         let mut seen = std::collections::HashSet::with_capacity(target_edges * 2);
         let mut coo = CooMatrix::with_capacity(n, n, target_edges * 2);
         let mut attempts = 0usize;

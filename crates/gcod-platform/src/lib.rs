@@ -43,6 +43,7 @@
 //! # assert!(fastest(&platforms, &SimRequest::new(workload)).unwrap().is_none());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -49,14 +49,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod queue;
+pub mod sync;
 
 pub use queue::{PopTimeout, PushError, SyncQueue};
 
+use crate::sync::{thread::JoinHandle, Condvar, Mutex};
 use std::cell::Cell;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::thread::JoinHandle;
+use std::sync::{Arc, OnceLock};
 
 /// A type-erased, lifetime-erased unit of work queued to the pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -87,7 +88,7 @@ pub struct Latch {
 impl std::fmt::Debug for Latch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Latch")
-            .field("remaining", &*self.remaining.lock().expect("latch lock"))
+            .field("remaining", &*self.remaining.lock_unpoisoned())
             .finish()
     }
 }
@@ -110,7 +111,7 @@ impl Latch {
     ///
     /// Panics (on underflow) when called more than `count` times.
     pub fn complete_one(&self) {
-        let mut remaining = self.remaining.lock().expect("latch lock poisoned");
+        let mut remaining = self.remaining.lock_unpoisoned();
         *remaining -= 1;
         if *remaining == 0 {
             self.all_done.notify_all();
@@ -119,22 +120,19 @@ impl Latch {
 
     /// Records the first panic payload of the batch (later ones are dropped).
     fn record_panic(&self, payload: PanicPayload) {
-        let mut slot = self.panic_payload.lock().expect("latch lock poisoned");
+        let mut slot = self.panic_payload.lock_unpoisoned();
         slot.get_or_insert(payload);
     }
 
     fn take_panic(&self) -> Option<PanicPayload> {
-        self.panic_payload
-            .lock()
-            .expect("latch lock poisoned")
-            .take()
+        self.panic_payload.lock_unpoisoned().take()
     }
 
     /// Blocks until the completion count reaches zero.
     pub fn wait(&self) {
-        let mut remaining = self.remaining.lock().expect("latch lock poisoned");
+        let mut remaining = self.remaining.lock_unpoisoned();
         while *remaining > 0 {
-            remaining = self.all_done.wait(remaining).expect("latch lock poisoned");
+            remaining = self.all_done.wait(remaining);
         }
     }
 
@@ -142,24 +140,28 @@ impl Latch {
     /// the latch completed.
     pub fn wait_timeout(&self, timeout: std::time::Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
-        let mut remaining = self.remaining.lock().expect("latch lock poisoned");
+        let mut remaining = self.remaining.lock_unpoisoned();
         while *remaining > 0 {
             let now = std::time::Instant::now();
             if now >= deadline {
                 return false;
             }
-            let (guard, _) = self
-                .all_done
-                .wait_timeout(remaining, deadline - now)
-                .expect("latch lock poisoned");
+            let (guard, timed_out) = self.all_done.wait_timeout(remaining, deadline - now);
             remaining = guard;
+            // A timed-out wait means the deadline passed (the wait covered
+            // the full remaining budget), so give up without re-reading the
+            // clock — this is also what lets the model checker treat the
+            // timeout as a schedulable event rather than a real clock.
+            if timed_out && *remaining > 0 {
+                return false;
+            }
         }
         true
     }
 
     /// Whether the completion count has reached zero.
     pub fn is_done(&self) -> bool {
-        *self.remaining.lock().expect("latch lock poisoned") == 0
+        *self.remaining.lock_unpoisoned() == 0
     }
 }
 
@@ -224,10 +226,9 @@ impl Pool {
         let handles = (0..workers - 1)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("gcod-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn pool worker")
+                crate::sync::thread::spawn_named(&format!("gcod-worker-{i}"), move || {
+                    worker_loop(&shared)
+                })
             })
             .collect();
         Pool {
@@ -566,7 +567,7 @@ mod tests {
             let tasks: Vec<_> = (0..16)
                 .map(|_| {
                     || {
-                        seen.lock().unwrap().insert(std::thread::current().id());
+                        seen.lock_unpoisoned().insert(std::thread::current().id());
                         // Give the other lanes a chance to pick up work too.
                         std::thread::yield_now();
                     }
@@ -574,7 +575,7 @@ mod tests {
                 .collect();
             pool.run(tasks);
         }
-        let distinct = seen.lock().unwrap().len();
+        let distinct = seen.lock_unpoisoned().len();
         assert!(
             distinct <= 3,
             "a persistent pool must reuse its workers, saw {distinct} distinct threads"
@@ -593,15 +594,15 @@ mod tests {
                 let order = &order;
                 let ids = &ids;
                 move || {
-                    order.lock().unwrap().push(i);
-                    ids.lock().unwrap().insert(std::thread::current().id());
+                    order.lock_unpoisoned().push(i);
+                    ids.lock_unpoisoned().insert(std::thread::current().id());
                 }
             })
             .collect();
         pool.run(tasks);
-        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+        assert_eq!(*order.lock_unpoisoned(), (0..10).collect::<Vec<_>>());
         assert_eq!(
-            *ids.lock().unwrap(),
+            *ids.lock_unpoisoned(),
             HashSet::from([caller]),
             "a 1-lane pool must never leave the calling thread"
         );

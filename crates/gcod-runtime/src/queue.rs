@@ -14,8 +14,8 @@
 //! backlog and only then observe the closed state, which is what lets a
 //! server shut down gracefully without dropping accepted work.
 
+use crate::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// Why a push was rejected; the item (or batch) is handed back untouched.
@@ -70,7 +70,7 @@ pub struct SyncQueue<T> {
 
 impl<T> std::fmt::Debug for SyncQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("queue lock poisoned");
+        let inner = self.inner.lock_unpoisoned();
         f.debug_struct("SyncQueue")
             .field("len", &inner.items.len())
             .field("capacity", &self.capacity)
@@ -116,7 +116,7 @@ impl<T> SyncQueue<T> {
 
     /// Number of items currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").items.len()
+        self.inner.lock_unpoisoned().items.len()
     }
 
     /// Whether the queue currently holds no items.
@@ -126,14 +126,14 @@ impl<T> SyncQueue<T> {
 
     /// Whether [`close`](SyncQueue::close) has been called.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().expect("queue lock poisoned").closed
+        self.inner.lock_unpoisoned().closed
     }
 
     /// Closes the queue: every later push is rejected with
     /// [`PushError::Closed`], already-queued items stay poppable, and all
     /// blocked producers and consumers are woken. Idempotent.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock_unpoisoned();
         inner.closed = true;
         drop(inner);
         self.not_empty.notify_all();
@@ -154,7 +154,7 @@ impl<T> SyncQueue<T> {
     /// [`PushError::Full`] when a bounded queue is at capacity; the item is
     /// returned inside the error either way.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock_unpoisoned();
         if inner.closed {
             return Err(PushError::Closed(item));
         }
@@ -174,7 +174,7 @@ impl<T> SyncQueue<T> {
     /// [`PushError::Closed`] when the queue is (or becomes, while waiting)
     /// closed; the item is returned inside the error.
     pub fn push_blocking(&self, item: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock_unpoisoned();
         loop {
             if inner.closed {
                 return Err(PushError::Closed(item));
@@ -185,7 +185,7 @@ impl<T> SyncQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            inner = self.not_full.wait(inner).expect("queue lock poisoned");
+            inner = self.not_full.wait(inner);
         }
     }
 
@@ -201,7 +201,7 @@ impl<T> SyncQueue<T> {
         if items.is_empty() {
             return Ok(());
         }
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock_unpoisoned();
         if inner.closed {
             return Err(PushError::Closed(items));
         }
@@ -217,7 +217,7 @@ impl<T> SyncQueue<T> {
     /// Pops without blocking; `None` when the queue is currently empty
     /// (whether or not it is closed).
     pub fn try_pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock_unpoisoned();
         let item = inner.items.pop_front();
         if item.is_some() {
             drop(inner);
@@ -229,7 +229,7 @@ impl<T> SyncQueue<T> {
     /// Pops, blocking until an item arrives; `None` once the queue is closed
     /// **and** fully drained (the consumer's signal to exit).
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock_unpoisoned();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 drop(inner);
@@ -239,7 +239,7 @@ impl<T> SyncQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+            inner = self.not_empty.wait(inner);
         }
     }
 
@@ -248,7 +248,7 @@ impl<T> SyncQueue<T> {
     /// interleave queue draining with control-flag checks.
     pub fn pop_timeout(&self, timeout: Duration) -> PopTimeout<T> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock_unpoisoned();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 drop(inner);
@@ -262,12 +262,9 @@ impl<T> SyncQueue<T> {
             if now >= deadline {
                 return PopTimeout::TimedOut;
             }
-            let (guard, result) = self
-                .not_empty
-                .wait_timeout(inner, deadline - now)
-                .expect("queue lock poisoned");
+            let (guard, timed_out) = self.not_empty.wait_timeout(inner, deadline - now);
             inner = guard;
-            if result.timed_out() && inner.items.is_empty() && !inner.closed {
+            if timed_out && inner.items.is_empty() && !inner.closed {
                 return PopTimeout::TimedOut;
             }
         }
@@ -276,7 +273,7 @@ impl<T> SyncQueue<T> {
     /// Removes and returns everything currently queued, waking blocked
     /// producers.
     pub fn drain(&self) -> Vec<T> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock_unpoisoned();
         let items: Vec<T> = inner.items.drain(..).collect();
         drop(inner);
         self.not_full.notify_all();

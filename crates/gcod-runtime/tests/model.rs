@@ -1,0 +1,286 @@
+//! Deterministic-interleaving model tests for the concurrency substrate.
+//!
+//! Each test hands a small multi-threaded scenario to
+//! [`gcod_runtime::sync::model::check`], which explores every schedule within
+//! the preemption bound and fails on the first deadlock (how a lost wakeup
+//! manifests) or assertion panic. Build with `--features model` or
+//! `RUSTFLAGS='--cfg gcod_model'`; on a plain build this file compiles to
+//! nothing.
+//!
+//! Run with `-- --nocapture` to see the per-test interleaving counts CI
+//! tracks.
+
+#![cfg(any(feature = "model", gcod_model))]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gcod_runtime::sync::model::{self, Model};
+use gcod_runtime::sync::{thread, Condvar, Mutex};
+use gcod_runtime::{Latch, Pool, PopTimeout, SyncQueue};
+
+/// Every schedule of two producers racing one consumer must hand both items
+/// over — a lost wakeup would strand the consumer in `pop` and show up as a
+/// deadlock.
+#[test]
+fn queue_push_pop_loses_no_wakeup() {
+    let model = Model {
+        max_preemptions: 4,
+        ..Model::default()
+    };
+    let report = model.check("queue-push-pop", || {
+        let q = Arc::new(SyncQueue::unbounded());
+        let producers: Vec<_> = (1..=2u32)
+            .map(|v| {
+                let q = Arc::clone(&q);
+                thread::spawn_named(&format!("producer-{v}"), move || {
+                    q.try_push(v).expect("queue is open");
+                })
+            })
+            .collect();
+        let mut got = [q.pop(), q.pop()];
+        got.sort();
+        assert_eq!(
+            got,
+            [Some(1), Some(2)],
+            "both pushes must reach the consumer"
+        );
+        for producer in producers {
+            producer.join().expect("producer ran to completion");
+        }
+    });
+    assert!(
+        report.interleavings >= 1000,
+        "expected a meaningful exploration, got {} interleavings",
+        report.interleavings
+    );
+}
+
+/// `pop_timeout` must resolve on every schedule: the item when the producer
+/// won the race, `TimedOut` when the scheduler fired the timeout first —
+/// never a hang, and never `Closed` on an open queue.
+#[test]
+fn queue_pop_timeout_always_resolves() {
+    let model = Model {
+        max_preemptions: 3,
+        ..Model::default()
+    };
+    let report = model.check("queue-pop-timeout", || {
+        let q = Arc::new(SyncQueue::unbounded());
+        let producers: Vec<_> = (0..2)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                thread::spawn_named(&format!("producer-{i}"), move || {
+                    q.try_push(7u8).expect("queue is open");
+                })
+            })
+            .collect();
+        for _ in 0..2 {
+            match q.pop_timeout(Duration::from_millis(1)) {
+                PopTimeout::Item(v) => assert_eq!(v, 7),
+                PopTimeout::TimedOut => {}
+                PopTimeout::Closed => panic!("open queue must never report Closed"),
+            }
+        }
+        for producer in producers {
+            producer.join().expect("producer ran to completion");
+        }
+        // Whatever the pops saw in time, both items are accounted for after
+        // the join: drain whatever remains, then observe the closed state.
+        q.close();
+        loop {
+            match q.pop_timeout(Duration::from_millis(1)) {
+                PopTimeout::Item(v) => assert_eq!(v, 7),
+                PopTimeout::Closed => break,
+                PopTimeout::TimedOut => panic!("a closed queue must never time out"),
+            }
+        }
+    });
+    assert!(
+        report.interleavings >= 1000,
+        "expected a meaningful exploration, got {} interleavings",
+        report.interleavings
+    );
+}
+
+/// `close()` must wake every blocked consumer on every schedule — consumers
+/// that entered `pop` before, during and after the close all observe the
+/// drain-then-`None` protocol.
+#[test]
+fn queue_close_wakes_all_blocked_consumers() {
+    let model = Model {
+        max_preemptions: 3,
+        ..Model::default()
+    };
+    let report = model.check("queue-close-wakes-all", || {
+        let q: Arc<SyncQueue<u8>> = Arc::new(SyncQueue::unbounded());
+        let consumers: Vec<_> = (0..2)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                thread::spawn_named(&format!("consumer-{i}"), move || q.pop())
+            })
+            .collect();
+        q.try_push(9).expect("queue is open");
+        q.close();
+        let mut popped: Vec<Option<u8>> = consumers
+            .into_iter()
+            .map(|c| c.join().expect("consumer ran to completion"))
+            .collect();
+        popped.sort();
+        // Exactly one consumer got the queued item; the other drained to the
+        // closed state. Neither may hang.
+        assert_eq!(popped, vec![None, Some(9)]);
+    });
+    assert!(
+        report.interleavings >= 1000,
+        "expected a meaningful exploration, got {} interleavings",
+        report.interleavings
+    );
+}
+
+/// A `Latch` waiter must wake on every schedule of the completing threads —
+/// the count-to-zero notification can never be lost.
+#[test]
+fn latch_wait_never_hangs() {
+    let model = Model {
+        max_preemptions: 3,
+        ..Model::default()
+    };
+    let report = model.check("latch-wait", || {
+        let latch = Arc::new(Latch::new(3));
+        let completers: Vec<_> = (0..3)
+            .map(|i| {
+                let latch = Arc::clone(&latch);
+                thread::spawn_named(&format!("completer-{i}"), move || latch.complete_one())
+            })
+            .collect();
+        latch.wait();
+        assert!(latch.is_done());
+        for completer in completers {
+            completer.join().expect("completer ran to completion");
+        }
+    });
+    assert!(
+        report.interleavings >= 1000,
+        "expected a meaningful exploration, got {} interleavings",
+        report.interleavings
+    );
+}
+
+/// `Latch::wait_timeout` must resolve on every schedule — completed when the
+/// completer won, `false` when the timeout fired first — and never hang even
+/// when the count never reaches zero on that schedule.
+#[test]
+fn latch_wait_timeout_always_resolves() {
+    model::check("latch-wait-timeout", || {
+        let latch = Arc::new(Latch::new(1));
+        let completer = {
+            let latch = Arc::clone(&latch);
+            thread::spawn_named("completer", move || latch.complete_one())
+        };
+        // Either outcome is legal; hanging or panicking is not.
+        let _completed = latch.wait_timeout(Duration::from_millis(1));
+        completer.join().expect("completer ran to completion");
+        assert!(latch.is_done(), "after the join the count must be zero");
+    });
+}
+
+/// A full pool lifecycle — spawn a worker, run a batch, drop (close + join)
+/// — must complete on every schedule: the batch join must see every task and
+/// shutdown must wake the blocked worker.
+#[test]
+fn pool_run_and_shutdown_never_hang() {
+    use gcod_runtime::sync::atomic::{AtomicUsize, Ordering};
+    // The pool scenario has a deeper decision trace than the queue tests;
+    // one preemption keeps the space in the thousands while still crossing
+    // every pair of adjacent critical sections.
+    let model = Model {
+        max_preemptions: 1,
+        ..Model::default()
+    };
+    model.check("pool-run-shutdown", || {
+        let pool = Pool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+        drop(pool); // close the feed, join the worker — must not hang
+    });
+}
+
+/// A queue with the classic lost-wakeup bug: `pop` checks for an item,
+/// **releases the lock**, and only then re-acquires it to wait. A push that
+/// lands inside that window notifies nobody — the notification is lost and
+/// the consumer sleeps forever. Kept here (test-only) to prove the model
+/// checker actually catches the bug class the `SyncQueue` tests above claim
+/// to rule out.
+struct BrokenQueue {
+    items: Mutex<VecDeque<u32>>,
+    not_empty: Condvar,
+}
+
+impl BrokenQueue {
+    fn new() -> Self {
+        Self {
+            items: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    fn push(&self, value: u32) {
+        self.items.lock_unpoisoned().push_back(value);
+        self.not_empty.notify_one();
+    }
+
+    /// The broken pop: the empty-check and the wait happen under *separate*
+    /// lock acquisitions, leaving a window where a concurrent push's
+    /// notification is lost.
+    fn pop_lost_wakeup(&self) -> u32 {
+        loop {
+            {
+                let mut items = self.items.lock_unpoisoned();
+                if let Some(value) = items.pop_front() {
+                    return value;
+                }
+            } // lock released: a push landing here notifies nobody
+            let guard = self.items.lock_unpoisoned();
+            drop(self.not_empty.wait(guard));
+        }
+    }
+}
+
+/// Regression test for the detector itself: the model checker must flag the
+/// broken queue's lost wakeup as a deadlock. If this starts passing silently,
+/// the scheduler stopped exploring the racy window.
+#[test]
+fn model_catches_lost_wakeup_in_broken_queue() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model::check("broken-queue-lost-wakeup", || {
+            let q = Arc::new(BrokenQueue::new());
+            let producer = {
+                let q = Arc::clone(&q);
+                thread::spawn_named("producer", move || q.push(7))
+            };
+            assert_eq!(q.pop_lost_wakeup(), 7);
+            producer.join().expect("producer ran to completion");
+        });
+    }));
+    let payload = result.expect_err("the model checker must catch the lost wakeup");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+    assert!(
+        message.contains("deadlock"),
+        "expected a deadlock report naming the stuck consumer, got: {message}"
+    );
+}

@@ -23,11 +23,11 @@ use crate::request::{Backend, Classification, PerfPrediction, ServeRequest, Serv
 use crate::ticket::{ticket_pair, Completion, Ticket};
 use gcod_baselines::suite;
 use gcod_platform::{cheapest_platform, Platform};
+use gcod_runtime::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use gcod_runtime::sync::{thread, Condvar, Mutex};
 use gcod_runtime::{PopTimeout, PushError, SyncQueue};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`Server`].
@@ -148,7 +148,7 @@ impl Shared {
     /// Parks the dispatcher while paused; returns when unpaused or when the
     /// queue is closed (shutdown must always reach the drain).
     fn wait_while_paused(&self) {
-        let mut control = self.control.lock().expect("control lock poisoned");
+        let mut control = self.control.lock_unpoisoned();
         while control.paused && !self.queue.is_closed() {
             if !control.parked {
                 control.parked = true;
@@ -158,8 +158,7 @@ impl Shared {
             // still wakes the parked dispatcher promptly.
             let (guard, _) = self
                 .control_changed
-                .wait_timeout(control, self.poll_interval)
-                .expect("control lock poisoned");
+                .wait_timeout(control, self.poll_interval);
             control = guard;
         }
         control.parked = false;
@@ -261,10 +260,9 @@ impl Server {
     pub fn spawn(self) -> Handle {
         let shared = Arc::new(Shared::new(&self.config));
         let dispatcher_shared = Arc::clone(&shared);
-        let thread = std::thread::Builder::new()
-            .name("gcod-serve-dispatcher".to_string())
-            .spawn(move || self.dispatcher_loop(&dispatcher_shared))
-            .expect("spawn serve dispatcher");
+        let thread = thread::spawn_named("gcod-serve-dispatcher", move || {
+            self.dispatcher_loop(&dispatcher_shared)
+        });
         Handle {
             shared: Arc::clone(&shared),
             joiner: Arc::new(Joiner {
@@ -459,7 +457,7 @@ fn finish(shared: &Shared, completion: Completion, result: Result<ServeResponse>
 /// handle is dropped.
 struct Joiner {
     shared: Arc<Shared>,
-    thread: Mutex<Option<JoinHandle<()>>>,
+    thread: Mutex<Option<thread::JoinHandle<()>>>,
 }
 
 impl Joiner {
@@ -468,11 +466,11 @@ impl Joiner {
         // drain the backlog, and breaks any pause.
         self.shared.queue.close();
         {
-            let mut control = self.shared.control.lock().expect("control lock poisoned");
+            let mut control = self.shared.control.lock_unpoisoned();
             control.paused = false;
         }
         self.shared.control_changed.notify_all();
-        let handle = self.thread.lock().expect("joiner lock poisoned").take();
+        let handle = self.thread.lock_unpoisoned().take();
         if let Some(handle) = handle {
             let _ = handle.join();
         }
@@ -585,22 +583,21 @@ impl Handle {
     /// (submissions keep queueing — this is how tests and drain-style
     /// maintenance build deterministic queue states).
     pub fn pause(&self) {
-        let mut control = self.shared.control.lock().expect("control lock poisoned");
+        let mut control = self.shared.control.lock_unpoisoned();
         control.paused = true;
         self.shared.control_changed.notify_all();
         while !control.parked && !self.shared.queue.is_closed() {
             let (guard, _) = self
                 .shared
                 .control_changed
-                .wait_timeout(control, self.shared.poll_interval)
-                .expect("control lock poisoned");
+                .wait_timeout(control, self.shared.poll_interval);
             control = guard;
         }
     }
 
     /// Resumes a paused dispatcher.
     pub fn resume(&self) {
-        let mut control = self.shared.control.lock().expect("control lock poisoned");
+        let mut control = self.shared.control.lock_unpoisoned();
         control.paused = false;
         drop(control);
         self.shared.control_changed.notify_all();

@@ -7,8 +7,9 @@
 
 use crate::error::{Result, ServeError};
 use crate::request::ServeResponse;
+use gcod_runtime::sync::Mutex;
 use gcod_runtime::Latch;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 struct TicketState {
@@ -77,8 +78,7 @@ impl Ticket {
     fn take_result(&self) -> Result<ServeResponse> {
         self.state
             .result
-            .lock()
-            .expect("ticket lock poisoned")
+            .lock_unpoisoned()
             .clone()
             .unwrap_or(Err(ServeError::Canceled))
     }
@@ -104,7 +104,7 @@ impl Completion {
             return;
         }
         self.fulfilled = true;
-        *self.state.result.lock().expect("ticket lock poisoned") = Some(result);
+        *self.state.result.lock_unpoisoned() = Some(result);
         // Publish after the slot is filled: waiters wake through the latch.
         self.state.done.complete_one();
     }
