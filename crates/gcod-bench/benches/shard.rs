@@ -1,0 +1,76 @@
+//! Sharded-serving benchmark: steady-state request latency of the
+//! `gcod-serve` shard router swept over shard count × dataset, plus the
+//! machine-independent halo-traffic column.
+//!
+//! Each case launches thread-mode shard workers (the transport, framing and
+//! protocol are identical to process mode — only the spawn differs), warms
+//! the cached full forward pass, then times `forward_rows` over a fixed
+//! query: one scatter/gather round-trip across every shard socket. The case
+//! list and fixtures live in [`gcod_bench::sweeps`], shared with the
+//! `bench_gate` CI binary so the gate re-measures exactly this sweep.
+//!
+//! Writes a machine-readable summary to `target/BENCH_shard.json` **and**
+//! the repo-root `BENCH_shard.json` tracked across PRs (override both with
+//! the `BENCH_SHARD_JSON` environment variable), recording per-case median
+//! latency plus the deterministic `halo_bytes` relayed per full forward —
+//! the column the gate holds exactly on any runner. Run with
+//! `cargo bench --bench shard`; CI smokes it with
+//! `cargo bench --bench shard -- --test`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcod_bench::sweeps::{
+    shard_halo_byte_rows, shard_query_nodes, shard_router, shard_workload, SHARD_COUNTS,
+    SHARD_DATASETS,
+};
+
+fn bench_shard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard");
+    group.sample_size(9);
+    for &(dataset, nodes) in SHARD_DATASETS {
+        let (graph, model) = shard_workload(dataset, nodes);
+        let query = shard_query_nodes(graph.num_nodes());
+        for &shards in SHARD_COUNTS {
+            let sharded = shard_router(&graph, &model, shards);
+            sharded.forward_rows(&query).expect("warmup forward");
+            group.bench_with_input(BenchmarkId::new(dataset, shards), &shards, |b, _| {
+                b.iter(|| sharded.forward_rows(&query).expect("sharded forward"));
+            });
+            sharded.shutdown().expect("shutdown");
+        }
+    }
+    group.finish();
+
+    if !c.is_test_mode() {
+        gcod_bench::write_bench_summary("BENCH_shard.json", "BENCH_SHARD_JSON", &render_summary(c));
+    }
+}
+
+/// Renders the recorded medians as JSON by hand (the vendored serde shim
+/// has no serializer), joining each row with its deterministic halo-bytes
+/// column recomputed from the shard plan.
+fn render_summary(c: &Criterion) -> String {
+    let halo = shard_halo_byte_rows();
+    let mut entries = Vec::new();
+    for (label, median) in c.results() {
+        // Labels are "shard/<dataset>/<shards>".
+        let mut parts = label.splitn(3, '/');
+        let (Some(_), Some(dataset), Some(shards)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let median_ns = median.as_nanos();
+        let per_request_us = median_ns as f64 / 1e3;
+        let halo_bytes = halo
+            .iter()
+            .find(|(key, _)| key == &format!("shard-halo/{dataset}/{shards}"))
+            .map_or(0.0, |(_, bytes)| *bytes);
+        entries.push(format!(
+            "  {{\"dataset\": \"{dataset}\", \"shards\": {shards}, \"median_ns\": {median_ns}, \
+             \"per_request_us\": {per_request_us:.3}, \"halo_bytes\": {halo_bytes:.0}}}"
+        ));
+    }
+    format!("[\n{}\n]\n", entries.join(",\n"))
+}
+
+criterion_group!(benches, bench_shard);
+criterion_main!(benches);

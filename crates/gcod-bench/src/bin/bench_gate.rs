@@ -1,10 +1,11 @@
 //! CI perf-regression gate over the committed bench trajectory.
 //!
-//! Re-runs the SpMM, training and serving sweeps of [`gcod_bench::sweeps`]
-//! in smoke mode and compares each per-benchmark median against the
-//! committed repo-root `BENCH_spmm.json` / `BENCH_train.json` /
-//! `BENCH_serve.json`, failing (exit code 1) with a per-row delta table when
-//! any median regressed beyond the tolerance.
+//! Re-runs the SpMM, training, serving and sharded-serving sweeps of
+//! [`gcod_bench::sweeps`] in smoke mode and compares each per-benchmark
+//! median against the committed repo-root `BENCH_spmm.json` /
+//! `BENCH_train.json` / `BENCH_serve.json` / `BENCH_shard.json`, failing
+//! (exit code 1) with a per-row delta table when any median regressed
+//! beyond the tolerance.
 //!
 //! Knobs:
 //!
@@ -109,6 +110,9 @@ fn main() {
     let train = sweeps::smoke_train_medians(samples.min(3));
     println!("re-measuring serving sweep...");
     let serve = sweeps::smoke_serve_medians(samples);
+    println!("re-measuring sharded-serving sweep...");
+    let shard = sweeps::smoke_shard_medians(samples);
+    let shard_halo = sweeps::shard_halo_byte_rows();
     let spmm_rel = sweeps::relative_spmm_rows(&spmm);
     let train_rel = sweeps::relative_train_rows(&train);
 
@@ -138,6 +142,24 @@ fn main() {
             key_fields: &["case", "batch"],
             value_field: "median_ns",
             measured: &serve,
+            direction: Direction::LowerIsBetter,
+        },
+        GateSpec {
+            path: root.join("BENCH_shard.json"),
+            name: "BENCH_shard.json",
+            prefix: "shard",
+            key_fields: &["dataset", "shards"],
+            value_field: "median_ns",
+            measured: &shard,
+            direction: Direction::LowerIsBetter,
+        },
+        GateSpec {
+            path: root.join("BENCH_shard.json"),
+            name: "BENCH_shard.json (halo_bytes)",
+            prefix: "shard-halo",
+            key_fields: &["dataset", "shards"],
+            value_field: "halo_bytes",
+            measured: &shard_halo,
             direction: Direction::LowerIsBetter,
         },
         GateSpec {

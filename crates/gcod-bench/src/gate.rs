@@ -2,7 +2,8 @@
 //! medians against the committed repo-root `BENCH_*.json` trajectory.
 //!
 //! The committed bench summaries (`BENCH_spmm.json`, `BENCH_train.json`,
-//! `BENCH_serve.json`) record the cross-PR perf trajectory, but a file
+//! `BENCH_serve.json`, `BENCH_shard.json`) record the cross-PR perf
+//! trajectory, but a file
 //! nobody reads protects nothing. The `bench_gate` binary re-runs the sweeps
 //! of [`crate::sweeps`] in smoke mode and fails CI when any per-benchmark
 //! median regressed beyond a tolerance — making CI the guardian of the

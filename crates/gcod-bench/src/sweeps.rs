@@ -14,7 +14,8 @@ use gcod_nn::models::{GnnModel, ModelConfig};
 use gcod_nn::sparse_ops::spmm_csc;
 use gcod_nn::train::{TrainConfig, Trainer};
 use gcod_nn::Tensor;
-use gcod_serve::{ServeRequest, ServedModel, Server, ServerConfig};
+use gcod_serve::{ServeRequest, ServedModel, Server, ServerConfig, ShardOptions, ShardedModel};
+use gcod_shard::{ShardPlan, ShardPlanConfig};
 use std::time::Instant;
 
 /// The SpMM sweep: `(nodes, avg_degree, feature_cols)`. The largest one
@@ -323,6 +324,120 @@ pub fn smoke_serve_medians(samples: usize) -> Vec<(String, f64)> {
     rows
 }
 
+/// Shard counts swept by the sharded-serving bench; `1` is the no-halo
+/// anchor (one worker owns the whole graph).
+pub const SHARD_COUNTS: &[usize] = &[1, 2, 4];
+
+/// The sharded-serving sweep datasets: `(profile name, target nodes)`. Two
+/// profiles with different degree structure so the halo fraction differs.
+pub const SHARD_DATASETS: &[(&str, usize)] = &[("cora", 300), ("reddit-lite", 300)];
+
+/// Builds one sharded-serving sweep workload: the named profile scaled to
+/// `nodes`, with a deterministic GCN on top.
+///
+/// # Panics
+///
+/// Panics when fixture construction fails (impossible for the fixed sweep
+/// profiles).
+pub fn shard_workload(dataset: &str, nodes: usize) -> (Graph, GnnModel) {
+    let profile = DatasetProfile::by_name(dataset)
+        .expect("known sweep profile")
+        .scaled_to_nodes(nodes);
+    let graph = GraphGenerator::new(SWEEP_SEED)
+        .generate(&profile)
+        .expect("generate sweep fixture");
+    let model = GnnModel::new(ModelConfig::gcn(&graph), SWEEP_SEED).expect("valid config");
+    (graph, model)
+}
+
+/// Launches the shard router over `shards` in-process (thread-mode) workers
+/// — the transport and protocol are identical to process mode, without
+/// paying a process spawn per timed case.
+///
+/// # Panics
+///
+/// Panics when the launch handshake fails (a sweep-setup error).
+pub fn shard_router(graph: &Graph, model: &GnnModel, shards: usize) -> ShardedModel {
+    ShardedModel::launch("bench-shard", graph, model, &ShardOptions::new(shards))
+        .expect("shard launch")
+}
+
+/// The fixed query of the sharded sweep: every third node, so the gather
+/// touches all shards without requesting the whole graph.
+pub fn shard_query_nodes(num_nodes: usize) -> Vec<usize> {
+    (0..num_nodes).step_by(3).collect()
+}
+
+/// Bytes of activation payload the halo exchange relays across one full
+/// forward pass of `plan`: after every layer but the last, each halo slot
+/// receives one `f32` row of that layer's output width. Deterministic for a
+/// fixed plan — a machine-independent column the gate holds exactly.
+pub fn shard_halo_bytes(plan: &ShardPlan) -> u64 {
+    let mut bytes = 0u64;
+    for layer in 0..plan.num_layers().saturating_sub(1) {
+        let width = plan.spec(0).layers[layer].bias.cols() as u64;
+        bytes += plan.total_halo_nodes() as u64 * width * 4;
+    }
+    bytes
+}
+
+/// Re-measures the sharded-serving sweep in smoke mode: steady-state
+/// per-request latency (the full forward is cached after warmup; each
+/// request is a scatter/gather over the shard sockets) keyed
+/// `shard/<dataset>/<shards>` in nanoseconds — the exact keys/units of the
+/// committed `BENCH_shard.json` rows.
+///
+/// # Panics
+///
+/// Panics when a launch or forward fails (a sweep-setup error).
+pub fn smoke_shard_medians(samples: usize) -> Vec<(String, f64)> {
+    let samples = samples.max(1);
+    let mut rows = Vec::new();
+    for &(dataset, nodes) in SHARD_DATASETS {
+        let (graph, model) = shard_workload(dataset, nodes);
+        let query = shard_query_nodes(graph.num_nodes());
+        for &shards in SHARD_COUNTS {
+            let sharded = shard_router(&graph, &model, shards);
+            sharded.forward_rows(&query).expect("warmup forward");
+            let timed: Vec<u128> = (0..samples)
+                .map(|_| {
+                    let start = Instant::now();
+                    sharded.forward_rows(&query).expect("sharded forward");
+                    start.elapsed().as_nanos()
+                })
+                .collect();
+            sharded.shutdown().expect("shutdown");
+            rows.push((format!("shard/{dataset}/{shards}"), median_ns(timed)));
+        }
+    }
+    rows
+}
+
+/// The machine-independent halo-traffic column of the sharded sweep:
+/// [`shard_halo_bytes`] per dataset × shard count, keyed
+/// `shard-halo/<dataset>/<shards>` — the fresh counterpart of the committed
+/// `BENCH_shard.json` `halo_bytes` field. Computed straight from the plan
+/// (no workers launched), so the gate holds it on any runner.
+///
+/// # Panics
+///
+/// Panics when plan construction fails (a sweep-setup error).
+pub fn shard_halo_byte_rows() -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    for &(dataset, nodes) in SHARD_DATASETS {
+        let (graph, model) = shard_workload(dataset, nodes);
+        for &shards in SHARD_COUNTS {
+            let plan =
+                ShardPlan::build(&graph, &model, &ShardPlanConfig::new(shards)).expect("plan");
+            rows.push((
+                format!("shard-halo/{dataset}/{shards}"),
+                shard_halo_bytes(&plan) as f64,
+            ));
+        }
+    }
+    rows
+}
+
 /// Recomputes the machine-independent `speedup_over_naive` column from
 /// fresh SpMM medians: `naive-csr` time over each kernel's time, per node
 /// count, keyed `spmm-rel/<kernel>/<nodes>` — the fresh counterpart of the
@@ -419,6 +534,38 @@ mod tests {
             ("malformed-key".to_string(), 1.0),
         ];
         assert!(relative_spmm_rows(&medians).is_empty());
+    }
+
+    #[test]
+    fn shard_halo_rows_are_deterministic_and_cover_the_sweep() {
+        let rows = shard_halo_byte_rows();
+        assert_eq!(rows.len(), SHARD_DATASETS.len() * SHARD_COUNTS.len());
+        for &(dataset, _) in SHARD_DATASETS {
+            let value = |k: usize| {
+                rows.iter()
+                    .find(|(key, _)| key == &format!("shard-halo/{dataset}/{k}"))
+                    .expect("row present")
+                    .1
+            };
+            // One shard owns the whole graph: nothing to exchange. Real
+            // splits relay a non-trivial halo payload.
+            assert_eq!(value(1), 0.0, "{dataset}");
+            assert!(value(2) > 0.0, "{dataset}");
+            assert!(value(4) > 0.0, "{dataset}");
+        }
+        // Machine-independent: recomputing yields bit-identical rows.
+        assert_eq!(rows, shard_halo_byte_rows());
+    }
+
+    #[test]
+    fn shard_router_fixture_answers_queries() {
+        let (graph, model) = shard_workload("cora", 120);
+        let query = shard_query_nodes(graph.num_nodes());
+        let expected = model.forward_rows(&graph, &query).expect("oracle");
+        let sharded = shard_router(&graph, &model, 2);
+        let got = sharded.forward_rows(&query).expect("sharded forward");
+        assert_eq!(got.data(), expected.data());
+        sharded.shutdown().expect("shutdown");
     }
 
     #[test]

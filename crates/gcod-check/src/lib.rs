@@ -9,12 +9,13 @@
 //! |----------------------|--------------------------------------------------------------------|
 //! | `safety-comment`     | every `unsafe` block carries a `// SAFETY:` rationale nearby       |
 //! | `no-unwrap`          | no `.unwrap()` / `panic!` in non-test library code of the          |
-//! |                      | concurrency crates (`gcod-runtime`, `gcod-serve`); lock poisoning  |
+//! |                      | concurrency crates (`gcod-runtime`, `gcod-serve`, `gcod-shard`);   |
+//! |                      | lock poisoning                                                     |
 //! |                      | goes through the named `lock_unpoisoned` helper and invariants are |
 //! |                      | spelled `.expect("why this cannot fail")`                          |
 //! | `hash-container`     | no `HashMap`/`HashSet` in deterministic-output crates              |
-//! |                      | (`gcod-nn`, `gcod-graph`, `gcod-bench`) — iteration order leaks    |
-//! |                      | into golden files; use the `BTree` forms                           |
+//! |                      | (`gcod-nn`, `gcod-graph`, `gcod-bench`, `gcod-shard`) — iteration  |
+//! |                      | order leaks into golden files; use the `BTree` forms               |
 //! | `wall-clock`         | no `Instant::now` / `SystemTime` in kernel crates — wall-clock     |
 //! |                      | reads belong to the timing layer (`gcod-bench`) and the runtime's  |
 //! |                      | deadline plumbing, nowhere else                                    |
@@ -99,8 +100,8 @@ impl LintScope {
         let crate_name = crate_of(path);
         let name = crate_name.as_deref().unwrap_or("");
         LintScope {
-            no_unwrap: matches!(name, "gcod-runtime" | "gcod-serve"),
-            hash_container: matches!(name, "gcod-nn" | "gcod-graph" | "gcod-bench"),
+            no_unwrap: matches!(name, "gcod-runtime" | "gcod-serve" | "gcod-shard"),
+            hash_container: matches!(name, "gcod-nn" | "gcod-graph" | "gcod-bench" | "gcod-shard"),
             wall_clock: matches!(
                 name,
                 "gcod-nn"
@@ -109,6 +110,7 @@ impl LintScope {
                     | "gcod-accel"
                     | "gcod-platform"
                     | "gcod-baselines"
+                    | "gcod-shard"
             ),
         }
     }

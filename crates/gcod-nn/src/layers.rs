@@ -303,6 +303,76 @@ pub fn graph_conv_forward_workers(
     })
 }
 
+/// One sharded layer step: the per-shard half of `GnnModel::forward`.
+///
+/// `prop` holds this shard's *rows* of the full-graph propagation matrix
+/// (`|owned| × |locals|`, columns remapped to shard-local ids in ascending
+/// global order) and `h_local` the activations of every local node (owned ∪
+/// halo, `|locals| × d_in`, rows in the same ascending global order). The
+/// result is the next activation of the shard's **owned** rows
+/// (`|owned| × d_out`).
+///
+/// Bit-identity contract: because the propagation rows are sliced (not
+/// renormalised) from the full-graph matrix, the column remapping is
+/// monotone in global node id (so each CSR row accumulates in exactly the
+/// full-graph order), and the op sequence below — SpMM, dense combination,
+/// bias broadcast, activation, residual — mirrors `GnnModel::forward`
+/// term for term, the owned rows equal the corresponding rows of the
+/// single-process forward bit for bit, at every worker count.
+///
+/// `apply_residual` is `config.residual && layer_index > 0`; like the
+/// single-process path, the residual is added only when the layer preserves
+/// the width (`d_out == d_in`), reading the previous activation of the owned
+/// rows out of `h_local` via `owned_pos` (positions of the owned nodes
+/// within the local ordering).
+///
+/// # Errors
+///
+/// Returns [`crate::NnError::ShapeMismatch`] when the dimensions are
+/// inconsistent or `owned_pos` is out of range.
+pub fn shard_layer_forward(
+    layer: &DenseLayer,
+    prop: &CsrMatrix,
+    h_local: &Tensor,
+    owned_pos: &[u32],
+    apply_residual: bool,
+    workers: usize,
+) -> Result<Tensor> {
+    if prop.rows() != owned_pos.len() {
+        return Err(crate::NnError::ShapeMismatch {
+            context: format!(
+                "shard-layer: {} propagation rows vs {} owned positions",
+                prop.rows(),
+                owned_pos.len()
+            ),
+        });
+    }
+    let aggregated = NaiveCsr.spmm(prop, h_local)?;
+    let mut next = aggregated.matmul_with(&layer.weight, workers)?;
+    next.add_row_broadcast_in_place(&layer.bias)?;
+    layer.activation.apply_in_place(&mut next);
+    // Residual connection between same-width hidden layers: the full-graph
+    // condition `next.shape() == h.shape()` compares (N, d_out) with
+    // (N, d_in), i.e. reduces to the widths matching.
+    if apply_residual && next.cols() == h_local.cols() {
+        let mut gathered_prev = Tensor::zeros(owned_pos.len(), h_local.cols());
+        for (row, &pos) in owned_pos.iter().enumerate() {
+            let pos = pos as usize;
+            if pos >= h_local.rows() {
+                return Err(crate::NnError::ShapeMismatch {
+                    context: format!(
+                        "shard-layer: owned position {pos} outside {} local rows",
+                        h_local.rows()
+                    ),
+                });
+            }
+            gathered_prev.row_mut(row).copy_from_slice(h_local.row(pos));
+        }
+        next.add_assign(&gathered_prev)?;
+    }
+    Ok(next)
+}
+
 /// Backward pass of [`graph_conv_forward`], using the reference
 /// [`NaiveCsr`] SpMM kernel.
 ///
@@ -496,6 +566,69 @@ mod tests {
             assert_eq!(grads_k.bias, grads.bias, "{}", kernel.name());
             assert_eq!(grads_k.input, grads.input, "{}", kernel.name());
         }
+    }
+
+    #[test]
+    fn shard_layer_forward_matches_full_forward_rows() {
+        // Shard = the even nodes, locals = every node (identity column
+        // mapping): the sharded step over the sliced propagation rows must
+        // reproduce the full layer's even rows bit for bit.
+        let g = tiny_graph();
+        let layer = DenseLayer::new(g.feature_dim(), 5, Activation::Relu, 11);
+        let prop = Propagation::SymmetricNormalized.matrix(&g, &Tensor::zeros(1, 1));
+        let x = Tensor::from_vec(g.num_nodes(), g.feature_dim(), g.features().to_vec()).unwrap();
+        let full = graph_conv_forward(&layer, &prop, &x).unwrap().output;
+
+        let owned: Vec<usize> = (0..g.num_nodes()).step_by(2).collect();
+        let mut indptr = vec![0u64];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for &node in &owned {
+            let (cols, vals) = prop.row(node);
+            indices.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            indptr.push(indices.len() as u64);
+        }
+        let sliced =
+            CsrMatrix::from_parts(owned.len(), prop.cols(), indptr, indices, values).unwrap();
+        let owned_pos: Vec<u32> = owned.iter().map(|&n| n as u32).collect();
+        let sharded = shard_layer_forward(&layer, &sliced, &x, &owned_pos, false, 0).unwrap();
+        for (row, &node) in owned.iter().enumerate() {
+            assert_eq!(sharded.row(row), full.row(node), "node {node}");
+        }
+    }
+
+    #[test]
+    fn shard_layer_forward_residual_matches_full_condition() {
+        // Same-width layer with residual: sharded output row = full
+        // `activation(P·H·W + b) + H` row for the owned nodes.
+        let g = tiny_graph();
+        let dim = g.feature_dim();
+        let layer = DenseLayer::new(dim, dim, Activation::Relu, 3);
+        let prop = Propagation::SymmetricNormalized.matrix(&g, &Tensor::zeros(1, 1));
+        let x = Tensor::from_vec(g.num_nodes(), dim, g.features().to_vec()).unwrap();
+        let mut full = graph_conv_forward(&layer, &prop, &x).unwrap().output;
+        full.add_assign(&x).unwrap();
+
+        let owned_pos: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let sharded = shard_layer_forward(&layer, &prop, &x, &owned_pos, true, 0).unwrap();
+        assert_eq!(sharded, full);
+        // Width-changing layers skip the residual even when requested.
+        let narrowing = DenseLayer::new(dim, 3, Activation::Relu, 3);
+        let no_res = shard_layer_forward(&narrowing, &prop, &x, &owned_pos, true, 0).unwrap();
+        let plain = graph_conv_forward(&narrowing, &prop, &x).unwrap().output;
+        assert_eq!(no_res, plain);
+    }
+
+    #[test]
+    fn shard_layer_forward_rejects_inconsistent_shapes() {
+        let g = tiny_graph();
+        let layer = DenseLayer::new(g.feature_dim(), 4, Activation::Relu, 0);
+        let prop = Propagation::SymmetricNormalized.matrix(&g, &Tensor::zeros(1, 1));
+        let x = Tensor::from_vec(g.num_nodes(), g.feature_dim(), g.features().to_vec()).unwrap();
+        // owned_pos length must match the propagation row count.
+        let err = shard_layer_forward(&layer, &prop, &x, &[0, 1], false, 0);
+        assert!(err.is_err());
     }
 
     #[test]

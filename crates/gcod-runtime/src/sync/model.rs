@@ -1010,6 +1010,12 @@ pub mod facade {
                 self.0.fetch_add(value, order)
             }
 
+            /// Atomic subtract, returning the previous value.
+            pub fn fetch_sub(&self, value: u64, order: Ordering) -> u64 {
+                yield_point();
+                self.0.fetch_sub(value, order)
+            }
+
             /// Atomic max, returning the previous value.
             pub fn fetch_max(&self, value: u64, order: Ordering) -> u64 {
                 yield_point();

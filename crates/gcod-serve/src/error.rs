@@ -44,6 +44,9 @@ pub enum ServeError {
     Nn(NnError),
     /// A platform-simulation error from the backend router.
     Platform(PlatformError),
+    /// A sharded-serving failure: shard planning, the wire protocol, or a
+    /// worker process/thread.
+    Shard(gcod_shard::ShardError),
 }
 
 impl fmt::Display for ServeError {
@@ -71,6 +74,7 @@ impl fmt::Display for ServeError {
             ServeError::Canceled => write!(f, "request canceled without a result"),
             ServeError::Nn(e) => write!(f, "model error: {e}"),
             ServeError::Platform(e) => write!(f, "platform error: {e}"),
+            ServeError::Shard(e) => write!(f, "sharded serving error: {e}"),
         }
     }
 }
@@ -80,6 +84,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Nn(e) => Some(e),
             ServeError::Platform(e) => Some(e),
+            ServeError::Shard(e) => Some(e),
             _ => None,
         }
     }
@@ -94,6 +99,12 @@ impl From<NnError> for ServeError {
 impl From<PlatformError> for ServeError {
     fn from(e: PlatformError) -> Self {
         ServeError::Platform(e)
+    }
+}
+
+impl From<gcod_shard::ShardError> for ServeError {
+    fn from(e: gcod_shard::ShardError) -> Self {
+        ServeError::Shard(e)
     }
 }
 

@@ -57,10 +57,13 @@ mod error;
 mod model;
 mod request;
 mod server;
+mod shard;
 mod ticket;
+mod wire_impls;
 
 pub use error::{Result, ServeError};
 pub use model::ServedModel;
 pub use request::{Backend, Classification, PerfPrediction, ServeRequest, ServeResponse};
 pub use server::{Handle, Server, ServerConfig, ServerStats};
+pub use shard::{ShardOptions, ShardTransportStats, ShardedModel, SpawnMode};
 pub use ticket::Ticket;

@@ -20,8 +20,10 @@ use crate::batch::{group_in_arrival_order, split_stacked};
 use crate::error::{Result, ServeError};
 use crate::model::ServedModel;
 use crate::request::{Backend, Classification, PerfPrediction, ServeRequest, ServeResponse};
+use crate::shard::{ShardStatsAtomics, ShardTransportStats, ShardedModel};
 use crate::ticket::{ticket_pair, Completion, Ticket};
 use gcod_baselines::suite;
+use gcod_nn::Tensor;
 use gcod_platform::{cheapest_platform, Platform};
 use gcod_runtime::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use gcod_runtime::sync::{thread, Condvar, Mutex};
@@ -74,6 +76,9 @@ pub struct ServerStats {
     pub batches: u64,
     /// Largest number of requests fused into one forward pass so far.
     pub largest_batch: usize,
+    /// Shard-transport counters, aggregated over every sharded model the
+    /// server owns (all zeros when nothing is sharded).
+    pub shard: ShardTransportStats,
 }
 
 /// One queued unit of work: the request, its deadline, and the write half of
@@ -105,6 +110,7 @@ impl Stats {
             completed_err: self.completed_err.load(Ordering::SeqCst),
             batches: self.batches.load(Ordering::SeqCst),
             largest_batch: self.largest_batch.load(Ordering::SeqCst),
+            shard: ShardTransportStats::default(),
         }
     }
 }
@@ -122,6 +128,9 @@ struct Shared {
     control: Mutex<ControlState>,
     control_changed: Condvar,
     stats: Stats,
+    /// Live transport counters of every sharded model the server owns, so
+    /// `Handle::stats` can fold them into the snapshot.
+    shard_stats: Vec<Arc<ShardStatsAtomics>>,
     next_id: AtomicU64,
     queue_capacity: usize,
     default_deadline: Option<Duration>,
@@ -129,7 +138,7 @@ struct Shared {
 }
 
 impl Shared {
-    fn new(config: &ServerConfig) -> Self {
+    fn new(config: &ServerConfig, shard_stats: Vec<Arc<ShardStatsAtomics>>) -> Self {
         Self {
             queue: SyncQueue::bounded(config.queue_capacity),
             control: Mutex::new(ControlState {
@@ -138,11 +147,21 @@ impl Shared {
             }),
             control_changed: Condvar::new(),
             stats: Stats::default(),
+            shard_stats,
             next_id: AtomicU64::new(0),
             queue_capacity: config.queue_capacity.max(1),
             default_deadline: config.default_deadline,
             poll_interval: config.poll_interval,
         }
+    }
+
+    /// Counter snapshot with the shard-transport counters folded in.
+    fn server_stats(&self) -> ServerStats {
+        let mut stats = self.stats.snapshot();
+        for shard in &self.shard_stats {
+            stats.shard.merge(&shard.snapshot());
+        }
+        stats
     }
 
     /// Parks the dispatcher while paused; returns when unpaused or when the
@@ -165,12 +184,46 @@ impl Shared {
     }
 }
 
-/// The serving front-end: owns trained [`ServedModel`]s and the platform
-/// suite, and answers [`ServeRequest`]s either synchronously
-/// ([`serve_one`](Server::serve_one)) or through the queued, batching
-/// dispatcher ([`spawn`](Server::spawn)).
+/// One registered model: executed in-process or routed across shard
+/// workers. Classification treats both uniformly through
+/// [`forward_rows`](ModelEntry::forward_rows); perf prediction needs the
+/// single-process workload and is only available on local entries.
+enum ModelEntry {
+    Local(Box<ServedModel>),
+    Sharded(ShardedModel),
+}
+
+impl ModelEntry {
+    fn name(&self) -> &str {
+        match self {
+            ModelEntry::Local(m) => m.name(),
+            ModelEntry::Sharded(m) => m.name(),
+        }
+    }
+
+    /// Logit rows for `nodes`, bit-identical between the two variants (the
+    /// shard plan's contract, pinned by `tests/shard_differential.rs`).
+    fn forward_rows(&self, nodes: &[usize]) -> Result<Tensor> {
+        match self {
+            ModelEntry::Local(m) => Ok(m.model().forward_rows(m.graph(), nodes)?),
+            ModelEntry::Sharded(m) => m.forward_rows(nodes),
+        }
+    }
+
+    fn as_local(&self) -> Option<&ServedModel> {
+        match self {
+            ModelEntry::Local(m) => Some(m),
+            ModelEntry::Sharded(_) => None,
+        }
+    }
+}
+
+/// The serving front-end: owns trained [`ServedModel`]s (and/or
+/// [`ShardedModel`] routers) and the platform suite, and answers
+/// [`ServeRequest`]s either synchronously ([`serve_one`](Server::serve_one))
+/// or through the queued, batching dispatcher ([`spawn`](Server::spawn)).
 pub struct Server {
-    models: BTreeMap<String, ServedModel>,
+    models: BTreeMap<String, ModelEntry>,
     platforms: Vec<Box<dyn Platform>>,
     config: ServerConfig,
 }
@@ -218,7 +271,20 @@ impl Server {
     /// name).
     #[must_use]
     pub fn register(mut self, model: ServedModel) -> Self {
-        self.models.insert(model.name().to_string(), model);
+        self.models
+            .insert(model.name().to_string(), ModelEntry::Local(Box::new(model)));
+        self
+    }
+
+    /// Registers a sharded model (replacing any previous model of the same
+    /// name): classification requests are routed across its shard workers,
+    /// bit-identical to a local registration of the same trained model.
+    /// Perf-prediction requests against a sharded model report
+    /// [`ServeError::NoEligibleBackend`].
+    #[must_use]
+    pub fn register_sharded(mut self, model: ShardedModel) -> Self {
+        self.models
+            .insert(model.name().to_string(), ModelEntry::Sharded(model));
         self
     }
 
@@ -243,11 +309,18 @@ impl Server {
     pub fn serve_one(&self, request: &ServeRequest) -> Result<ServeResponse> {
         match request {
             ServeRequest::Classify { model, nodes } => {
-                let served = self.lookup(model)?;
-                Ok(ServeResponse::Classification(self.classify(served, nodes)?))
+                let entry = self.lookup(model)?;
+                Ok(ServeResponse::Classification(classify(entry, nodes)?))
             }
             ServeRequest::PredictPerf { model, backend } => {
-                let served = self.lookup(model)?;
+                let entry = self.lookup(model)?;
+                // Perf routing simulates the single-process workload; a
+                // sharded model has no eligible backend in the suite.
+                let served = entry
+                    .as_local()
+                    .ok_or_else(|| ServeError::NoEligibleBackend {
+                        model: entry.name().to_string(),
+                    })?;
                 Ok(ServeResponse::Perf(self.predict_perf(served, backend)?))
             }
         }
@@ -258,7 +331,15 @@ impl Server {
     /// the last handle is dropped — either way the queue is drained and
     /// every accepted ticket resolves first.
     pub fn spawn(self) -> Handle {
-        let shared = Arc::new(Shared::new(&self.config));
+        let shard_stats = self
+            .models
+            .values()
+            .filter_map(|entry| match entry {
+                ModelEntry::Sharded(m) => Some(m.stats_arc()),
+                ModelEntry::Local(_) => None,
+            })
+            .collect();
+        let shared = Arc::new(Shared::new(&self.config, shard_stats));
         let dispatcher_shared = Arc::clone(&shared);
         let thread = thread::spawn_named("gcod-serve-dispatcher", move || {
             self.dispatcher_loop(&dispatcher_shared)
@@ -272,23 +353,13 @@ impl Server {
         }
     }
 
-    fn lookup(&self, name: &str) -> Result<&ServedModel> {
+    fn lookup(&self, name: &str) -> Result<&ModelEntry> {
         self.models
             .get(name)
             .ok_or_else(|| ServeError::UnknownModel {
                 name: name.to_string(),
                 known: self.model_names(),
             })
-    }
-
-    fn classify(&self, served: &ServedModel, nodes: &[usize]) -> Result<Classification> {
-        let logits = served.model().forward_rows(served.graph(), nodes)?;
-        Ok(Classification {
-            model: served.name().to_string(),
-            nodes: nodes.to_vec(),
-            classes: logits.argmax_rows(),
-            logits,
-        })
     }
 
     fn predict_perf(&self, served: &ServedModel, backend: &Backend) -> Result<PerfPrediction> {
@@ -397,8 +468,8 @@ impl Server {
             .stats
             .largest_batch
             .fetch_max(members.len(), Ordering::SeqCst);
-        let served = match self.lookup(model_name) {
-            Ok(served) => served,
+        let entry = match self.lookup(model_name) {
+            Ok(entry) => entry,
             Err(e) => {
                 for member in members {
                     finish(shared, member.completion, Err(e.clone()));
@@ -415,16 +486,14 @@ impl Server {
             .collect();
         let lens: Vec<usize> = member_nodes.iter().map(Vec::len).collect();
         let stacked_nodes: Vec<usize> = member_nodes.iter().flatten().copied().collect();
-        let fused = served
-            .model()
-            .forward_rows(served.graph(), &stacked_nodes)
-            .map_err(ServeError::from)
+        let fused = entry
+            .forward_rows(&stacked_nodes)
             .and_then(|stacked| split_stacked(&stacked, &lens).map_err(ServeError::from));
         match fused {
             Ok(pieces) => {
                 for ((member, nodes), logits) in members.into_iter().zip(member_nodes).zip(pieces) {
                     let response = ServeResponse::Classification(Classification {
-                        model: served.name().to_string(),
+                        model: entry.name().to_string(),
                         nodes,
                         classes: logits.argmax_rows(),
                         logits,
@@ -440,6 +509,17 @@ impl Server {
             }
         }
     }
+}
+
+/// Answers one classification against a (local or sharded) model entry.
+fn classify(entry: &ModelEntry, nodes: &[usize]) -> Result<Classification> {
+    let logits = entry.forward_rows(nodes)?;
+    Ok(Classification {
+        model: entry.name().to_string(),
+        nodes: nodes.to_vec(),
+        classes: logits.argmax_rows(),
+        logits,
+    })
 }
 
 /// Fulfils a ticket and maintains the completion counters.
@@ -499,7 +579,7 @@ impl std::fmt::Debug for Handle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Handle")
             .field("queue_len", &self.shared.queue.len())
-            .field("stats", &self.shared.stats.snapshot())
+            .field("stats", &self.shared.server_stats())
             .finish()
     }
 }
@@ -605,7 +685,7 @@ impl Handle {
 
     /// A snapshot of the server counters.
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats.snapshot()
+        self.shared.server_stats()
     }
 
     /// Shuts the server down gracefully: stops accepting submissions, drains
@@ -614,7 +694,7 @@ impl Handle {
     /// [`ServeError::ShuttingDown`].
     pub fn shutdown(&self) -> ServerStats {
         self.joiner.shutdown_and_join();
-        self.shared.stats.snapshot()
+        self.shared.server_stats()
     }
 }
 

@@ -1,0 +1,664 @@
+//! The shard router: serve one model from `k` worker processes (or
+//! threads) over the `gcod-shard` wire protocol.
+//!
+//! ```text
+//!                    ┌─ worker 0 (owns partition 0 + halo) ─┐
+//! ShardedModel ──UDS─┼─ worker 1 (owns partition 1 + halo) ─┤ halo rows
+//!  (router)          └─ worker k-1 ...                      ┘ relayed by
+//!                                                             the router
+//! ```
+//!
+//! The router drives the layer lockstep: it broadcasts `RunLayer` to all
+//! shards, collects each shard's exported boundary activations, reassembles
+//! them into per-shard halo tensors using the plan's halo-source map, and
+//! ships them back with `Advance` before the next layer. After the final
+//! layer, `forward_rows` answers classification requests with `Gather`
+//! round-trips that fetch only the requested rows from the owning shards.
+//!
+//! Because the plan slices the *full-graph* propagation matrix and keeps
+//! local orderings sorted by global id, the logits reassembled here are
+//! bit-identical to the single-process `GnnModel::forward` path — pinned by
+//! `tests/shard_differential.rs`.
+
+use crate::error::{Result, ServeError};
+use gcod_graph::Graph;
+use gcod_nn::models::GnnModel;
+use gcod_nn::Tensor;
+use gcod_runtime::sync::atomic::{AtomicU64, Ordering};
+use gcod_runtime::sync::{thread, Mutex};
+use gcod_shard::{
+    read_frame, write_frame, ShardConn, ShardError, ShardListener, ShardPlan, ShardPlanConfig,
+    ShardReply, ShardRequest, TransportKind,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// How the router obtains its worker endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpawnMode {
+    /// In-process worker threads (each still speaks the full wire protocol
+    /// over a real socket). Cheap, hermetic — the default, and what the
+    /// serving benches use.
+    Thread,
+    /// One OS process per shard: the binary at this path is spawned with
+    /// `--addr <addr> --shard <id>` and must delegate to
+    /// [`gcod_shard::worker_main`] (the workspace ships
+    /// `src/bin/shard_worker.rs`).
+    Process(PathBuf),
+}
+
+/// Launch options for a [`ShardedModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardOptions {
+    /// Number of shards (`k`); each owns one graph partition.
+    pub shards: usize,
+    /// Socket flavour carrying the wire protocol.
+    pub transport: TransportKind,
+    /// Worker threads or worker processes.
+    pub mode: SpawnMode,
+}
+
+impl ShardOptions {
+    /// `shards` thread-mode workers over the default transport (UDS where
+    /// available, TCP loopback otherwise).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            transport: TransportKind::default(),
+            mode: SpawnMode::Thread,
+        }
+    }
+
+    /// Selects the socket flavour.
+    #[must_use]
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Spawns each shard as an OS process running `worker_bin`.
+    #[must_use]
+    pub fn with_worker_bin(mut self, worker_bin: impl Into<PathBuf>) -> Self {
+        self.mode = SpawnMode::Process(worker_bin.into());
+        self
+    }
+}
+
+/// A point-in-time snapshot of shard-transport counters, aggregated over
+/// every sharded model a server owns (all zeros when none are sharded).
+/// Surfaced through [`ServerStats`](crate::ServerStats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardTransportStats {
+    /// Worker endpoints across all sharded models.
+    pub shards: u64,
+    /// Halo (replicated boundary) node slots across all shards — the
+    /// memory cost of the BNS-style decomposition.
+    pub halo_nodes: u64,
+    /// Protocol frames written by routers.
+    pub frames_sent: u64,
+    /// Protocol frames read by routers.
+    pub frames_received: u64,
+    /// Bytes written by routers (length prefix and checksum included).
+    pub bytes_sent: u64,
+    /// Bytes read by routers.
+    pub bytes_received: u64,
+    /// Halo activation rows relayed between shards across all layers.
+    pub halo_rows: u64,
+    /// Full layer-lockstep forward passes driven (cached afterwards —
+    /// stays at 1 per sharded model under a fixed graph).
+    pub forward_passes: u64,
+    /// Logit rows answered from shard `Gather` round-trips.
+    pub rows_gathered: u64,
+    /// Peak number of concurrent `forward_rows` calls queued on one
+    /// router (the per-shard request queue depth).
+    pub peak_queue_depth: u64,
+}
+
+impl ShardTransportStats {
+    /// Field-wise sum (peaks take the max), for aggregating across models.
+    pub(crate) fn merge(&mut self, other: &ShardTransportStats) {
+        self.shards += other.shards;
+        self.halo_nodes += other.halo_nodes;
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.halo_rows += other.halo_rows;
+        self.forward_passes += other.forward_passes;
+        self.rows_gathered += other.rows_gathered;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+    }
+}
+
+/// Shared atomics behind [`ShardTransportStats`]; the server's dispatcher
+/// holds a clone of the `Arc` so `Handle::stats` sees live counters.
+#[derive(Debug, Default)]
+pub(crate) struct ShardStatsAtomics {
+    shards: AtomicU64,
+    halo_nodes: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    halo_rows: AtomicU64,
+    forward_passes: AtomicU64,
+    rows_gathered: AtomicU64,
+    queue_depth: AtomicU64,
+    peak_queue_depth: AtomicU64,
+}
+
+impl ShardStatsAtomics {
+    pub(crate) fn snapshot(&self) -> ShardTransportStats {
+        ShardTransportStats {
+            shards: self.shards.load(Ordering::SeqCst),
+            halo_nodes: self.halo_nodes.load(Ordering::SeqCst),
+            frames_sent: self.frames_sent.load(Ordering::SeqCst),
+            frames_received: self.frames_received.load(Ordering::SeqCst),
+            bytes_sent: self.bytes_sent.load(Ordering::SeqCst),
+            bytes_received: self.bytes_received.load(Ordering::SeqCst),
+            halo_rows: self.halo_rows.load(Ordering::SeqCst),
+            forward_passes: self.forward_passes.load(Ordering::SeqCst),
+            rows_gathered: self.rows_gathered.load(Ordering::SeqCst),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// One live worker endpoint, joined at shutdown.
+enum WorkerHandle {
+    Thread(thread::JoinHandle<()>),
+    Process(std::process::Child),
+}
+
+/// Mutable router state: one connection per shard plus the forward cache
+/// flag. Guarded by one mutex — the layer lockstep is inherently a
+/// whole-model critical section, and `Gather`s reuse its ordering.
+struct RouterState {
+    conns: Vec<ShardConn>,
+    workers: Vec<WorkerHandle>,
+    /// Workers hold post-forward activations; set after the first driven
+    /// pass so later requests skip straight to `Gather`.
+    forward_done: bool,
+    shut_down: bool,
+}
+
+/// One served model executed across `k` shard workers; the drop-in sharded
+/// counterpart of [`ServedModel`](crate::ServedModel) for classification
+/// requests (perf-prediction routing needs the single-process workload and
+/// reports `NoEligibleBackend` on sharded models).
+pub struct ShardedModel {
+    name: String,
+    plan: ShardPlan,
+    state: Mutex<RouterState>,
+    stats: Arc<ShardStatsAtomics>,
+}
+
+impl std::fmt::Debug for ShardedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedModel")
+            .field("name", &self.name)
+            .field("shards", &self.plan.shards())
+            .field("num_nodes", &self.plan.num_nodes())
+            .field("halo_nodes", &self.plan.total_halo_nodes())
+            .finish()
+    }
+}
+
+impl ShardedModel {
+    /// Plans the shards, launches one worker per shard (thread or process
+    /// per `options.mode`), connects, and loads each worker's
+    /// [`ShardSpec`](gcod_shard::ShardSpec). On return every worker is
+    /// loaded and idle; the first classification drives the forward pass.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shard`] on plan rejection (zero shards, more shards
+    /// than nodes, feature-dependent propagation), spawn/connect failures,
+    /// or protocol violations during the handshake.
+    pub fn launch(
+        name: impl Into<String>,
+        graph: &Graph,
+        model: &GnnModel,
+        options: &ShardOptions,
+    ) -> Result<ShardedModel> {
+        let plan = ShardPlan::build(graph, model, &ShardPlanConfig::new(options.shards))?;
+        let stats = Arc::new(ShardStatsAtomics::default());
+        stats.shards.store(plan.shards() as u64, Ordering::SeqCst);
+        stats
+            .halo_nodes
+            .store(plan.total_halo_nodes() as u64, Ordering::SeqCst);
+
+        let mut conns = Vec::with_capacity(plan.shards());
+        let mut workers = Vec::with_capacity(plan.shards());
+        for shard in 0..plan.shards() {
+            let listener = ShardListener::bind(options.transport)?;
+            let addr = listener.local_addr()?;
+            let worker = match &options.mode {
+                SpawnMode::Thread => {
+                    let shard_id = shard as u32;
+                    WorkerHandle::Thread(thread::spawn_named(
+                        &format!("gcod-shard-worker-{shard}"),
+                        move || {
+                            // Connect/protocol failures surface router-side
+                            // as handshake or read errors.
+                            if let Ok(conn) = ShardConn::dial(&addr) {
+                                let _ = gcod_shard::run_worker(conn, shard_id);
+                            }
+                        },
+                    ))
+                }
+                SpawnMode::Process(bin) => {
+                    let child = std::process::Command::new(bin)
+                        .arg("--addr")
+                        .arg(addr.to_string())
+                        .arg("--shard")
+                        .arg(shard.to_string())
+                        .spawn()
+                        .map_err(|e| ShardError::Spawn {
+                            context: format!("spawning {}: {e}", bin.display()),
+                        })?;
+                    WorkerHandle::Process(child)
+                }
+            };
+            workers.push(worker);
+            let mut conn = listener.accept()?;
+
+            match recv(&mut conn, shard as u32, &stats)? {
+                ShardReply::Hello { shard: said } if said == shard as u32 => {}
+                other => {
+                    return Err(protocol(format!(
+                        "shard {shard}: expected Hello{{{shard}}}, got {other:?}"
+                    )))
+                }
+            }
+            send(
+                &mut conn,
+                &ShardRequest::Load(Box::new(plan.spec(shard).clone())),
+                &stats,
+            )?;
+            match recv(&mut conn, shard as u32, &stats)? {
+                ShardReply::Loaded { owned, halo }
+                    if owned as usize == plan.owned(shard).len()
+                        && halo as usize == plan.halo(shard).len() => {}
+                other => {
+                    return Err(protocol(format!(
+                        "shard {shard}: expected Loaded{{owned: {}, halo: {}}}, got {other:?}",
+                        plan.owned(shard).len(),
+                        plan.halo(shard).len()
+                    )))
+                }
+            }
+            conns.push(conn);
+        }
+
+        Ok(ShardedModel {
+            name: name.into(),
+            plan,
+            state: Mutex::new(RouterState {
+                conns,
+                workers,
+                forward_done: false,
+                shut_down: false,
+            }),
+            stats,
+        })
+    }
+
+    /// The serving key (batching compatibility, like `ServedModel::name`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.plan.shards()
+    }
+
+    /// The shard plan driving this router.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Snapshot of this model's transport counters.
+    pub fn stats(&self) -> ShardTransportStats {
+        self.stats.snapshot()
+    }
+
+    pub(crate) fn stats_arc(&self) -> Arc<ShardStatsAtomics> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Logit rows for `nodes` (request order, duplicates allowed),
+    /// bit-identical to `GnnModel::forward_rows` on the unsharded graph.
+    ///
+    /// The first call drives the full layer lockstep across all shards and
+    /// caches the result worker-side; later calls are pure `Gather`
+    /// round-trips to the owning shards.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shard`] for out-of-range nodes, worker failures, or
+    /// wire errors (a failed router is not automatically restarted).
+    pub fn forward_rows(&self, nodes: &[usize]) -> Result<Tensor> {
+        let depth = self.stats.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+        self.stats
+            .peak_queue_depth
+            .fetch_max(depth, Ordering::SeqCst);
+        let result = self.forward_rows_inner(nodes);
+        self.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        result
+    }
+
+    fn forward_rows_inner(&self, nodes: &[usize]) -> Result<Tensor> {
+        let mut state = self.state.lock_unpoisoned();
+        if state.shut_down {
+            return Err(protocol(format!(
+                "sharded model `{}` is shut down",
+                self.name
+            )));
+        }
+        if !state.forward_done {
+            self.run_full_forward(&mut state)?;
+            state.forward_done = true;
+            self.stats.forward_passes.fetch_add(1, Ordering::SeqCst);
+        }
+
+        // Group the request by owning shard, remembering where each row of
+        // the per-shard answer lands in the caller's order.
+        let k = self.plan.shards();
+        let mut shard_rows: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut placement = Vec::with_capacity(nodes.len());
+        for &node in nodes {
+            let (shard, rank) = self.plan.locate(node)?;
+            placement.push((shard, shard_rows[shard].len()));
+            shard_rows[shard].push(rank as u32);
+        }
+        for (shard, rows) in shard_rows.iter().enumerate() {
+            if !rows.is_empty() {
+                send(
+                    &mut state.conns[shard],
+                    &ShardRequest::Gather { rows: rows.clone() },
+                    &self.stats,
+                )?;
+            }
+        }
+        let mut gathered: Vec<Option<Tensor>> = (0..k).map(|_| None).collect();
+        for (shard, rows) in shard_rows.iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            match recv(&mut state.conns[shard], shard as u32, &self.stats)? {
+                ShardReply::Rows(rows) => gathered[shard] = Some(rows),
+                other => {
+                    return Err(protocol(format!(
+                        "shard {shard}: expected Rows, got {other:?}"
+                    )))
+                }
+            }
+        }
+
+        let mut out = Tensor::zeros(nodes.len(), self.plan.output_dim());
+        for (row, &(shard, offset)) in placement.iter().enumerate() {
+            let piece = gathered[shard]
+                .as_ref()
+                .ok_or_else(|| protocol(format!("shard {shard}: missing Gather answer")))?;
+            if piece.cols() != self.plan.output_dim() || offset >= piece.rows() {
+                return Err(protocol(format!(
+                    "shard {shard}: Gather answer shape {:?} does not cover row {offset}",
+                    piece.shape()
+                )));
+            }
+            out.row_mut(row).copy_from_slice(piece.row(offset));
+        }
+        self.stats
+            .rows_gathered
+            .fetch_add(nodes.len() as u64, Ordering::SeqCst);
+        Ok(out)
+    }
+
+    /// Drives the layer lockstep: broadcast `RunLayer`, collect exports,
+    /// reassemble per-shard halo tensors via the plan's halo-source map,
+    /// broadcast `Advance`, repeat.
+    fn run_full_forward(&self, state: &mut RouterState) -> Result<()> {
+        let k = self.plan.shards();
+        let num_layers = self.plan.num_layers();
+        for layer in 0..num_layers {
+            for conn in state.conns.iter_mut() {
+                send(
+                    conn,
+                    &ShardRequest::RunLayer {
+                        layer: layer as u32,
+                    },
+                    &self.stats,
+                )?;
+            }
+            let mut exports = Vec::with_capacity(k);
+            for (shard, conn) in state.conns.iter_mut().enumerate() {
+                match recv(conn, shard as u32, &self.stats)? {
+                    ShardReply::LayerDone { exports: e } => exports.push(e),
+                    other => {
+                        return Err(protocol(format!(
+                            "shard {shard}: expected LayerDone, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            if layer + 1 == num_layers {
+                break;
+            }
+            // Width of this layer's activations (all shards share the
+            // model, so shard 0's layer stack is authoritative).
+            let width = self.plan.spec(0).layers[layer].bias.cols();
+            let mut relayed = 0u64;
+            for shard in 0..k {
+                let sources = self.plan.halo_sources(shard);
+                let mut data = Vec::with_capacity(sources.len() * width);
+                for &(owner, idx) in sources {
+                    let export = &exports[owner as usize];
+                    if idx as usize >= export.rows() || export.cols() != width {
+                        return Err(protocol(format!(
+                            "shard {owner}: export {idx} out of range of {:?}",
+                            export.shape()
+                        )));
+                    }
+                    data.extend_from_slice(export.row(idx as usize));
+                }
+                relayed += sources.len() as u64;
+                let halo = Tensor::from_vec(sources.len(), width, data).map_err(ShardError::Nn)?;
+                send(
+                    &mut state.conns[shard],
+                    &ShardRequest::Advance { halo },
+                    &self.stats,
+                )?;
+            }
+            for (shard, conn) in state.conns.iter_mut().enumerate() {
+                match recv(conn, shard as u32, &self.stats)? {
+                    ShardReply::Advanced => {}
+                    other => {
+                        return Err(protocol(format!(
+                            "shard {shard}: expected Advanced, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            self.stats.halo_rows.fetch_add(relayed, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+
+    /// Gracefully stops every worker: `Shutdown`/`Bye` over the wire, then
+    /// joins threads / waits on child processes. Idempotent; also run (best
+    /// effort) on drop.
+    ///
+    /// # Errors
+    ///
+    /// The first wire or protocol error met while saying goodbye — workers
+    /// are still joined in that case.
+    pub fn shutdown(&self) -> Result<()> {
+        let mut state = self.state.lock_unpoisoned();
+        if state.shut_down {
+            return Ok(());
+        }
+        state.shut_down = true;
+        let mut first_err: Option<ServeError> = None;
+        for (shard, conn) in state.conns.iter_mut().enumerate() {
+            let result =
+                send(conn, &ShardRequest::Shutdown, &self.stats).and_then(|()| {
+                    match recv(conn, shard as u32, &self.stats)? {
+                        ShardReply::Bye => Ok(()),
+                        other => Err(protocol(format!(
+                            "shard {shard}: expected Bye, got {other:?}"
+                        ))),
+                    }
+                });
+            if let (Err(e), None) = (result, &first_err) {
+                first_err = Some(e);
+            }
+        }
+        state.conns.clear();
+        for worker in state.workers.drain(..) {
+            match worker {
+                WorkerHandle::Thread(handle) => {
+                    let _ = handle.join();
+                }
+                WorkerHandle::Process(mut child) => {
+                    let _ = child.wait();
+                }
+            }
+        }
+        first_err.map_or(Ok(()), Err)
+    }
+}
+
+impl Drop for ShardedModel {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+fn protocol(context: String) -> ServeError {
+    ServeError::Shard(ShardError::Protocol { context })
+}
+
+/// Writes one frame, maintaining the transport counters.
+fn send(conn: &mut ShardConn, msg: &ShardRequest, stats: &ShardStatsAtomics) -> Result<()> {
+    let bytes = write_frame(conn, msg).map_err(ShardError::Wire)?;
+    stats.frames_sent.fetch_add(1, Ordering::SeqCst);
+    stats.bytes_sent.fetch_add(bytes as u64, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Reads one frame, maintaining the transport counters; a worker `Err`
+/// reply is promoted to [`ShardError::Worker`].
+fn recv(conn: &mut ShardConn, shard: u32, stats: &ShardStatsAtomics) -> Result<ShardReply> {
+    let (reply, bytes): (ShardReply, usize) = read_frame(conn).map_err(ShardError::Wire)?;
+    stats.frames_received.fetch_add(1, Ordering::SeqCst);
+    stats
+        .bytes_received
+        .fetch_add(bytes as u64, Ordering::SeqCst);
+    match reply {
+        ShardReply::Err { message } => {
+            Err(ServeError::Shard(ShardError::Worker { shard, message }))
+        }
+        reply => Ok(reply),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcod_graph::{DatasetProfile, GraphGenerator};
+    use gcod_nn::models::ModelConfig;
+
+    fn graph_and_model() -> (Graph, GnnModel) {
+        let graph = GraphGenerator::new(17)
+            .generate(&DatasetProfile::custom("shardtest", 120, 420, 10, 4))
+            .expect("generate");
+        let model = GnnModel::new(ModelConfig::gcn(&graph), 3).expect("model");
+        (graph, model)
+    }
+
+    #[test]
+    fn sharded_forward_matches_single_process_bitwise() {
+        let (graph, model) = graph_and_model();
+        let nodes: Vec<usize> = vec![0, 7, 3, 119, 7, 64];
+        let expected = model.forward_rows(&graph, &nodes).expect("oracle");
+        for k in [1usize, 2, 3] {
+            let sharded =
+                ShardedModel::launch("m", &graph, &model, &ShardOptions::new(k)).expect("launch");
+            let got = sharded.forward_rows(&nodes).expect("forward");
+            assert_eq!(got.data(), expected.data(), "k={k} diverged");
+            assert_eq!(got.shape(), expected.shape());
+            sharded.shutdown().expect("shutdown");
+        }
+    }
+
+    #[test]
+    fn stats_count_frames_bytes_and_halo_rows() {
+        let (graph, model) = graph_and_model();
+        let sharded =
+            ShardedModel::launch("m", &graph, &model, &ShardOptions::new(2)).expect("launch");
+        let after_launch = sharded.stats();
+        assert_eq!(after_launch.shards, 2);
+        // Handshake: Hello + Load/Loaded per shard.
+        assert_eq!(after_launch.frames_sent, 2);
+        assert_eq!(after_launch.frames_received, 4);
+        assert!(after_launch.bytes_sent > 0 && after_launch.bytes_received > 0);
+        assert_eq!(after_launch.forward_passes, 0);
+
+        sharded.forward_rows(&[0, 5]).expect("forward");
+        let after = sharded.stats();
+        assert_eq!(after.forward_passes, 1);
+        assert_eq!(after.rows_gathered, 2);
+        assert!(after.peak_queue_depth >= 1);
+        assert_eq!(
+            after.halo_rows,
+            after_launch.halo_nodes * (sharded.plan().num_layers() as u64 - 1),
+            "every halo slot is refreshed between consecutive layers"
+        );
+
+        // Second call hits the worker-side cache: no RunLayer/Advance, only
+        // one Gather round-trip to the owning shard.
+        let frames_before = after.frames_sent;
+        sharded.forward_rows(&[1]).expect("forward");
+        assert_eq!(sharded.stats().forward_passes, 1);
+        assert_eq!(sharded.stats().frames_sent, frames_before + 1);
+        sharded.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_blocks_later_requests() {
+        let (graph, model) = graph_and_model();
+        let sharded =
+            ShardedModel::launch("m", &graph, &model, &ShardOptions::new(2)).expect("launch");
+        sharded.shutdown().expect("first");
+        sharded.shutdown().expect("second");
+        assert!(matches!(
+            sharded.forward_rows(&[0]),
+            Err(ServeError::Shard(ShardError::Protocol { .. }))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_typed_errors() {
+        let (graph, model) = graph_and_model();
+        let sharded =
+            ShardedModel::launch("m", &graph, &model, &ShardOptions::new(2)).expect("launch");
+        assert!(matches!(
+            sharded.forward_rows(&[10_000]),
+            Err(ServeError::Shard(_))
+        ));
+        // The router survives the bad request.
+        assert_eq!(sharded.forward_rows(&[0]).expect("forward").rows(), 1);
+        sharded.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn launch_rejects_more_shards_than_nodes() {
+        let (graph, model) = graph_and_model();
+        assert!(matches!(
+            ShardedModel::launch("m", &graph, &model, &ShardOptions::new(10_000)),
+            Err(ServeError::Shard(ShardError::InvalidConfig { .. }))
+        ));
+    }
+}

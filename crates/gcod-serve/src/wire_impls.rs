@@ -1,0 +1,194 @@
+//! [`Wire`] codecs for the serving request/response currency, so clients
+//! can carry full [`ServeRequest`]s / [`ServeResponse`]s over the shard
+//! fabric's framed protocol (the orphan rule places these impls here, next
+//! to the types, rather than in `gcod-shard`).
+
+use crate::request::{Backend, Classification, PerfPrediction, ServeRequest, ServeResponse};
+use gcod_shard::{Wire, WireError, WireReader, WireResult};
+
+impl Wire for Backend {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Backend::Auto => 0u8.encode(out),
+            Backend::Named(name) => {
+                1u8.encode(out);
+                name.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        match u8::decode(r)? {
+            0 => Ok(Backend::Auto),
+            1 => Ok(Backend::Named(String::decode(r)?)),
+            tag => Err(WireError::UnknownTag {
+                context: "Backend",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for ServeRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ServeRequest::Classify { model, nodes } => {
+                0u8.encode(out);
+                model.encode(out);
+                nodes.encode(out);
+            }
+            ServeRequest::PredictPerf { model, backend } => {
+                1u8.encode(out);
+                model.encode(out);
+                backend.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        match u8::decode(r)? {
+            0 => Ok(ServeRequest::Classify {
+                model: String::decode(r)?,
+                nodes: Vec::decode(r)?,
+            }),
+            1 => Ok(ServeRequest::PredictPerf {
+                model: String::decode(r)?,
+                backend: Backend::decode(r)?,
+            }),
+            tag => Err(WireError::UnknownTag {
+                context: "ServeRequest",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for Classification {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.model.encode(out);
+        self.nodes.encode(out);
+        self.classes.encode(out);
+        self.logits.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(Classification {
+            model: String::decode(r)?,
+            nodes: Vec::decode(r)?,
+            classes: Vec::decode(r)?,
+            logits: Wire::decode(r)?,
+        })
+    }
+}
+
+impl Wire for PerfPrediction {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.model.encode(out);
+        self.platform.encode(out);
+        self.report.encode(out);
+        self.candidates.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(PerfPrediction {
+            model: String::decode(r)?,
+            platform: String::decode(r)?,
+            report: Wire::decode(r)?,
+            candidates: usize::decode(r)?,
+        })
+    }
+}
+
+impl Wire for ServeResponse {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ServeResponse::Classification(c) => {
+                0u8.encode(out);
+                c.encode(out);
+            }
+            ServeResponse::Perf(p) => {
+                1u8.encode(out);
+                p.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        match u8::decode(r)? {
+            0 => Ok(ServeResponse::Classification(Classification::decode(r)?)),
+            1 => Ok(ServeResponse::Perf(PerfPrediction::decode(r)?)),
+            tag => Err(WireError::UnknownTag {
+                context: "ServeResponse",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcod_nn::Tensor;
+    use gcod_platform::report::PerfReport;
+
+    #[test]
+    fn requests_roundtrip() {
+        for request in [
+            ServeRequest::classify("cora-gcn", vec![0, 7, 7, 42]),
+            ServeRequest::predict_perf("cora-gcn"),
+            ServeRequest::PredictPerf {
+                model: "m".into(),
+                backend: Backend::named("hygcn"),
+            },
+        ] {
+            let back = ServeRequest::from_wire(&request.to_wire()).expect("decode");
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let classification = ServeResponse::Classification(Classification {
+            model: "m".into(),
+            nodes: vec![3, 1],
+            classes: vec![0, 2],
+            logits: Tensor::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.0, 0.25, -0.125])
+                .expect("logits"),
+        });
+        let perf = ServeResponse::Perf(PerfPrediction {
+            model: "m".into(),
+            platform: "gcod".into(),
+            report: PerfReport {
+                platform: "gcod".into(),
+                dataset: "cora".into(),
+                model: "gcn".into(),
+                latency_ms: 1.25,
+                cycles: 1000,
+                off_chip_bytes: 4096,
+                off_chip_accesses: 64,
+                peak_bandwidth_gbps: 25.6,
+                utilization: 0.75,
+                energy: Default::default(),
+                traffic: Default::default(),
+            },
+            candidates: 9,
+        });
+        for response in [classification, perf] {
+            let back = ServeResponse::from_wire(&response.to_wire()).expect("decode");
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_typed_errors() {
+        let mut bytes = ServeRequest::classify("m", vec![1]).to_wire();
+        bytes[0] = 9;
+        assert!(matches!(
+            ServeRequest::from_wire(&bytes),
+            Err(WireError::UnknownTag {
+                context: "ServeRequest",
+                ..
+            })
+        ));
+    }
+}

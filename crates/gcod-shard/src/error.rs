@@ -1,0 +1,97 @@
+//! Error type for shard planning, transport, and the worker protocol.
+
+use std::fmt;
+
+use crate::wire::WireError;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ShardError>;
+
+/// Everything that can go wrong while planning, shipping, or serving a
+/// shard.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ShardError {
+    /// Encoding, framing, or transport-level decode failure.
+    Wire(WireError),
+    /// The model or configuration cannot be sharded (e.g. feature-
+    /// dependent propagation such as attention needs whole-graph state).
+    Unsupported {
+        /// What was requested and why it cannot shard.
+        context: String,
+    },
+    /// Invalid shard plan parameters (zero shards, more shards than
+    /// nodes, ...).
+    InvalidConfig {
+        /// Description of the rejected parameter.
+        context: String,
+    },
+    /// A worker reported an error serving a request.
+    Worker {
+        /// Shard id of the failing worker.
+        shard: u32,
+        /// Worker-supplied failure description.
+        message: String,
+    },
+    /// The peer sent a structurally valid message that violates the
+    /// protocol state machine (e.g. `Pong` when `Loaded` was expected).
+    Protocol {
+        /// What was expected vs. received.
+        context: String,
+    },
+    /// Failed to spawn or connect a worker (process or thread).
+    Spawn {
+        /// Description of the spawn/connect failure.
+        context: String,
+    },
+    /// Underlying graph error while building the plan.
+    Graph(gcod_graph::GraphError),
+    /// Underlying tensor/model error while building or running a shard.
+    Nn(gcod_nn::NnError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            ShardError::Unsupported { context } => write!(f, "unsupported for sharding: {context}"),
+            ShardError::InvalidConfig { context } => write!(f, "invalid shard config: {context}"),
+            ShardError::Worker { shard, message } => {
+                write!(f, "shard worker {shard} failed: {message}")
+            }
+            ShardError::Protocol { context } => write!(f, "shard protocol violation: {context}"),
+            ShardError::Spawn { context } => write!(f, "failed to launch shard worker: {context}"),
+            ShardError::Graph(e) => write!(f, "graph error while sharding: {e}"),
+            ShardError::Nn(e) => write!(f, "model error while sharding: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Wire(e) => Some(e),
+            ShardError::Graph(e) => Some(e),
+            ShardError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ShardError {
+    fn from(e: WireError) -> Self {
+        ShardError::Wire(e)
+    }
+}
+
+impl From<gcod_graph::GraphError> for ShardError {
+    fn from(e: gcod_graph::GraphError) -> Self {
+        ShardError::Graph(e)
+    }
+}
+
+impl From<gcod_nn::NnError> for ShardError {
+    fn from(e: gcod_nn::NnError) -> Self {
+        ShardError::Nn(e)
+    }
+}

@@ -1,0 +1,108 @@
+//! Sharded serving demo: train one model, split it across **two real
+//! worker OS processes** (this same binary re-executed in worker mode),
+//! serve classifications through the shard router, and verify every answer
+//! bit-for-bit against the single-process oracle.
+//!
+//! Run with `cargo run --release --example sharded_serving [nodes]`
+//! (default 180). CI runs it at tiny scale with `GCOD_WORKERS=2`; the
+//! example exits non-zero if any sharded response differs from the oracle.
+//!
+//! ```text
+//! sharded_serving ──spawn──▶ sharded_serving --addr uds:... --shard 0
+//!        │        ──spawn──▶ sharded_serving --addr uds:... --shard 1
+//!        └── ShardRouter: RunLayer / halo Advance / Gather over UDS
+//! ```
+
+use gcod::prelude::*;
+
+const SHARDS: usize = 2;
+
+fn main() -> gcod::Result<()> {
+    // Worker re-entry: the router spawns this same binary as
+    // `sharded_serving --addr <addr> --shard <id>`; seeing `--addr` first
+    // means we are a worker process, never the training path.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--addr") {
+        std::process::exit(gcod::shard::worker_main(args));
+    }
+    let nodes: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(180);
+
+    println!("training the served model ({nodes}-node cora replica)...");
+    let experiment = Experiment::on(DatasetProfile::cora())
+        .scale_to_nodes(nodes)
+        .gcod(GcodConfig {
+            num_classes: 2,
+            num_subgraphs: 6,
+            num_groups: 2,
+            pretrain_epochs: 6,
+            retrain_epochs: 4,
+            prune_ratio: 0.1,
+            patch_size: 16,
+            patch_threshold: 6,
+            ..GcodConfig::default()
+        })
+        .seed(11);
+    let served = experiment.serve()?;
+    let name = served.name().to_string();
+    let n = served.graph().num_nodes();
+    let graph = served.graph().clone();
+    let model = served.model().clone();
+    let oracle = Server::new().register(served);
+
+    println!("launching {SHARDS} worker processes (this binary, worker mode)...");
+    let me = std::env::current_exe().expect("current_exe");
+    let sharded = ShardedModel::launch(
+        &name,
+        &graph,
+        &model,
+        &ShardOptions::new(SHARDS).with_worker_bin(&me),
+    )?;
+    // The router re-spawns this example; workers see `--worker` first and
+    // never reach the training path.
+    let plan_halo = sharded.plan().total_halo_nodes();
+    println!(
+        "  plan: {} shards over {} nodes, {} halo slots ({:.1}% replicated)",
+        sharded.shards(),
+        n,
+        plan_halo,
+        100.0 * plan_halo as f64 / n as f64,
+    );
+    let server = Server::new().register_sharded(sharded);
+
+    let request_sets: Vec<Vec<usize>> = vec![
+        vec![0, 1, 2, 3],
+        (0..n).step_by(5).collect(),
+        vec![n - 1, 0, n / 2, n / 2],
+        (0..n).collect(),
+    ];
+    let mut mismatches = 0usize;
+    for (i, set) in request_sets.iter().enumerate() {
+        let request = ServeRequest::classify(&name, set.clone());
+        let want = oracle.serve_one(&request)?;
+        let got = server.serve_one(&request)?;
+        if got != want {
+            mismatches += 1;
+            eprintln!("request {i} ({} nodes): sharded != oracle", set.len());
+        }
+    }
+
+    // Surface the transport counters through the queued path too.
+    let handle = server.spawn();
+    let ticket = handle.submit(ServeRequest::classify(&name, vec![0, 7]))?;
+    ticket.wait()?;
+    let stats = handle.shutdown();
+    println!(
+        "transport: {} frames / {} bytes sent, {} frames / {} bytes received, {} halo rows relayed",
+        stats.shard.frames_sent,
+        stats.shard.bytes_sent,
+        stats.shard.frames_received,
+        stats.shard.bytes_received,
+        stats.shard.halo_rows,
+    );
+    assert_eq!(
+        mismatches, 0,
+        "sharded serving must match the single-process oracle"
+    );
+    println!("OK: all sharded responses bit-identical to the single-process oracle");
+    Ok(())
+}

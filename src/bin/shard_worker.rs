@@ -1,0 +1,10 @@
+//! Shard worker binary: one OS process serving one graph partition of a
+//! sharded model over the `gcod-shard` wire protocol.
+//!
+//! Spawned by the router (`gcod_serve::ShardOptions::with_worker_bin`) as
+//! `shard_worker --addr <uds:path|tcp:ip:port> --shard <id>`; all protocol
+//! logic lives in [`gcod_shard::worker_main`].
+
+fn main() {
+    std::process::exit(gcod_shard::worker_main(std::env::args().skip(1)));
+}

@@ -297,6 +297,37 @@ impl Experiment {
         )
     }
 
+    /// Stage 4, sharded: trains the full GCoD pipeline and launches the
+    /// trained model across `shards` worker threads speaking the
+    /// `gcod-shard` wire protocol (BNS-style partition + halo exchange),
+    /// each owning one partition of the tuned graph.
+    ///
+    /// The returned [`ShardedModel`](gcod_serve::ShardedModel) is the
+    /// drop-in sharded counterpart of [`serve`](Experiment::serve) for
+    /// classification requests — register it with
+    /// [`Server::register_sharded`](gcod_serve::Server::register_sharded)
+    /// and answers are bit-identical to the single-process path. To run
+    /// real worker *processes* instead, launch via
+    /// [`ShardedModel::launch`](gcod_serve::ShardedModel::launch) with
+    /// [`ShardOptions::with_worker_bin`](gcod_serve::ShardOptions::with_worker_bin)
+    /// pointing at the workspace's `shard_worker` binary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation, configuration, partitioning and training
+    /// errors, plus shard-plan rejections (zero shards, more shards than
+    /// nodes).
+    pub fn serve_sharded(&self, shards: usize) -> Result<gcod_serve::ShardedModel> {
+        let result = self.train()?;
+        let name = format!("{}-{}", self.profile.name, self.model.name());
+        Ok(gcod_serve::ShardedModel::launch(
+            name,
+            &result.graph,
+            &result.model,
+            &gcod_serve::ShardOptions::new(shards),
+        )?)
+    }
+
     /// Stage 3: the full co-design experiment — training plus the platform
     /// comparison of Fig. 9: the nine baselines simulate the unmodified
     /// replica workload, the GCoD accelerator and its 8-bit variant simulate

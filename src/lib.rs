@@ -28,7 +28,12 @@
 //! * [`serve`] — the batched inference serving front-end: a bounded
 //!   submission queue, a batcher fusing compatible requests into one forward
 //!   pass, and a cost-scored multi-backend router (build served models with
-//!   [`Experiment::serve`]).
+//!   [`Experiment::serve`]),
+//! * [`shard`] — cross-process sharded serving: graph partitioning with
+//!   1-hop halos, a length-prefixed checksummed wire protocol over
+//!   UDS/TCP, and the shard worker (launch with
+//!   [`Experiment::serve_sharded`]; the `shard_worker` binary hosts one
+//!   shard per OS process).
 //!
 //! # Quickstart
 //!
@@ -122,4 +127,10 @@ pub mod baselines {
 /// The batched inference serving front-end (re-export of `gcod-serve`).
 pub mod serve {
     pub use gcod_serve::*;
+}
+
+/// Cross-process sharded serving: shard planning, the framed wire
+/// protocol, and the worker state machine (re-export of `gcod-shard`).
+pub mod shard {
+    pub use gcod_shard::*;
 }

@@ -38,5 +38,8 @@ pub use gcod_baselines::{suite, PlatformSpec};
 
 pub use gcod_serve::{
     Backend, Classification, Handle, PerfPrediction, ServeError, ServeRequest, ServeResponse,
-    ServedModel, Server, ServerConfig, ServerStats, Ticket,
+    ServedModel, Server, ServerConfig, ServerStats, ShardOptions, ShardTransportStats,
+    ShardedModel, SpawnMode, Ticket,
 };
+
+pub use gcod_shard::{ShardPlan, ShardPlanConfig, TransportKind};

@@ -1,0 +1,84 @@
+//! Cross-**process** sharded serving, differential against the
+//! single-process oracle: real `shard_worker` OS processes (spawned from
+//! `CARGO_BIN_EXE_shard_worker`), real sockets, bit-identical logits for
+//! k ∈ {1, 2, 4} on two dataset profiles.
+
+use gcod::prelude::*;
+
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_shard_worker")
+}
+
+fn workloads() -> Vec<(Graph, GnnModel)> {
+    let profiles = [
+        DatasetProfile::custom("proc-a", 140, 560, 10, 4),
+        DatasetProfile::by_name("reddit-lite")
+            .expect("profile")
+            .scaled_to_nodes(260),
+    ];
+    profiles
+        .iter()
+        .enumerate()
+        .map(|(i, profile)| {
+            let graph = GraphGenerator::new(60 + i as u64)
+                .generate(profile)
+                .expect("generate");
+            let model = GnnModel::new(ModelConfig::gcn(&graph), 5 + i as u64).expect("model");
+            (graph, model)
+        })
+        .collect()
+}
+
+#[test]
+fn worker_processes_serve_bit_identically_for_k_1_2_4() {
+    for (graph, model) in workloads() {
+        let n = graph.num_nodes();
+        let nodes: Vec<usize> = (0..n).collect();
+        let expected = model.forward_rows(&graph, &nodes).expect("oracle");
+        for k in [1usize, 2, 4] {
+            let options = ShardOptions::new(k).with_worker_bin(worker_bin());
+            let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
+            let got = sharded.forward_rows(&nodes).expect("forward");
+            assert_eq!(
+                got.data(),
+                expected.data(),
+                "k={k} process-mode diverged on {}",
+                graph.num_nodes()
+            );
+            // Shutdown reaps every child; a second call is a no-op.
+            sharded.shutdown().expect("shutdown");
+            sharded.shutdown().expect("shutdown twice");
+        }
+    }
+}
+
+#[test]
+fn worker_processes_over_tcp_match_too() {
+    let (graph, model) = workloads().remove(0);
+    let nodes: Vec<usize> = (0..graph.num_nodes()).step_by(3).collect();
+    let expected = model.forward_rows(&graph, &nodes).expect("oracle");
+    let options = ShardOptions::new(2)
+        .with_worker_bin(worker_bin())
+        .with_transport(TransportKind::Tcp);
+    let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
+    let got = sharded.forward_rows(&nodes).expect("forward");
+    assert_eq!(got.data(), expected.data());
+    sharded.shutdown().expect("shutdown");
+}
+
+#[test]
+fn sharded_server_end_to_end_over_processes() {
+    let (graph, model) = workloads().remove(0);
+    let oracle = Server::new().register(ServedModel::new("m", graph.clone(), model.clone()));
+    let request = ServeRequest::classify("m", vec![0, 9, 9, 77]);
+    let expected = oracle.serve_one(&request).expect("oracle");
+
+    let options = ShardOptions::new(2).with_worker_bin(worker_bin());
+    let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
+    let handle = Server::new().register_sharded(sharded).spawn();
+    let ticket = handle.submit(request).expect("submit");
+    assert_eq!(ticket.wait().expect("wait"), expected);
+    let stats = handle.shutdown();
+    assert_eq!(stats.shard.shards, 2);
+    assert!(stats.shard.frames_sent > 0);
+}
