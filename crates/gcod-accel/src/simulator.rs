@@ -28,6 +28,7 @@ impl GcodAccelerator {
     pub fn new(config: AcceleratorConfig) -> Self {
         let energy_model = match config.precision {
             Precision::Fp32 => EnergyModel::default(),
+            Precision::Int16 => EnergyModel::default().with_precision_scale(0.5),
             Precision::Int8 => EnergyModel::default().with_precision_scale(0.25),
         };
         Self {

@@ -1,0 +1,72 @@
+//! Quantized-inference benchmark: one full GCN forward pass swept over
+//! precision {fp32, int16, int8} × dataset size.
+//!
+//! The fp32 cases time the f32 kernel suite; the int16/int8 cases time the
+//! real integer compute path end to end — per-layer activation
+//! quantization, integer SpMM + blocked GEMM with widened accumulation, and
+//! the layer-boundary dequantization. The case list and fixtures live in
+//! [`gcod_bench::sweeps`], shared with the `bench_gate` CI binary so the
+//! gate re-measures exactly this sweep.
+//!
+//! Writes a machine-readable summary to `target/BENCH_quant.json` **and**
+//! the repo-root `BENCH_quant.json` tracked across PRs (override both with
+//! the `BENCH_QUANT_JSON` environment variable), recording per-case median
+//! latency plus the deterministic `bytes_moved_ratio` column — operand
+//! bytes at fp32 over operand bytes at the case's precision, the
+//! machine-independent number the gate holds exactly on any runner. Run
+//! with `cargo bench --bench quant`; CI smokes it with
+//! `cargo bench --bench quant -- --test`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcod_bench::sweeps::{quant_bytes_moved_rows, quant_workload, QUANT_DATASETS};
+use gcod_nn::quant::Precision;
+
+fn bench_quant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quant");
+    group.sample_size(9);
+    for &(nodes, degree, feat) in QUANT_DATASETS {
+        let (graph, model) = quant_workload(nodes, degree, feat);
+        for precision in Precision::all() {
+            let model = model.clone().with_precision(precision);
+            group.bench_with_input(BenchmarkId::new(precision.name(), nodes), &nodes, |b, _| {
+                b.iter(|| model.forward(&graph).expect("forward"));
+            });
+        }
+    }
+    group.finish();
+
+    if !c.is_test_mode() {
+        gcod_bench::write_bench_summary("BENCH_quant.json", "BENCH_QUANT_JSON", &render_summary(c));
+    }
+}
+
+/// Renders the recorded medians as JSON by hand (the vendored serde shim
+/// has no serializer), joining each row with its deterministic
+/// bytes-moved-ratio column recomputed from the storage accounting.
+fn render_summary(c: &Criterion) -> String {
+    let ratios = quant_bytes_moved_rows();
+    let mut entries = Vec::new();
+    for (label, median) in c.results() {
+        // Labels are "quant/<precision>/<nodes>".
+        let mut parts = label.splitn(3, '/');
+        let (Some(_), Some(precision), Some(nodes)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let median_ns = median.as_nanos();
+        let per_forward_us = median_ns as f64 / 1e3;
+        let bytes_moved_ratio = ratios
+            .iter()
+            .find(|(key, _)| key == &format!("quant-bytes/{precision}/{nodes}"))
+            .map_or(0.0, |(_, ratio)| *ratio);
+        entries.push(format!(
+            "  {{\"precision\": \"{precision}\", \"nodes\": {nodes}, \"median_ns\": {median_ns}, \
+             \"per_forward_us\": {per_forward_us:.3}, \
+             \"bytes_moved_ratio\": {bytes_moved_ratio:.6}}}"
+        ));
+    }
+    format!("[\n{}\n]\n", entries.join(",\n"))
+}
+
+criterion_group!(benches, bench_quant);
+criterion_main!(benches);

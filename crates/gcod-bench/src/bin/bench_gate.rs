@@ -1,11 +1,11 @@
 //! CI perf-regression gate over the committed bench trajectory.
 //!
-//! Re-runs the SpMM, training, serving and sharded-serving sweeps of
-//! [`gcod_bench::sweeps`] in smoke mode and compares each per-benchmark
-//! median against the committed repo-root `BENCH_spmm.json` /
-//! `BENCH_train.json` / `BENCH_serve.json` / `BENCH_shard.json`, failing
-//! (exit code 1) with a per-row delta table when any median regressed
-//! beyond the tolerance.
+//! Re-runs the SpMM, training, serving, sharded-serving and
+//! quantized-inference sweeps of [`gcod_bench::sweeps`] in smoke mode and
+//! compares each per-benchmark median against the committed repo-root
+//! `BENCH_spmm.json` / `BENCH_train.json` / `BENCH_serve.json` /
+//! `BENCH_shard.json` / `BENCH_quant.json`, failing (exit code 1) with a
+//! per-row delta table when any median regressed beyond the tolerance.
 //!
 //! Knobs:
 //!
@@ -22,10 +22,11 @@
 //! must absorb the hardware delta between that machine and the runner
 //! (hence the generous defaults, and CI's wider override). The
 //! **relative** columns (`speedup_over_naive` per SpMM kernel,
-//! `speedup_over_w1` per training worker count) are recomputed from the
-//! fresh medians and gated in the higher-is-better direction — they are
-//! machine-independent, so a collapse there is a real algorithmic
-//! regression no matter how slow the runner is.
+//! `speedup_over_w1` per training worker count, `bytes_moved_ratio` per
+//! quantized precision, `halo_bytes` per shard split) are recomputed
+//! deterministically and gated in their better direction — they are
+//! machine-independent, so a drift there is a real algorithmic regression
+//! no matter how slow the runner is (the deterministic ones hold exactly).
 //!
 //! Run it the way CI does: `cargo run --release -p gcod-bench --bin
 //! bench_gate`.
@@ -112,7 +113,10 @@ fn main() {
     let serve = sweeps::smoke_serve_medians(samples);
     println!("re-measuring sharded-serving sweep...");
     let shard = sweeps::smoke_shard_medians(samples);
+    println!("re-measuring quantized-inference sweep...");
+    let quant = sweeps::smoke_quant_medians(samples);
     let shard_halo = sweeps::shard_halo_byte_rows();
+    let quant_bytes = sweeps::quant_bytes_moved_rows();
     let spmm_rel = sweeps::relative_spmm_rows(&spmm);
     let train_rel = sweeps::relative_train_rows(&train);
 
@@ -161,6 +165,24 @@ fn main() {
             value_field: "halo_bytes",
             measured: &shard_halo,
             direction: Direction::LowerIsBetter,
+        },
+        GateSpec {
+            path: root.join("BENCH_quant.json"),
+            name: "BENCH_quant.json",
+            prefix: "quant",
+            key_fields: &["precision", "nodes"],
+            value_field: "median_ns",
+            measured: &quant,
+            direction: Direction::LowerIsBetter,
+        },
+        GateSpec {
+            path: root.join("BENCH_quant.json"),
+            name: "BENCH_quant.json (bytes_moved_ratio)",
+            prefix: "quant-bytes",
+            key_fields: &["precision", "nodes"],
+            value_field: "bytes_moved_ratio",
+            measured: &quant_bytes,
+            direction: Direction::HigherIsBetter,
         },
         GateSpec {
             path: root.join("BENCH_spmm.json"),

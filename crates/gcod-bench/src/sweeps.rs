@@ -8,9 +8,10 @@
 //! re-measurement helpers that produce medians keyed exactly like the bench
 //! summary rows (`spmm/<kernel>/<nodes>`, `train/<dataset>/<workers>`).
 
-use gcod_graph::{CscMatrix, CsrMatrix, DatasetProfile, Graph, GraphGenerator};
+use gcod_graph::{CscMatrix, CsrMatrix, DatasetProfile, Graph, GraphGenerator, QuantizedCsr};
 use gcod_nn::kernels::KernelKind;
 use gcod_nn::models::{GnnModel, ModelConfig};
+use gcod_nn::quant::{Precision, QuantizedModel};
 use gcod_nn::sparse_ops::spmm_csc;
 use gcod_nn::train::{TrainConfig, Trainer};
 use gcod_nn::Tensor;
@@ -438,6 +439,104 @@ pub fn shard_halo_byte_rows() -> Vec<(String, f64)> {
     rows
 }
 
+/// The quantized-inference sweep: `(nodes, avg_degree, feature_cols)`. The
+/// larger case carries enough aggregation + combination work for the byte
+/// narrowing to matter; the smaller one keeps the fixed per-forward costs
+/// (quantization, dispatch) visible.
+pub const QUANT_DATASETS: &[(usize, usize, usize)] = &[(2_000, 5, 32), (12_000, 8, 64)];
+
+/// Builds the deterministic workload of one [`QUANT_DATASETS`] case: the
+/// graph plus a GCN whose forward is swept at every [`Precision`].
+///
+/// # Panics
+///
+/// Panics when fixture construction fails (impossible for the fixed sweep
+/// profiles).
+pub fn quant_workload(nodes: usize, degree: usize, feat: usize) -> (Graph, GnnModel) {
+    let profile = DatasetProfile::custom("quant-bench", nodes, nodes * degree, feat, 4);
+    let graph = GraphGenerator::new(SWEEP_SEED)
+        .generate(&profile)
+        .expect("generate sweep fixture");
+    let model = GnnModel::new(ModelConfig::gcn(&graph), SWEEP_SEED)
+        .expect("valid config")
+        .with_kernel(KernelKind::ParallelCsr);
+    (graph, model)
+}
+
+/// Bytes of operand storage one full forward pass reads at `precision`:
+/// adjacency (values at the precision's width, indices always u32/u64),
+/// layer parameters and the input activations. This is what the compute
+/// path actually streams — the quantized path narrows values but still
+/// pays full-width index traffic, so the int8 ratio sits below the naive 4×.
+pub fn quant_bytes_moved(graph: &Graph, model: &GnnModel, precision: Precision) -> u64 {
+    let activations = (graph.features().len() * precision.bytes()) as u64;
+    match precision.quant_width() {
+        None => {
+            let params: usize = model
+                .layers()
+                .iter()
+                .map(|l| (l.weight.data().len() + l.bias.data().len()) * 4)
+                .sum();
+            graph.adjacency().storage_bytes() as u64 + params as u64 + activations
+        }
+        Some(width) => {
+            let adj = QuantizedCsr::quantize(graph.adjacency(), width).storage_bytes() as u64;
+            let params = QuantizedModel::from_model(model, width).param_bytes() as u64;
+            adj + params + activations
+        }
+    }
+}
+
+/// The machine-independent bandwidth column of the quantized sweep:
+/// `bytes_moved(fp32) / bytes_moved(precision)` per case, keyed
+/// `quant-bytes/<precision>/<nodes>` — the fresh counterpart of the
+/// committed `BENCH_quant.json` `bytes_moved_ratio` field. Deterministic
+/// (pure storage accounting), so the gate holds it on any runner; the fp32
+/// row anchors at exactly 1.
+pub fn quant_bytes_moved_rows() -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    for &(nodes, degree, feat) in QUANT_DATASETS {
+        let (graph, model) = quant_workload(nodes, degree, feat);
+        let fp32 = quant_bytes_moved(&graph, &model, Precision::Fp32) as f64;
+        for precision in Precision::all() {
+            let moved = quant_bytes_moved(&graph, &model, precision) as f64;
+            rows.push((format!("quant-bytes/{precision}/{nodes}"), fp32 / moved));
+        }
+    }
+    rows
+}
+
+/// Re-measures the quantized-inference sweep in smoke mode: one full
+/// forward pass per sample, per precision, keyed `quant/<precision>/<nodes>`
+/// in nanoseconds — the exact keys/units of the committed
+/// `BENCH_quant.json` rows. The fp32 rows time the f32 kernel suite; the
+/// int16/int8 rows time the real integer path end to end (per-layer
+/// activation quantization included).
+///
+/// # Panics
+///
+/// Panics when a forward pass fails (a sweep-setup error).
+pub fn smoke_quant_medians(samples: usize) -> Vec<(String, f64)> {
+    let samples = samples.max(1);
+    let mut rows = Vec::new();
+    for &(nodes, degree, feat) in QUANT_DATASETS {
+        let (graph, model) = quant_workload(nodes, degree, feat);
+        for precision in Precision::all() {
+            let model = model.clone().with_precision(precision);
+            std::hint::black_box(model.forward(&graph).expect("forward")); // warmup
+            let timed: Vec<u128> = (0..samples)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(model.forward(&graph).expect("forward"));
+                    start.elapsed().as_nanos()
+                })
+                .collect();
+            rows.push((format!("quant/{precision}/{nodes}"), median_ns(timed)));
+        }
+    }
+    rows
+}
+
 /// Recomputes the machine-independent `speedup_over_naive` column from
 /// fresh SpMM medians: `naive-csr` time over each kernel's time, per node
 /// count, keyed `spmm-rel/<kernel>/<nodes>` — the fresh counterpart of the
@@ -555,6 +654,44 @@ mod tests {
         }
         // Machine-independent: recomputing yields bit-identical rows.
         assert_eq!(rows, shard_halo_byte_rows());
+    }
+
+    #[test]
+    fn quant_bytes_rows_are_deterministic_and_anchored() {
+        let rows = quant_bytes_moved_rows();
+        assert_eq!(rows.len(), QUANT_DATASETS.len() * Precision::all().len());
+        for &(nodes, ..) in QUANT_DATASETS {
+            let ratio = |p: &str| {
+                rows.iter()
+                    .find(|(key, _)| key == &format!("quant-bytes/{p}/{nodes}"))
+                    .expect("row present")
+                    .1
+            };
+            // fp32 anchors at exactly 1; narrower widths move strictly
+            // fewer bytes, ordered by width, but the full-width index
+            // traffic keeps int8 below the naive 4x.
+            assert_eq!(ratio("fp32"), 1.0);
+            assert!(ratio("int16") > 1.0);
+            assert!(ratio("int8") > ratio("int16"));
+            assert!(ratio("int8") < 4.0);
+        }
+        // Machine-independent: recomputing yields bit-identical rows.
+        assert_eq!(rows, quant_bytes_moved_rows());
+    }
+
+    #[test]
+    fn quant_workload_runs_at_every_precision() {
+        let (graph, model) = quant_workload(200, 4, 8);
+        let fp32 = model.forward(&graph).expect("fp32 forward");
+        for precision in [Precision::Int16, Precision::Int8] {
+            let out = model
+                .clone()
+                .with_precision(precision)
+                .forward(&graph)
+                .expect("quantized forward");
+            assert_eq!(out.shape(), fp32.shape());
+            assert_ne!(out, fp32, "{precision} must run the integer path");
+        }
     }
 
     #[test]

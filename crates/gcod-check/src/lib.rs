@@ -15,10 +15,15 @@
 //! |                      | spelled `.expect("why this cannot fail")`                          |
 //! | `hash-container`     | no `HashMap`/`HashSet` in deterministic-output crates              |
 //! |                      | (`gcod-nn`, `gcod-graph`, `gcod-bench`, `gcod-shard`) — iteration  |
-//! |                      | order leaks into golden files; use the `BTree` forms               |
+//! |                      | order leaks into golden files; use the `BTree` forms. Covers the   |
+//! |                      | f32 *and* quantized compute paths (`gcod_nn::qkernels`,            |
+//! |                      | `gcod_graph::quant`), whose bit-exactness contract the             |
+//! |                      | differential suites pin                                            |
 //! | `wall-clock`         | no `Instant::now` / `SystemTime` in kernel crates — wall-clock     |
 //! |                      | reads belong to the timing layer (`gcod-bench`) and the runtime's  |
-//! |                      | deadline plumbing, nowhere else                                    |
+//! |                      | deadline plumbing, nowhere else. The integer kernels of the        |
+//! |                      | quantized path sit in `gcod-nn`/`gcod-graph` and are covered like  |
+//! |                      | their f32 counterparts                                             |
 //! | `thread-sleep`       | no `thread::sleep` in library code — sleeping is either a test     |
 //! |                      | convenience or a bug                                               |
 //! | `condvar-wait-while` | every `Condvar::wait`/`wait_timeout` sits inside a `while`/`loop`  |

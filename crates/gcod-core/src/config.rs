@@ -2,6 +2,7 @@
 
 use crate::{GcodError, Result};
 use gcod_nn::kernels::KernelKind;
+use gcod_nn::quant::Precision;
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of the GCoD split-and-conquer algorithm.
@@ -60,6 +61,12 @@ pub struct GcodConfig {
     /// `available_parallelism`). Like the kernel, bit-deterministic — worker
     /// count changes wall-clock only.
     pub workers: usize,
+    /// Numeric precision every GCN built by the pipeline evaluates with.
+    /// Unlike `kernel`/`workers` this DOES change numerics: at
+    /// [`Precision::Int8`]/[`Precision::Int16`] inference (`forward`,
+    /// accuracy evaluation) runs the integer compute path, while training
+    /// gradients always stay f32 (post-training quantization).
+    pub precision: Precision,
 }
 
 impl Default for GcodConfig {
@@ -80,6 +87,7 @@ impl Default for GcodConfig {
             early_bird_tolerance: 0.02,
             kernel: KernelKind::default(),
             workers: 0,
+            precision: Precision::Fp32,
         }
     }
 }

@@ -129,7 +129,8 @@ impl GcodPipeline {
         let standard_epochs = self.config.pretrain_epochs + 2 * self.config.retrain_epochs;
         let mut baseline_model = GnnModel::new(ModelConfig::for_kind(model_kind, graph), seed)?
             .with_kernel(self.config.kernel)
-            .with_workers(self.config.workers);
+            .with_workers(self.config.workers)
+            .with_precision(self.config.precision);
         let baseline_report = Trainer::new(TrainConfig {
             epochs: standard_epochs,
             ..TrainConfig::default()
@@ -141,7 +142,8 @@ impl GcodPipeline {
         let reordered = layout.apply(graph);
         let mut model = GnnModel::new(ModelConfig::for_kind(model_kind, &reordered), seed)?
             .with_kernel(self.config.kernel)
-            .with_workers(self.config.workers);
+            .with_workers(self.config.workers)
+            .with_precision(self.config.precision);
         let (pretrain_epochs, early_bird_epoch) = self.pretrain(&mut model, &reordered, seed)?;
 
         // Step 2: sparsify + polarize the adjacency, retrain to recover.

@@ -5,6 +5,8 @@
 //!
 //! * sparse matrix formats ([`CooMatrix`], [`CsrMatrix`], [`CscMatrix`]) with
 //!   loss-less conversions between them,
+//! * reduced-precision sparse storage ([`QuantizedCsr`], int8/int16 values
+//!   behind a symmetric per-matrix scale) for the quantized compute path,
 //! * the [`Graph`] type used by the GNN models (adjacency + features +
 //!   labels + train/val/test masks),
 //! * degree computation and the symmetric normalization
@@ -47,6 +49,7 @@ mod graph;
 mod normalize;
 mod partition;
 mod permutation;
+mod quant;
 mod reorder;
 mod stats;
 
@@ -60,6 +63,7 @@ pub use graph::{Graph, NodeMask, Split};
 pub use normalize::{degree_vector, normalize_row, normalize_symmetric, SelfLoops};
 pub use partition::{PartitionConfig, Partitioner, Partitioning};
 pub use permutation::Permutation;
+pub use quant::{QuantValues, QuantWidth, QuantizedCsr};
 pub use reorder::{bandwidth, degree_descending_order, rcm_order, Reordering};
 pub use stats::{BlockDensity, GraphStats, PatchGrid};
 

@@ -14,8 +14,10 @@
 //! forward/backward implementation serve the whole zoo.
 
 use crate::kernels::{NaiveCsr, SpmmKernel};
+use crate::qkernels::{quant_matmul, QuantSpmmKernel};
+use crate::quant::{QuantizedLayer, QuantizedTensor};
 use crate::{init, Result, Tensor};
-use gcod_graph::{CooMatrix, CsrMatrix, Graph, SelfLoops};
+use gcod_graph::{CooMatrix, CsrMatrix, Graph, QuantizedCsr, SelfLoops};
 use serde::{Deserialize, Serialize};
 
 /// Non-linearity applied after a layer.
@@ -301,6 +303,46 @@ pub fn graph_conv_forward_workers(
         pre_activation,
         output,
     })
+}
+
+/// The quantized counterpart of [`graph_conv_forward_workers`]: one
+/// graph-convolution layer computed on integer payloads.
+///
+/// Dataflow (one quantization per operator input, one dequantization per
+/// operator output):
+///
+/// 1. quantize the f32 activations `x` at the layer's width,
+/// 2. aggregate against the pre-quantized propagation matrix with the
+///    integer SpMM kernel (widened-integer accumulation, dequantized f32
+///    out),
+/// 3. re-quantize the aggregated activations and combine with the
+///    pre-quantized weight via the integer GEMM,
+/// 4. run the f32 tail — bias broadcast and activation — at the layer
+///    boundary.
+///
+/// The result is **not** bit-identical to the f32 layer (quantization is
+/// lossy by design); it *is* bit-exact across worker counts and tile
+/// geometries, because the integer accumulation is order-independent.
+///
+/// # Errors
+///
+/// Returns [`crate::NnError::ShapeMismatch`] when the dimensions or operand
+/// widths are inconsistent.
+pub fn graph_conv_forward_quant(
+    layer: &QuantizedLayer,
+    propagation: &QuantizedCsr,
+    x: &Tensor,
+    kernel: &dyn QuantSpmmKernel,
+    workers: usize,
+) -> Result<Tensor> {
+    let width = layer.weight.width();
+    let x_q = QuantizedTensor::quantize(x, width);
+    let aggregated = kernel.spmm(propagation, &x_q)?;
+    let agg_q = QuantizedTensor::quantize(&aggregated, width);
+    let mut next = quant_matmul(&agg_q, &layer.weight, workers)?;
+    next.add_row_broadcast_in_place(&layer.bias)?;
+    layer.activation.apply_in_place(&mut next);
+    Ok(next)
 }
 
 /// One sharded layer step: the per-shard half of `GnnModel::forward`.
@@ -629,6 +671,34 @@ mod tests {
         // owned_pos length must match the propagation row count.
         let err = shard_layer_forward(&layer, &prop, &x, &[0, 1], false, 0);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn quant_layer_forward_tracks_f32_layer() {
+        use gcod_graph::QuantWidth;
+        let g = tiny_graph();
+        let layer = DenseLayer::new(g.feature_dim(), 4, Activation::Relu, 5);
+        let prop = Propagation::SymmetricNormalized.matrix(&g, &Tensor::zeros(1, 1));
+        let x = Tensor::from_vec(g.num_nodes(), g.feature_dim(), g.features().to_vec()).unwrap();
+        let f32_out = graph_conv_forward(&layer, &prop, &x).unwrap().output;
+        let q_layer = QuantizedLayer {
+            weight: QuantizedTensor::quantize(&layer.weight, QuantWidth::I16),
+            bias: layer.bias.clone(),
+            activation: layer.activation,
+        };
+        let q_prop = QuantizedCsr::quantize(&prop, QuantWidth::I16);
+        let naive = crate::qkernels::NaiveQuantSpmm;
+        let out = graph_conv_forward_quant(&q_layer, &q_prop, &x, &naive, 0).unwrap();
+        let rel = f32_out.sub(&out).unwrap().norm() / f32_out.norm().max(1e-9);
+        assert!(rel < 0.01, "int16 layer drifts {rel} from f32");
+        // Worker count never changes the quantized result (integer
+        // accumulation is order-independent).
+        for workers in [1usize, 2, 3] {
+            let parallel = crate::qkernels::ParallelQuantSpmm::with_workers_and_cutoff(workers, 0);
+            let out_w =
+                graph_conv_forward_quant(&q_layer, &q_prop, &x, &parallel, workers).unwrap();
+            assert_eq!(out_w, out, "{workers} workers");
+        }
     }
 
     #[test]

@@ -18,8 +18,10 @@
 //! * manual-gradient training for the two-layer GCN (the model the GCoD
 //!   graph-tuning loss is formulated on), with an [`optim::Adam`] optimiser
 //!   and cross-entropy loss,
-//! * post-training INT8 quantization ([`quant`]) backing the GCoD (8-bit)
-//!   variant,
+//! * a real int8/int16 compute path ([`quant`] for storage and the
+//!   [`QuantizedModel`] runner, [`qkernels`] for the integer SpMM/GEMM
+//!   kernels with widened-integer accumulation) backing the GCoD (8-bit)
+//!   variant — selectable per model via [`models::GnnModel::with_precision`],
 //! * workload descriptors ([`workload`]) that feed the accelerator and
 //!   baseline platform models.
 //!
@@ -52,6 +54,7 @@ pub mod loss;
 pub mod metrics;
 pub mod models;
 pub mod optim;
+pub mod qkernels;
 pub mod quant;
 pub mod sampling;
 pub mod sparse_ops;
@@ -61,6 +64,8 @@ pub mod workload;
 
 pub use error::NnError;
 pub use kernels::{KernelKind, SpmmKernel};
+pub use qkernels::QuantSpmmKernel;
+pub use quant::{Precision, QuantizedModel, QuantizedTensor};
 pub use sparse_ops::spmm;
 pub use tensor::Tensor;
 

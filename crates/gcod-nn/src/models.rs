@@ -19,6 +19,7 @@ use crate::layers::{
     graph_conv_backward_workers, graph_conv_forward_workers, Activation, DenseLayer, LayerCache,
     Propagation,
 };
+use crate::quant::{Precision, QuantizedModel};
 use crate::{NnError, Result, Tensor};
 use gcod_graph::{CsrMatrix, Graph};
 use serde::{Deserialize, Serialize};
@@ -222,6 +223,11 @@ pub struct GnnModel {
     /// Like the kernel, never a hyper-parameter: results are bit-identical
     /// for every count.
     workers: usize,
+    /// Inference precision. Unlike the kernel and worker knobs this DOES
+    /// change the numerics: a quantized precision routes `forward` /
+    /// `forward_rows` through the integer compute path of [`crate::quant`].
+    /// Training gradients always stay f32 (post-training quantization).
+    precision: Precision,
 }
 
 /// Cached activations of a full forward pass (needed for the backward pass).
@@ -270,6 +276,7 @@ impl GnnModel {
             layers,
             kernel: KernelKind::default(),
             workers: 0,
+            precision: Precision::Fp32,
         })
     }
 
@@ -318,6 +325,30 @@ impl GnnModel {
         self.workers = workers;
     }
 
+    /// The inference precision (see [`GnnModel::with_precision`]).
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Selects the inference precision (builder form). **Unlike the kernel
+    /// and worker knobs, this changes the numerics**: a quantized precision
+    /// makes [`GnnModel::forward`] / [`GnnModel::forward_rows`] quantize the
+    /// weights and run the integer kernels of [`crate::qkernels`]
+    /// end to end. Gradients ([`GnnModel::forward_cached`] /
+    /// [`GnnModel::backward`]) always stay f32 — this is post-training
+    /// quantization, so training converges in f32 and only deployment
+    /// inference narrows.
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Selects the inference precision in place.
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+    }
+
     /// The architecture kind.
     pub fn kind(&self) -> ModelKind {
         self.config.kind
@@ -335,29 +366,12 @@ impl GnnModel {
 
     /// Checks that `graph` matches the model configuration.
     fn check_graph(&self, graph: &Graph) -> Result<()> {
-        if graph.feature_dim() != self.config.input_dim {
-            return Err(NnError::ModelGraphMismatch {
-                context: format!(
-                    "graph feature dim {} != model input dim {}",
-                    graph.feature_dim(),
-                    self.config.input_dim
-                ),
-            });
-        }
-        if graph.num_classes() != self.config.output_dim {
-            return Err(NnError::ModelGraphMismatch {
-                context: format!(
-                    "graph classes {} != model output dim {}",
-                    graph.num_classes(),
-                    self.config.output_dim
-                ),
-            });
-        }
-        Ok(())
+        check_graph_for(&self.config, graph)
     }
 
-    /// The graph's node features as the input activation matrix.
-    fn input_features(graph: &Graph) -> Tensor {
+    /// The graph's node features as the input activation matrix. Shared
+    /// with the quantized forward path ([`QuantizedModel`]).
+    pub(crate) fn input_features(graph: &Graph) -> Tensor {
         Tensor::from_vec(
             graph.num_nodes(),
             graph.feature_dim(),
@@ -370,14 +384,20 @@ impl GnnModel {
     ///
     /// This is the lean inference path: activations ping-pong through one
     /// live tensor per layer with in-place bias/activation/residual updates
-    /// and no cache bookkeeping. Bit-identical to
-    /// `self.forward_cached(graph)?.logits`.
+    /// and no cache bookkeeping. At [`Precision::Fp32`] (the default) it is
+    /// bit-identical to `self.forward_cached(graph)?.logits`; at a quantized
+    /// precision it quantizes the weights and runs the integer compute path
+    /// instead (see [`GnnModel::with_precision`]; hot serving loops should
+    /// hold a [`QuantizedModel`] to quantize the weights only once).
     ///
     /// # Errors
     ///
     /// Returns [`NnError::ModelGraphMismatch`] when the graph's feature
     /// dimension differs from the configured input dimension.
     pub fn forward(&self, graph: &Graph) -> Result<Tensor> {
+        if let Some(width) = self.precision.quant_width() {
+            return QuantizedModel::from_model(self, width).forward(graph);
+        }
         self.check_graph(graph)?;
         let propagation_rule = self.config.propagation();
         let kernel = self.kernel.build_with_workers(self.workers);
@@ -549,6 +569,30 @@ impl GnnModel {
     }
 }
 
+/// Checks that `graph` matches a model configuration. Shared between the
+/// f32 [`GnnModel`] and the quantized [`QuantizedModel`] forward paths.
+pub(crate) fn check_graph_for(config: &ModelConfig, graph: &Graph) -> Result<()> {
+    if graph.feature_dim() != config.input_dim {
+        return Err(NnError::ModelGraphMismatch {
+            context: format!(
+                "graph feature dim {} != model input dim {}",
+                graph.feature_dim(),
+                config.input_dim
+            ),
+        });
+    }
+    if graph.num_classes() != config.output_dim {
+        return Err(NnError::ModelGraphMismatch {
+            context: format!(
+                "graph classes {} != model output dim {}",
+                graph.num_classes(),
+                config.output_dim
+            ),
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -706,6 +750,42 @@ mod tests {
                 assert_eq!(b, ref_b, "{workers}w {kernel}");
             }
         }
+    }
+
+    #[test]
+    fn precision_routes_forward_through_the_quantized_path() {
+        let g = graph();
+        let base = GnnModel::new(ModelConfig::gcn(&g), 21).unwrap();
+        assert_eq!(base.precision(), Precision::Fp32);
+        let fp32 = base.forward(&g).unwrap();
+        for precision in [Precision::Int8, Precision::Int16] {
+            let model = GnnModel::new(ModelConfig::gcn(&g), 21)
+                .unwrap()
+                .with_precision(precision);
+            assert_eq!(model.precision(), precision);
+            let quant = model.forward(&g).unwrap();
+            // The quantized path is a different computation: close, never
+            // bit-identical on a non-trivial model.
+            assert_eq!(quant.shape(), fp32.shape());
+            assert_ne!(quant, fp32, "{precision} must change the numerics");
+            // And it matches the explicit QuantizedModel bit for bit.
+            let width = precision.quant_width().unwrap();
+            let explicit = QuantizedModel::from_model(&model, width)
+                .forward(&g)
+                .unwrap();
+            assert_eq!(quant, explicit, "{precision}");
+            // forward_rows gathers out of the same quantized pass.
+            let rows = model.forward_rows(&g, &[2, 5]).unwrap();
+            assert_eq!(rows.row(0), quant.row(2));
+            assert_eq!(rows.row(1), quant.row(5));
+            // Gradients stay on the f32 cached path.
+            let cached = model.forward_cached(&g).unwrap();
+            assert_eq!(cached.logits, fp32, "{precision}: training stays f32");
+        }
+        // Setter form mirrors the builder.
+        let mut model = GnnModel::new(ModelConfig::gcn(&g), 21).unwrap();
+        model.set_precision(Precision::Int8);
+        assert_eq!(model.precision(), Precision::Int8);
     }
 
     #[test]

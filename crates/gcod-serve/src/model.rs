@@ -87,6 +87,17 @@ impl ServedModel {
         self
     }
 
+    /// Selects the numeric precision the CPU execution path evaluates with.
+    /// Unlike the kernel and worker knobs this DOES change the answers: at
+    /// [`Precision::Int8`] / [`Precision::Int16`] every forward pass routes
+    /// through the integer compute path, so logits (and occasionally argmax
+    /// classifications) shift by the quantization error.
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.model.set_precision(precision);
+        self
+    }
+
     /// The serving key.
     pub fn name(&self) -> &str {
         &self.name
@@ -165,9 +176,30 @@ mod tests {
         let m = served()
             .named("renamed")
             .with_kernel(KernelKind::ParallelCsr)
-            .with_workers(2);
+            .with_workers(2)
+            .with_precision(Precision::Int8);
         assert_eq!(m.name(), "renamed");
         assert_eq!(m.model().kernel(), KernelKind::ParallelCsr);
         assert_eq!(m.model().workers(), 2);
+        assert_eq!(m.model().precision(), Precision::Int8);
+    }
+
+    #[test]
+    fn quantized_serving_runs_the_integer_path() {
+        let fp32 = served();
+        let int8 = served().with_precision(Precision::Int8);
+        let graph = fp32.graph().clone();
+        let fp32_logits = fp32.model().forward(&graph).unwrap();
+        let int8_logits = int8.model().forward(&graph).unwrap();
+        assert_ne!(
+            fp32_logits, int8_logits,
+            "int8 serving must run the quantized path, not fp32"
+        );
+        // Bit-equal to the explicit quantized runner over the same weights.
+        let explicit =
+            gcod_nn::quant::QuantizedModel::from_model(fp32.model(), gcod_graph::QuantWidth::I8)
+                .forward(&graph)
+                .unwrap();
+        assert_eq!(int8_logits, explicit);
     }
 }

@@ -160,6 +160,22 @@ impl Experiment {
         self
     }
 
+    /// Selects the numeric precision every GCN trained by this experiment
+    /// evaluates with (default: [`Precision::Fp32`]).
+    ///
+    /// Unlike [`kernel`](Experiment::kernel) and
+    /// [`workers`](Experiment::workers) this DOES change numerics: at
+    /// [`Precision::Int8`] / [`Precision::Int16`] every forward pass outside
+    /// the gradient path (accuracy evaluation, inference) runs the integer
+    /// compute path in `gcod_nn::qkernels`, so reported accuracies shift by
+    /// the quantization error. Training gradients always stay f32
+    /// (post-training quantization). Lives on the [`GcodConfig`], so call
+    /// `.gcod(..)` *before* `.precision(..)` when combining the two.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.config.precision = precision;
+        self
+    }
+
     /// Sets the seed used for graph generation, layout and training
     /// (default: 0).
     pub fn seed(mut self, seed: u64) -> Self {
@@ -569,6 +585,15 @@ mod tests {
             .gcod(fast_config())
             .kernel(KernelKind::DegreeBinned);
         assert_eq!(exp.config().kernel, KernelKind::DegreeBinned);
+    }
+
+    #[test]
+    fn precision_stage_selects_the_evaluation_precision() {
+        let exp = tiny().precision(Precision::Int8);
+        assert_eq!(exp.config().precision, Precision::Int8);
+        // .gcod(..) resets the precision along with the rest of the config.
+        let exp = tiny().precision(Precision::Int16).gcod(fast_config());
+        assert_eq!(exp.config().precision, Precision::Fp32);
     }
 
     #[test]

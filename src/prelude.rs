@@ -16,13 +16,16 @@
 pub use crate::error::{Error, Result};
 pub use crate::experiment::{Experiment, ExperimentReport, StructuralRun, SuiteRequests};
 
-pub use gcod_graph::{DatasetProfile, Graph, GraphGenerator, GraphStats, KNOWN_DATASETS};
+pub use gcod_graph::{
+    DatasetProfile, Graph, GraphGenerator, GraphStats, QuantWidth, QuantizedCsr, KNOWN_DATASETS,
+};
 
 pub use gcod_runtime::Pool;
 
 pub use gcod_nn::kernels::{KernelKind, SpmmKernel};
 pub use gcod_nn::models::{GnnModel, ModelConfig, ModelKind};
-pub use gcod_nn::quant::Precision;
+pub use gcod_nn::qkernels::QuantSpmmKernel;
+pub use gcod_nn::quant::{Precision, QuantizedModel, QuantizedTensor};
 pub use gcod_nn::train::{TrainConfig, Trainer};
 pub use gcod_nn::workload::InferenceWorkload;
 

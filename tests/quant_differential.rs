@@ -1,0 +1,253 @@
+//! Differential tests of the quantized kernel suite: every
+//! [`QuantSpmmKernel`] implementation and the blocked integer GEMM must be
+//! **bit-for-bit** identical to the scalar fixed-point oracle
+//! (`quant_spmm_reference` / `quant_matmul_reference`) on arbitrary CSR
+//! matrices — empty rows, hub rows, non-square shapes — at every worker
+//! count and tile geometry. Integer addition is associative, so unlike the
+//! f32 suite this equality is exact for ANY schedule, not just
+//! order-preserving ones; a mismatch means a kernel dropped or duplicated a
+//! term, not a rounding difference.
+//!
+//! Also pins the quantization round-trip: dequantized values sit within the
+//! analytic per-tensor bound `scale / 2` of the original f32 values.
+//!
+//! Run with `PROPTEST_CASES=<n>` to change the per-property case budget
+//! (CI pins 64).
+
+use gcod::graph::{CooMatrix, CsrMatrix, QuantWidth, QuantizedCsr};
+use gcod::nn::qkernels::{
+    quant_matmul, quant_matmul_blocked, quant_matmul_reference, quant_spmm_reference,
+    NaiveQuantSpmm, ParallelQuantSpmm, QuantSpmmKernel,
+};
+use gcod::nn::quant::QuantizedTensor;
+use gcod::nn::Tensor;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Strategy: an arbitrary sparse matrix as `(rows, cols, entries)` with
+/// duplicate-free entries (duplicates collapse to the last value drawn).
+/// Random entry counts leave many rows structurally empty.
+fn arbitrary_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..48, 1usize..48)
+        .prop_flat_map(|(rows, cols)| {
+            let entries = proptest::collection::vec((0..rows, 0..cols, -4.0f64..4.0), 0..161);
+            (Just(rows), Just(cols), entries)
+        })
+        .prop_map(|(rows, cols, entries)| {
+            let mut dedup: BTreeMap<(usize, usize), f32> = BTreeMap::new();
+            for (r, c, v) in entries {
+                dedup.insert((r, c), v as f32);
+            }
+            let mut coo = CooMatrix::new(rows, cols);
+            for (&(r, c), &v) in &dedup {
+                coo.push(r, c, v).expect("indices drawn in range");
+            }
+            coo.to_csr()
+        })
+}
+
+/// A deterministic feature tensor with mixed-sign, non-uniform values.
+fn features(rows: usize, cols: usize, salt: u64) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+            ((h % 2048) as f32 - 1024.0) / 256.0
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data).expect("length matches by construction")
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+const WIDTHS: [QuantWidth; 2] = [QuantWidth::I8, QuantWidth::I16];
+
+proptest! {
+    /// Both quantized SpMM kernels are bit-identical to the scalar oracle at
+    /// both widths, across worker counts 1, 2 and auto (auto = the global
+    /// pool's lane count, which CI re-pins via `GCOD_WORKERS=2`). The
+    /// zero-cutoff variants force these small fixtures onto the pooled
+    /// range-split path; the default-cutoff kernels cover the scalar
+    /// fall-through too.
+    #[test]
+    fn quant_spmm_matches_oracle_at_every_worker_count(
+        a in arbitrary_matrix(),
+        feat in 1usize..7,
+        salt in 0u64..1024,
+    ) {
+        let x = features(a.cols(), feat, salt);
+        for width in WIDTHS {
+            let aq = QuantizedCsr::quantize(&a, width);
+            let xq = QuantizedTensor::quantize(&x, width);
+            let reference = quant_spmm_reference(&aq, &xq).expect("shapes consistent");
+            let naive = NaiveQuantSpmm.spmm(&aq, &xq).expect("shapes consistent");
+            prop_assert_eq!(bits(&naive), bits(&reference), "naive, {:?}", width);
+            for workers in [0usize, 1, 2, 4] {
+                let pooled = ParallelQuantSpmm::with_workers_and_cutoff(workers, 0)
+                    .spmm(&aq, &xq)
+                    .expect("shapes consistent");
+                prop_assert_eq!(
+                    bits(&pooled), bits(&reference),
+                    "{} workers (cutoff 0), {:?}", workers, width
+                );
+                let defaulted = ParallelQuantSpmm::with_workers(workers)
+                    .spmm(&aq, &xq)
+                    .expect("shapes consistent");
+                prop_assert_eq!(
+                    bits(&defaulted), bits(&reference),
+                    "{} workers (default cutoff), {:?}", workers, width
+                );
+            }
+        }
+    }
+
+    /// The blocked integer GEMM is bit-identical to the scalar oracle at
+    /// every tile geometry and worker count, for both widths. Tile edges of
+    /// 0 exercise the `max(1)` clamping; tiles larger than the matrix
+    /// exercise the single-tile path.
+    #[test]
+    fn quant_gemm_invariant_to_tiles_and_workers(
+        m in 1usize..24,
+        inner in 1usize..24,
+        n in 1usize..24,
+        k_block in 0usize..40,
+        col_block in 0usize..40,
+        salt in 0u64..1024,
+    ) {
+        let a = features(m, inner, salt);
+        let b = features(inner, n, salt ^ 0xABCD);
+        for width in WIDTHS {
+            let aq = QuantizedTensor::quantize(&a, width);
+            let bq = QuantizedTensor::quantize(&b, width);
+            let reference = quant_matmul_reference(&aq, &bq).expect("shapes consistent");
+            for workers in [0usize, 1, 2, 4] {
+                let blocked = quant_matmul_blocked(&aq, &bq, workers, k_block, col_block)
+                    .expect("shapes consistent");
+                prop_assert_eq!(
+                    bits(&blocked), bits(&reference),
+                    "tiles {}x{}, {} workers, {:?}", k_block, col_block, workers, width
+                );
+            }
+            let defaulted = quant_matmul(&aq, &bq, 2).expect("shapes consistent");
+            prop_assert_eq!(bits(&defaulted), bits(&reference), "default tiles, {:?}", width);
+        }
+    }
+
+    /// Quantization round-trip error never exceeds the analytic per-tensor
+    /// bound, for dense tensors and sparse matrices alike, and int16 is
+    /// never looser than int8 on the same data.
+    ///
+    /// The bound is `scale/2` (the rounding step) widened by `qmax·ε_f32`:
+    /// the f32 division `x / scale` carries a relative error of up to one
+    /// f32 epsilon, which at the extreme `|x / scale| ≈ qmax` shifts the
+    /// value being rounded by up to `qmax·ε` quantization steps. Material
+    /// only at int16 (`32767·ε ≈ 0.004` steps) but part of the contract.
+    #[test]
+    fn dequantization_error_within_analytic_bound(
+        a in arbitrary_matrix(),
+        feat in 1usize..7,
+        salt in 0u64..1024,
+    ) {
+        let mut dense_err = Vec::new();
+        let x = features(a.cols(), feat, salt);
+        for (width, qmax) in [(QuantWidth::I8, 127.0f32), (QuantWidth::I16, 32767.0)] {
+            let slack = 1.0 + qmax * f32::EPSILON;
+            let xq = QuantizedTensor::quantize(&x, width);
+            let bound = xq.error_bound() * slack;
+            let err = xq.max_error(&x);
+            prop_assert!(err <= bound, "dense {:?}: {} > bound {}", width, err, bound);
+            dense_err.push(err);
+
+            let aq = QuantizedCsr::quantize(&a, width);
+            let sparse_bound = aq.scale() / 2.0 * slack;
+            let sparse_err = aq.max_error(&a);
+            prop_assert!(
+                sparse_err <= sparse_bound,
+                "sparse {:?}: {} > bound {}", width, sparse_err, sparse_bound
+            );
+        }
+        prop_assert!(dense_err[1] <= dense_err[0], "int16 must be at least as tight as int8");
+    }
+
+    /// The whole-layer contract behind worker invariance: quantize → SpMM →
+    /// GEMM produces the same bits whether the intermediate SpMM ran naive
+    /// or pooled, because the dequantized f32 intermediates are identical.
+    #[test]
+    fn chained_spmm_gemm_worker_invariant(a in arbitrary_matrix(), salt in 0u64..1024) {
+        let x = features(a.cols(), 5, salt);
+        let w = features(5, 3, salt ^ 0x5A5A);
+        for width in WIDTHS {
+            let aq = QuantizedCsr::quantize(&a, width);
+            let wq = QuantizedTensor::quantize(&w, width);
+            let mut outputs = Vec::new();
+            for workers in [1usize, 2, 0] {
+                let kernel = ParallelQuantSpmm::with_workers_and_cutoff(workers, 0);
+                let xq = QuantizedTensor::quantize(&x, width);
+                let agg = kernel.spmm(&aq, &xq).expect("shapes consistent");
+                let aggq = QuantizedTensor::quantize(&agg, width);
+                let out = quant_matmul(&aggq, &wq, workers).expect("shapes consistent");
+                outputs.push(bits(&out));
+            }
+            prop_assert_eq!(&outputs[0], &outputs[1], "1 vs 2 workers, {:?}", width);
+            prop_assert_eq!(&outputs[0], &outputs[2], "1 vs auto workers, {:?}", width);
+        }
+    }
+}
+
+/// Degenerate shapes the random strategy cannot draw: 0-row / 0-column
+/// matrices, zero-width features and all-empty rows, at both widths.
+#[test]
+fn degenerate_shapes_handled_by_every_quant_kernel() {
+    let kernels: [&dyn QuantSpmmKernel; 2] = [
+        &NaiveQuantSpmm,
+        &ParallelQuantSpmm::with_workers_and_cutoff(2, 0),
+    ];
+    for width in WIDTHS {
+        for kernel in kernels {
+            let name = kernel.name();
+
+            let aq = QuantizedCsr::quantize(&CsrMatrix::zeros(0, 0), width);
+            let xq = QuantizedTensor::quantize(&Tensor::zeros(0, 2), width);
+            let out = kernel.spmm(&aq, &xq).unwrap();
+            assert_eq!(out.shape(), (0, 2), "{name}");
+
+            let aq = QuantizedCsr::quantize(&CsrMatrix::zeros(5, 0), width);
+            let xq = QuantizedTensor::quantize(&Tensor::zeros(0, 4), width);
+            let out = kernel.spmm(&aq, &xq).unwrap();
+            assert_eq!(out.shape(), (5, 4), "{name}");
+
+            let aq = QuantizedCsr::quantize(&CsrMatrix::identity(4), width);
+            let xq = QuantizedTensor::quantize(&Tensor::zeros(4, 0), width);
+            let out = kernel.spmm(&aq, &xq).unwrap();
+            assert_eq!(out.shape(), (4, 0), "{name}");
+
+            let aq = QuantizedCsr::quantize(&CsrMatrix::zeros(6, 6), width);
+            let xq = QuantizedTensor::quantize(&Tensor::full(6, 3, 9.0), width);
+            let out = kernel.spmm(&aq, &xq).unwrap();
+            assert!(out.data().iter().all(|&v| v == 0.0), "{name}");
+        }
+    }
+}
+
+/// Mixed-width operands and shape mismatches are rejected, never silently
+/// coerced.
+#[test]
+fn width_and_shape_mismatches_rejected() {
+    let a = CsrMatrix::identity(4);
+    let x = features(4, 2, 0);
+    let a8 = QuantizedCsr::quantize(&a, QuantWidth::I8);
+    let x16 = QuantizedTensor::quantize(&x, QuantWidth::I16);
+    for kernel in [
+        &NaiveQuantSpmm as &dyn QuantSpmmKernel,
+        &ParallelQuantSpmm::default(),
+    ] {
+        assert!(kernel.spmm(&a8, &x16).is_err(), "{}", kernel.name());
+        let wrong = QuantizedTensor::quantize(&features(3, 2, 0), QuantWidth::I8);
+        assert!(kernel.spmm(&a8, &wrong).is_err(), "{}", kernel.name());
+    }
+    let a8d = QuantizedTensor::quantize(&features(4, 4, 1), QuantWidth::I8);
+    assert!(quant_matmul(&a8d, &x16, 1).is_err());
+    let wrong = QuantizedTensor::quantize(&features(3, 2, 0), QuantWidth::I8);
+    assert!(quant_matmul(&a8d, &wrong, 1).is_err());
+}
