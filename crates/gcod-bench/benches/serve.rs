@@ -1,6 +1,7 @@
 //! Serving-layer benchmark: end-to-end submit→wait latency and throughput
-//! of the `gcod-serve` front-end swept over fused-batch sizes, plus the
-//! cost-scored backend-routing path.
+//! of the `gcod-serve` front-end swept over fused-batch sizes, the
+//! cost-scored backend-routing path, and a fault-recovery case (sever one of
+//! two shard workers, time the detect→respawn→replay→answer path).
 //!
 //! Each classify case submits `batch` compatible requests (same served
 //! model) and waits for all tickets; the batcher coalesces them into fused
@@ -20,7 +21,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gcod_bench::sweeps::{
-    serve_classify_request, serve_server, SERVE_BATCH_SIZES, SERVE_MODEL_NAME,
+    serve_classify_request, serve_recover_iteration, serve_recover_model, serve_server,
+    SERVE_BATCH_SIZES, SERVE_MODEL_NAME, SERVE_RECOVER_SHARDS,
 };
 use gcod_runtime::Pool;
 use gcod_serve::ServeRequest;
@@ -60,6 +62,20 @@ fn bench_serve(c: &mut Criterion) {
         });
     });
     handle.shutdown();
+
+    // Fault-recovery latency: sever one of two shard workers, then answer a
+    // full request — the supervisor detects the dead endpoint, respawns the
+    // worker, replays its layer state and gathers. The respawn budget is
+    // unbounded so every iteration recovers instead of degrading.
+    let (sharded, query) = serve_recover_model();
+    group.bench_with_input(
+        BenchmarkId::new("recover-kill", SERVE_RECOVER_SHARDS),
+        &SERVE_RECOVER_SHARDS,
+        |b, _| {
+            b.iter(|| serve_recover_iteration(&sharded, &query));
+        },
+    );
+    sharded.shutdown().expect("shutdown");
     group.finish();
 
     if !c.is_test_mode() {

@@ -110,7 +110,9 @@ fn main() {
     println!("re-measuring training sweep...");
     let train = sweeps::smoke_train_medians(samples.min(3));
     println!("re-measuring serving sweep...");
-    let serve = sweeps::smoke_serve_medians(samples);
+    let mut serve = sweeps::smoke_serve_medians(samples);
+    println!("re-measuring serving recover-kill case...");
+    serve.extend(sweeps::smoke_serve_recover_medians(samples));
     println!("re-measuring sharded-serving sweep...");
     let shard = sweeps::smoke_shard_medians(samples);
     println!("re-measuring quantized-inference sweep...");

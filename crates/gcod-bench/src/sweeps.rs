@@ -15,7 +15,9 @@ use gcod_nn::quant::{Precision, QuantizedModel};
 use gcod_nn::sparse_ops::spmm_csc;
 use gcod_nn::train::{TrainConfig, Trainer};
 use gcod_nn::Tensor;
-use gcod_serve::{ServeRequest, ServedModel, Server, ServerConfig, ShardOptions, ShardedModel};
+use gcod_serve::{
+    ServeRequest, ServedModel, Server, ServerConfig, ShardOptions, ShardedModel, SupervisorPolicy,
+};
 use gcod_shard::{ShardPlan, ShardPlanConfig};
 use std::time::Instant;
 
@@ -323,6 +325,70 @@ pub fn smoke_serve_medians(samples: usize) -> Vec<(String, f64)> {
     handle.shutdown();
     rows.push(("serve/route-auto/1".to_string(), median_ns(timed)));
     rows
+}
+
+/// Shard count of the serving recover-kill case.
+pub const SERVE_RECOVER_SHARDS: usize = 2;
+
+/// Builds the recover-kill fixture: the cora sweep workload sharded over
+/// [`SERVE_RECOVER_SHARDS`] thread-mode workers with an effectively
+/// unlimited respawn budget (every timed kill must be absorbed by a respawn,
+/// never by degrading to the local fallback), warmed through one full
+/// forward so the timed iterations exercise the steady-state recovery path.
+///
+/// # Panics
+///
+/// Panics when the launch handshake or warmup forward fails (a sweep-setup
+/// error).
+pub fn serve_recover_model() -> (ShardedModel, Vec<usize>) {
+    let (graph, model) = shard_workload("cora", 300);
+    let query = shard_query_nodes(graph.num_nodes());
+    let options = ShardOptions::new(SERVE_RECOVER_SHARDS).with_policy(SupervisorPolicy {
+        respawn_budget: u32::MAX,
+        ..SupervisorPolicy::default()
+    });
+    let sharded =
+        ShardedModel::launch("bench-recover", &graph, &model, &options).expect("shard launch");
+    sharded.forward_rows(&query).expect("warmup forward");
+    (sharded, query)
+}
+
+/// One timed recover-kill iteration: sever one worker mid-service, then
+/// answer a full request — the supervisor must detect the dead endpoint,
+/// respawn the worker, replay its layer state and gather, so the measured
+/// latency is the end-to-end recovery cost.
+///
+/// # Panics
+///
+/// Panics when the kill hook or the recovered forward fails.
+pub fn serve_recover_iteration(sharded: &ShardedModel, query: &[usize]) {
+    sharded.kill_worker(1).expect("kill worker");
+    sharded.forward_rows(query).expect("recovered forward");
+}
+
+/// Re-measures the recover-kill case in smoke mode: the median keyed
+/// `serve/recover-kill/2` in nanoseconds — the exact key/units of the
+/// committed `BENCH_serve.json` row.
+///
+/// # Panics
+///
+/// Panics when the fixture or an iteration fails (a sweep-setup error).
+pub fn smoke_serve_recover_medians(samples: usize) -> Vec<(String, f64)> {
+    let samples = samples.max(1);
+    let (sharded, query) = serve_recover_model();
+    serve_recover_iteration(&sharded, &query); // warm the recovery path
+    let timed: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            serve_recover_iteration(&sharded, &query);
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    sharded.shutdown().expect("shutdown");
+    vec![(
+        format!("serve/recover-kill/{SERVE_RECOVER_SHARDS}"),
+        median_ns(timed),
+    )]
 }
 
 /// Shard counts swept by the sharded-serving bench; `1` is the no-halo

@@ -116,6 +116,7 @@ impl LintScope {
                     | "gcod-platform"
                     | "gcod-baselines"
                     | "gcod-shard"
+                    | "gcod-serve"
             ),
         }
     }

@@ -165,6 +165,140 @@ impl Latch {
     }
 }
 
+/// Outcome of [`RecoveryGate::await_healthy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateWait {
+    /// No recovery is in flight — proceed.
+    Healthy,
+    /// The gate was closed (shutdown); no more recoveries will complete.
+    Closed,
+    /// The timeout elapsed while a recovery was still in flight.
+    TimedOut,
+}
+
+/// Serialises failure recovery: at most one recovery in flight, waiters
+/// block until it completes, shutdown drains cleanly.
+///
+/// The `gcod-serve` shard supervisor uses one gate per sharded model to
+/// guarantee **no double respawn** (only the thread holding the token may
+/// replace a worker) and **no lost wakeup** (every `finish`/`close`
+/// notifies all waiters; waits re-check the predicate in a loop). Built on
+/// the [`sync`] facade, so the same code is exhaustively model-checked
+/// under bounded preemption (`gcod-serve/tests/model_supervisor.rs`).
+#[derive(Debug, Default)]
+pub struct RecoveryGate {
+    state: Mutex<GateState>,
+    changed: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    recovering: bool,
+    closed: bool,
+    /// Completed recoveries — lets a token detect it outlived its gate
+    /// cycle in debug assertions, and gives tests an observable count.
+    generation: u64,
+}
+
+/// Exclusive permission to run one recovery; returned by
+/// [`RecoveryGate::begin_recovery`] and redeemed with
+/// [`RecoveryGate::finish`].
+///
+/// The token is deliberately not `Clone` and carries the generation it was
+/// issued for: exactly one liveness-restoring actor exists per cycle.
+#[derive(Debug)]
+#[must_use = "a recovery token must be finished, or waiters block until the gate closes"]
+pub struct RecoveryToken {
+    generation: u64,
+}
+
+impl RecoveryGate {
+    /// A new gate in the healthy (not recovering, not closed) state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claims the exclusive right to run a recovery.
+    ///
+    /// Returns `None` when a recovery is already in flight (someone else
+    /// owns the token — wait for it with
+    /// [`await_healthy`](RecoveryGate::await_healthy)) or when the gate is
+    /// closed (use [`is_closed`](RecoveryGate::is_closed) to distinguish).
+    /// This is what makes a double respawn impossible by construction.
+    pub fn begin_recovery(&self) -> Option<RecoveryToken> {
+        let mut state = self.state.lock_unpoisoned();
+        if state.closed || state.recovering {
+            return None;
+        }
+        state.recovering = true;
+        Some(RecoveryToken {
+            generation: state.generation,
+        })
+    }
+
+    /// Completes the recovery the token was issued for and wakes every
+    /// waiter (regardless of whether the recovery actually succeeded —
+    /// the caller communicates success out of band, e.g. by degrading).
+    pub fn finish(&self, token: RecoveryToken) {
+        let mut state = self.state.lock_unpoisoned();
+        debug_assert!(
+            state.recovering && token.generation == state.generation,
+            "finish() must redeem the token of the in-flight recovery"
+        );
+        state.recovering = false;
+        state.generation = state.generation.wrapping_add(1);
+        self.changed.notify_all();
+    }
+
+    /// Blocks while a recovery is in flight, up to `timeout`.
+    pub fn await_healthy(&self, timeout: std::time::Duration) -> GateWait {
+        let mut state = self.state.lock_unpoisoned();
+        while state.recovering && !state.closed {
+            let (guard, timed_out) = self.changed.wait_timeout(state, timeout);
+            state = guard;
+            // A timed-out wait consumed the whole budget (see
+            // Latch::wait_timeout for why this avoids re-reading the
+            // clock and keeps the model checker's timeouts schedulable).
+            if timed_out && state.recovering && !state.closed {
+                return GateWait::TimedOut;
+            }
+        }
+        if state.closed {
+            GateWait::Closed
+        } else {
+            GateWait::Healthy
+        }
+    }
+
+    /// Closes the gate: future
+    /// [`begin_recovery`](RecoveryGate::begin_recovery) calls return
+    /// `None` and every current and future waiter resolves with
+    /// [`GateWait::Closed`]. An in-flight recovery may still
+    /// [`finish`](RecoveryGate::finish); closing only stops *new* cycles,
+    /// so shutdown-during-recovery drains instead of deadlocking.
+    /// Idempotent.
+    pub fn close(&self) {
+        let mut state = self.state.lock_unpoisoned();
+        state.closed = true;
+        self.changed.notify_all();
+    }
+
+    /// Whether a recovery is currently in flight.
+    pub fn is_recovering(&self) -> bool {
+        self.state.lock_unpoisoned().recovering
+    }
+
+    /// Whether the gate has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock_unpoisoned().closed
+    }
+
+    /// Completed recovery cycles so far.
+    pub fn generation(&self) -> u64 {
+        self.state.lock_unpoisoned().generation
+    }
+}
+
 /// A persistent pool of worker threads executing scoped task batches.
 ///
 /// A pool with `workers` lanes spawns `workers - 1` background threads; the
@@ -779,6 +913,66 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         shared.complete_one();
         waiter.join().unwrap();
+    }
+
+    #[test]
+    fn recovery_gate_admits_exactly_one_recoverer() {
+        let gate = RecoveryGate::new();
+        assert_eq!(
+            gate.await_healthy(std::time::Duration::from_millis(1)),
+            GateWait::Healthy
+        );
+        let token = gate.begin_recovery().expect("first claim");
+        assert!(gate.is_recovering());
+        assert!(gate.begin_recovery().is_none(), "no double respawn");
+        assert_eq!(
+            gate.await_healthy(std::time::Duration::from_millis(5)),
+            GateWait::TimedOut
+        );
+        gate.finish(token);
+        assert!(!gate.is_recovering());
+        assert_eq!(gate.generation(), 1);
+        assert_eq!(
+            gate.await_healthy(std::time::Duration::from_millis(1)),
+            GateWait::Healthy
+        );
+        // A fresh cycle can begin after the previous one finished.
+        let token = gate.begin_recovery().expect("second cycle");
+        gate.finish(token);
+        assert_eq!(gate.generation(), 2);
+    }
+
+    #[test]
+    fn recovery_gate_close_wakes_waiters_and_blocks_new_cycles() {
+        let gate = Arc::new(RecoveryGate::new());
+        let token = gate.begin_recovery().expect("claim");
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || gate.await_healthy(std::time::Duration::from_secs(30)))
+        };
+        // Shutdown races the in-flight recovery: the waiter must resolve
+        // with Closed, not block for the full 30 s.
+        gate.close();
+        assert_eq!(waiter.join().expect("join"), GateWait::Closed);
+        assert!(gate.is_closed());
+        assert!(gate.begin_recovery().is_none(), "closed gate admits no one");
+        // The in-flight recovery still drains cleanly.
+        gate.finish(token);
+        assert!(!gate.is_recovering());
+        gate.close(); // idempotent
+    }
+
+    #[test]
+    fn recovery_gate_finish_wakes_blocked_waiter() {
+        let gate = Arc::new(RecoveryGate::new());
+        let token = gate.begin_recovery().expect("claim");
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || gate.await_healthy(std::time::Duration::from_secs(30)))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        gate.finish(token);
+        assert_eq!(waiter.join().expect("join"), GateWait::Healthy);
     }
 
     #[test]

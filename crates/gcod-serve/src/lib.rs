@@ -65,5 +65,8 @@ pub use error::{Result, ServeError};
 pub use model::ServedModel;
 pub use request::{Backend, Classification, PerfPrediction, ServeRequest, ServeResponse};
 pub use server::{Handle, Server, ServerConfig, ServerStats};
-pub use shard::{ShardOptions, ShardTransportStats, ShardedModel, SpawnMode};
+pub use shard::{
+    ShardHealth, ShardOptions, ShardShutdownOutcome, ShardTransportStats, ShardedModel,
+    ShutdownReport, SpawnMode, SupervisorPolicy,
+};
 pub use ticket::Ticket;

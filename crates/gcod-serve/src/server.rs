@@ -190,7 +190,7 @@ impl Shared {
 /// single-process workload and is only available on local entries.
 enum ModelEntry {
     Local(Box<ServedModel>),
-    Sharded(ShardedModel),
+    Sharded(Box<ShardedModel>),
 }
 
 impl ModelEntry {
@@ -284,7 +284,7 @@ impl Server {
     #[must_use]
     pub fn register_sharded(mut self, model: ShardedModel) -> Self {
         self.models
-            .insert(model.name().to_string(), ModelEntry::Sharded(model));
+            .insert(model.name().to_string(), ModelEntry::Sharded(Box::new(model)));
         self
     }
 
@@ -430,6 +430,7 @@ impl Server {
     /// Executes one dispatcher batch: deadline triage, then perf requests
     /// individually and classification requests fused per served model.
     fn execute_pending(&self, shared: &Shared, pending: Vec<Submission>) {
+        // gcod-check: allow(wall-clock) — request-deadline triage is real elapsed time by definition; simulated time lives in gcod-platform.
         let now = Instant::now();
         let mut classify = Vec::new();
         let mut perf = Vec::new();
@@ -629,6 +630,7 @@ impl Handle {
         let (ticket, completion) = ticket_pair(id);
         let submission = Submission {
             request,
+            // gcod-check: allow(wall-clock) — client deadlines are wall-clock contracts, not simulated time.
             deadline: deadline.map(|d| Instant::now() + d),
             completion,
         };

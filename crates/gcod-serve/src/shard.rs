@@ -1,37 +1,66 @@
 //! The shard router: serve one model from `k` worker processes (or
-//! threads) over the `gcod-shard` wire protocol.
+//! threads) over the `gcod-shard` wire protocol, supervised for fault
+//! tolerance.
 //!
 //! ```text
 //!                    ┌─ worker 0 (owns partition 0 + halo) ─┐
 //! ShardedModel ──UDS─┼─ worker 1 (owns partition 1 + halo) ─┤ halo rows
-//!  (router)          └─ worker k-1 ...                      ┘ relayed by
-//!                                                             the router
+//!  (router +         └─ worker k-1 ...                      ┘ relayed by
+//!   supervisor)                                               the router
 //! ```
 //!
-//! The router drives the layer lockstep: it broadcasts `RunLayer` to all
-//! shards, collects each shard's exported boundary activations, reassembles
-//! them into per-shard halo tensors using the plan's halo-source map, and
-//! ships them back with `Advance` before the next layer. After the final
-//! layer, `forward_rows` answers classification requests with `Gather`
+//! The router drives the layer lockstep: it sends `RunLayer` to each
+//! shard, collects the shard's exported boundary activations, reassembles
+//! per-shard halo tensors using the plan's halo-source map, and ships them
+//! back with `Advance` before the next layer. After the final layer,
+//! `forward_rows` answers classification requests with `Gather`
 //! round-trips that fetch only the requested rows from the owning shards.
+//!
+//! # Fault tolerance
+//!
+//! Every RPC runs under a supervisor ([`SupervisorPolicy`]) that
+//! classifies failures and picks the cheapest sound recovery:
+//!
+//! | observed failure | classification | recovery |
+//! |---|---|---|
+//! | CRC/decode reject (either direction) | `Reject` | retry the idempotent RPC with capped exponential backoff |
+//! | socket deadline expired | `Timeout` | `try_wait` + `Ping` probe; clean `Pong` ⇒ stream in sync ⇒ retry |
+//! | EOF / transport error / failed probe | `Disconnect` | respawn the worker, replay its state |
+//! | protocol violation, model error | `Fatal` | propagate — not a fault-tolerance situation |
+//!
+//! Retries are sound because every shard RPC is idempotent (`RunLayer`
+//! recomputes from the worker's held activations, `Advance` overwrites the
+//! halo, `Gather`/`Ping` are pure) and the length-prefixed framing means a
+//! rejected frame never desynchronises the byte stream. A respawned worker
+//! is replayed to the exact state of the fabric — from the router's cached
+//! per-layer exports once a full pass has completed, or by restarting the
+//! (deterministic) pass from layer 0 — so recovery is bit-identical to an
+//! unfaulted run. When a shard exhausts its respawn budget the model
+//! *degrades*: the remaining workers are reaped and requests are answered
+//! from the retained single-process model, bit-identical and flagged
+//! [`ShardHealth::Degraded`] in [`ShardTransportStats`]. In-flight
+//! requests always resolve — with rows, a typed error, or a fallback
+//! answer — never by hanging.
 //!
 //! Because the plan slices the *full-graph* propagation matrix and keeps
 //! local orderings sorted by global id, the logits reassembled here are
-//! bit-identical to the single-process `GnnModel::forward` path — pinned by
-//! `tests/shard_differential.rs`.
+//! bit-identical to the single-process `GnnModel::forward` path — pinned
+//! by `tests/shard_differential.rs` and the chaos suites.
 
 use crate::error::{Result, ServeError};
 use gcod_graph::Graph;
 use gcod_nn::models::GnnModel;
 use gcod_nn::Tensor;
-use gcod_runtime::sync::atomic::{AtomicU64, Ordering};
+use gcod_runtime::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use gcod_runtime::sync::{thread, Mutex};
+use gcod_runtime::RecoveryGate;
 use gcod_shard::{
-    read_frame, write_frame, ShardConn, ShardError, ShardListener, ShardPlan, ShardPlanConfig,
-    ShardReply, ShardRequest, TransportKind,
+    read_frame, write_frame, ChaosConn, FaultEntry, FaultPlan, ShardError, ShardListener,
+    ShardPlan, ShardPlanConfig, ShardReply, ShardRequest, TransportKind, WireError,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// How the router obtains its worker endpoints.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +76,54 @@ pub enum SpawnMode {
     Process(PathBuf),
 }
 
+/// Parses a `GCOD_SHARD_TIMEOUT_MS`-style override; `None`, junk and zero
+/// fall back to the 5-second default.
+pub(crate) fn shard_timeout_ms(value: Option<&str>) -> u64 {
+    value
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(5_000)
+}
+
+/// Recovery policy of the shard supervisor: how hard to try before a
+/// worker is declared dead, and how many deaths to absorb before the model
+/// degrades to local execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// In-place retries of one RPC (checksum rejects, probed timeouts)
+    /// before escalating to a respawn.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per retry (capped) — checksum rejects
+    /// under real interference tend to cluster.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+    /// Worker respawns absorbed per shard (launch retries included) before
+    /// the model degrades to the local fallback path.
+    pub respawn_budget: u32,
+    /// Socket read/write deadline on every shard connection. Defaults to
+    /// the `GCOD_SHARD_TIMEOUT_MS` environment variable, or 5000.
+    pub rpc_timeout_ms: u64,
+    /// Read deadline of the `Ping` liveness probe sent after an RPC
+    /// timeout.
+    pub heartbeat_timeout_ms: u64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_retries: 3,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 64,
+            respawn_budget: 3,
+            rpc_timeout_ms: shard_timeout_ms(
+                std::env::var("GCOD_SHARD_TIMEOUT_MS").ok().as_deref(),
+            ),
+            heartbeat_timeout_ms: 1_000,
+        }
+    }
+}
+
 /// Launch options for a [`ShardedModel`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardOptions {
@@ -56,6 +133,11 @@ pub struct ShardOptions {
     pub transport: TransportKind,
     /// Worker threads or worker processes.
     pub mode: SpawnMode,
+    /// Supervisor recovery policy (retries, deadlines, respawn budget).
+    pub policy: SupervisorPolicy,
+    /// Deterministic fault script, for chaos tests. Empty (the default)
+    /// means a pass-through transport.
+    pub faults: FaultPlan,
 }
 
 impl ShardOptions {
@@ -66,6 +148,8 @@ impl ShardOptions {
             shards,
             transport: TransportKind::default(),
             mode: SpawnMode::Thread,
+            policy: SupervisorPolicy::default(),
+            faults: FaultPlan::new(),
         }
     }
 
@@ -82,6 +166,32 @@ impl ShardOptions {
         self.mode = SpawnMode::Process(worker_bin.into());
         self
     }
+
+    /// Overrides the supervisor recovery policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SupervisorPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Installs a deterministic fault script on the launch connections.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// Health of the sharded fabric behind a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardHealth {
+    /// All shards serving over the wire.
+    #[default]
+    Healthy,
+    /// A shard exhausted its respawn budget: the fabric was torn down and
+    /// requests are answered by the retained single-process model
+    /// (bit-identical, but without the sharded memory ceiling).
+    Degraded,
 }
 
 /// A point-in-time snapshot of shard-transport counters, aggregated over
@@ -112,10 +222,24 @@ pub struct ShardTransportStats {
     /// Peak number of concurrent `forward_rows` calls queued on one
     /// router (the per-shard request queue depth).
     pub peak_queue_depth: u64,
+    /// RPCs reissued by the supervisor (after a reject or probed timeout).
+    pub retries: u64,
+    /// Workers replaced (launch retries included).
+    pub respawns: u64,
+    /// Requests answered by the degraded local-fallback path.
+    pub fallbacks: u64,
+    /// Frames rejected by a CRC/decode check on either side of a shard
+    /// connection.
+    pub checksum_rejects: u64,
+    /// Liveness probes that went unanswered (dead process or no `Pong`).
+    pub heartbeat_misses: u64,
+    /// Worst health across the aggregated models.
+    pub health: ShardHealth,
 }
 
 impl ShardTransportStats {
-    /// Field-wise sum (peaks take the max), for aggregating across models.
+    /// Field-wise sum (peaks take the max, health takes the worst), for
+    /// aggregating across models.
     pub(crate) fn merge(&mut self, other: &ShardTransportStats) {
         self.shards += other.shards;
         self.halo_nodes += other.halo_nodes;
@@ -127,6 +251,14 @@ impl ShardTransportStats {
         self.forward_passes += other.forward_passes;
         self.rows_gathered += other.rows_gathered;
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.retries += other.retries;
+        self.respawns += other.respawns;
+        self.fallbacks += other.fallbacks;
+        self.checksum_rejects += other.checksum_rejects;
+        self.heartbeat_misses += other.heartbeat_misses;
+        if other.health == ShardHealth::Degraded {
+            self.health = ShardHealth::Degraded;
+        }
     }
 }
 
@@ -145,6 +277,12 @@ pub(crate) struct ShardStatsAtomics {
     rows_gathered: AtomicU64,
     queue_depth: AtomicU64,
     peak_queue_depth: AtomicU64,
+    retries: AtomicU64,
+    respawns: AtomicU64,
+    fallbacks: AtomicU64,
+    checksum_rejects: AtomicU64,
+    heartbeat_misses: AtomicU64,
+    degraded: AtomicBool,
 }
 
 impl ShardStatsAtomics {
@@ -160,26 +298,172 @@ impl ShardStatsAtomics {
             forward_passes: self.forward_passes.load(Ordering::SeqCst),
             rows_gathered: self.rows_gathered.load(Ordering::SeqCst),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::SeqCst),
+            retries: self.retries.load(Ordering::SeqCst),
+            respawns: self.respawns.load(Ordering::SeqCst),
+            fallbacks: self.fallbacks.load(Ordering::SeqCst),
+            checksum_rejects: self.checksum_rejects.load(Ordering::SeqCst),
+            heartbeat_misses: self.heartbeat_misses.load(Ordering::SeqCst),
+            health: if self.degraded.load(Ordering::SeqCst) {
+                ShardHealth::Degraded
+            } else {
+                ShardHealth::Healthy
+            },
         }
     }
 }
 
-/// One live worker endpoint, joined at shutdown.
+/// One live worker endpoint, joined at shutdown. `Gone` marks a handle
+/// already taken for reaping (respawn replaces it with a fresh one).
 enum WorkerHandle {
     Thread(thread::JoinHandle<()>),
     Process(std::process::Child),
+    Gone,
 }
 
-/// Mutable router state: one connection per shard plus the forward cache
-/// flag. Guarded by one mutex — the layer lockstep is inherently a
-/// whole-model critical section, and `Gather`s reuse its ordering.
+/// Joins/waits one worker to completion; `true` when it was reaped.
+fn reap(worker: WorkerHandle) -> bool {
+    match worker {
+        WorkerHandle::Thread(handle) => handle.join().is_ok(),
+        WorkerHandle::Process(mut child) => child.wait().is_ok(),
+        WorkerHandle::Gone => false,
+    }
+}
+
+/// Severs the shard's connection and force-kills a process worker (the
+/// handle stays in place for a later [`reap`]).
+fn kill_endpoint(state: &mut RouterState, shard: usize) {
+    if let Some(conn) = state.conns.get(shard) {
+        conn.shutdown_both();
+    }
+    if let Some(WorkerHandle::Process(child)) = state.workers.get_mut(shard) {
+        let _ = child.kill();
+    }
+}
+
+/// Mutable router state: one connection per shard plus the forward cache.
+/// Guarded by one mutex — the layer lockstep is inherently a whole-model
+/// critical section, and `Gather`s reuse its ordering.
 struct RouterState {
-    conns: Vec<ShardConn>,
+    conns: Vec<ChaosConn>,
     workers: Vec<WorkerHandle>,
+    /// Per-layer exported boundary activations of the last full pass,
+    /// `exports_cache[layer][shard]` — the replay source that restores a
+    /// respawned worker bit-identically without touching its peers.
+    exports_cache: Vec<Vec<Tensor>>,
+    /// Supervised RPCs issued per shard (drives scripted `KillWorker`
+    /// faults).
+    rpc_seq: Vec<u64>,
+    /// Pending scripted kills, as `(shard, nth RPC)` — one-shot.
+    kills: Vec<(u32, u64)>,
+    /// Respawn budget consumed per shard.
+    respawns_used: Vec<u32>,
     /// Workers hold post-forward activations; set after the first driven
     /// pass so later requests skip straight to `Gather`.
     forward_done: bool,
     shut_down: bool,
+    /// The fabric was torn down; requests run on the local fallback.
+    degraded: bool,
+    /// Full-graph logits of the fallback model, computed on first
+    /// degraded request and cached (the graph is fixed).
+    fallback_logits: Option<Tensor>,
+}
+
+/// Per-shard outcome of [`ShardedModel::shutdown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardShutdownOutcome {
+    /// The shard this outcome describes.
+    pub shard: usize,
+    /// `None` for a clean `Shutdown`/`Bye` goodbye; otherwise what went
+    /// wrong on the wire (the worker is reaped regardless).
+    pub error: Option<String>,
+    /// Whether the worker thread/process was joined/waited to completion.
+    pub reaped: bool,
+}
+
+/// Outcome of [`ShardedModel::shutdown`]: one entry per shard that still
+/// had a live connection (none when the model had already degraded —
+/// degradation reaps the fabric eagerly).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShutdownReport {
+    /// Per-shard goodbye/reap outcomes.
+    pub outcomes: Vec<ShardShutdownOutcome>,
+    /// Whether the model was serving degraded at shutdown time.
+    pub degraded: bool,
+}
+
+impl ShutdownReport {
+    /// `true` when every shard said goodbye cleanly and was reaped.
+    pub fn is_clean(&self) -> bool {
+        self.outcomes.iter().all(|o| o.error.is_none() && o.reaped)
+    }
+
+    /// The first wire/protocol error met while saying goodbye, if any.
+    pub fn first_error(&self) -> Option<&str> {
+        self.outcomes.iter().find_map(|o| o.error.as_deref())
+    }
+}
+
+/// Supervisor failure taxonomy (see the module docs for the recovery
+/// matched to each class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailureClass {
+    /// CRC/decode reject on an intact, still-framed stream.
+    Reject,
+    /// A socket deadline expired; the peer may be alive.
+    Timeout,
+    /// EOF or a broken transport.
+    Disconnect,
+    /// Not a fault-tolerance situation.
+    Fatal,
+}
+
+fn classify(err: &ServeError) -> FailureClass {
+    match err {
+        ServeError::Shard(ShardError::Wire(w)) => match w {
+            WireError::TimedOut { .. } => FailureClass::Timeout,
+            WireError::Closed | WireError::Io { .. } => FailureClass::Disconnect,
+            // Decode-level rejects (checksum, version, tag, truncation…):
+            // the frame was consumed whole, the stream is still framed.
+            _ => FailureClass::Reject,
+        },
+        // The worker rejected one of *our* frames on its CRC/decode check
+        // (see `gcod_shard::worker::run`) and stayed in its loop.
+        ServeError::Shard(ShardError::Worker { message, .. })
+            if message.starts_with("bad frame:") =>
+        {
+            FailureClass::Reject
+        }
+        _ => FailureClass::Fatal,
+    }
+}
+
+/// Why one supervised RPC gave up on the current connection.
+enum RpcFail {
+    /// The worker/connection must be replaced before retrying.
+    Respawn,
+    /// Propagate to the caller — retrying cannot help.
+    Fatal(ServeError),
+}
+
+/// Why the supervisor gave up on the sharded fabric for this request.
+enum Outage {
+    /// Respawn budget exhausted — serve from the local fallback.
+    Degrade,
+    /// Propagate to the caller.
+    Fatal(ServeError),
+}
+
+/// Capped exponential backoff between in-place RPC retries.
+fn backoff(policy: &SupervisorPolicy, attempt: u32) {
+    let exp = attempt.saturating_sub(1).min(16);
+    let ms = policy
+        .backoff_base_ms
+        .saturating_mul(1u64 << exp)
+        .min(policy.backoff_cap_ms);
+    if ms > 0 {
+        // gcod-check: allow(thread-sleep) — retry backoff: there is no peer to park on a condvar for; the point is to let transient interference clear.
+        std::thread::sleep(Duration::from_millis(ms));
+    }
 }
 
 /// One served model executed across `k` shard workers; the drop-in sharded
@@ -189,6 +473,16 @@ struct RouterState {
 pub struct ShardedModel {
     name: String,
     plan: ShardPlan,
+    options: ShardOptions,
+    /// Retained single-process copies backing the degraded path. Costs one
+    /// extra copy of graph + weights on the router — the price of a
+    /// fallback that needs no worker.
+    fallback_graph: Graph,
+    fallback_model: GnnModel,
+    /// Serialises respawn cycles and lets shutdown block new ones — the
+    /// queue/latch/respawn state machine model-checked in
+    /// `tests/model_supervisor.rs`.
+    gate: RecoveryGate,
     state: Mutex<RouterState>,
     stats: Arc<ShardStatsAtomics>,
 }
@@ -210,11 +504,15 @@ impl ShardedModel {
     /// [`ShardSpec`](gcod_shard::ShardSpec). On return every worker is
     /// loaded and idle; the first classification drives the forward pass.
     ///
+    /// Launch failures of the spawn/handshake kind are retried against the
+    /// per-shard respawn budget; exhausting it yields a *degraded* model
+    /// (local fallback), not an error.
+    ///
     /// # Errors
     ///
     /// [`ServeError::Shard`] on plan rejection (zero shards, more shards
-    /// than nodes, feature-dependent propagation), spawn/connect failures,
-    /// or protocol violations during the handshake.
+    /// than nodes, feature-dependent propagation) or protocol violations
+    /// during the handshake.
     pub fn launch(
         name: impl Into<String>,
         graph: &Graph,
@@ -228,42 +526,120 @@ impl ShardedModel {
             .halo_nodes
             .store(plan.total_halo_nodes() as u64, Ordering::SeqCst);
 
-        let mut conns = Vec::with_capacity(plan.shards());
-        let mut workers = Vec::with_capacity(plan.shards());
-        for shard in 0..plan.shards() {
-            let listener = ShardListener::bind(options.transport)?;
-            let addr = listener.local_addr()?;
-            let worker = match &options.mode {
-                SpawnMode::Thread => {
-                    let shard_id = shard as u32;
-                    WorkerHandle::Thread(thread::spawn_named(
-                        &format!("gcod-shard-worker-{shard}"),
-                        move || {
-                            // Connect/protocol failures surface router-side
-                            // as handshake or read errors.
-                            if let Ok(conn) = ShardConn::dial(&addr) {
-                                let _ = gcod_shard::run_worker(conn, shard_id);
-                            }
-                        },
-                    ))
+        let k = plan.shards();
+        let mut conns = Vec::with_capacity(k);
+        let mut workers = Vec::with_capacity(k);
+        let mut respawns_used = vec![0u32; k];
+        let mut degraded = false;
+        'shards: for (shard, used) in respawns_used.iter_mut().enumerate() {
+            // The scripted transport faults ride the first connection
+            // attempt only; retries get a clean wire.
+            let mut faults = options.faults.transport_entries(shard as u32);
+            loop {
+                match Self::connect_worker(
+                    &plan,
+                    options,
+                    shard,
+                    std::mem::take(&mut faults),
+                    &stats,
+                ) {
+                    Ok((conn, worker)) => {
+                        conns.push(conn);
+                        workers.push(worker);
+                        continue 'shards;
+                    }
+                    Err(e) if classify(&e) == FailureClass::Fatal => return Err(e),
+                    Err(_) => {
+                        if *used >= options.policy.respawn_budget {
+                            degraded = true;
+                            break 'shards;
+                        }
+                        *used += 1;
+                        stats.respawns.fetch_add(1, Ordering::SeqCst);
+                    }
                 }
-                SpawnMode::Process(bin) => {
-                    let child = std::process::Command::new(bin)
-                        .arg("--addr")
-                        .arg(addr.to_string())
-                        .arg("--shard")
-                        .arg(shard.to_string())
-                        .spawn()
-                        .map_err(|e| ShardError::Spawn {
-                            context: format!("spawning {}: {e}", bin.display()),
-                        })?;
-                    WorkerHandle::Process(child)
-                }
-            };
-            workers.push(worker);
-            let mut conn = listener.accept()?;
+            }
+        }
+        if degraded {
+            stats.degraded.store(true, Ordering::SeqCst);
+            for conn in &conns {
+                conn.shutdown_both();
+            }
+            conns.clear();
+            for worker in workers.drain(..) {
+                reap(worker);
+            }
+        }
 
-            match recv(&mut conn, shard as u32, &stats)? {
+        Ok(ShardedModel {
+            name: name.into(),
+            plan,
+            options: options.clone(),
+            fallback_graph: graph.clone(),
+            fallback_model: model.clone(),
+            gate: RecoveryGate::new(),
+            state: Mutex::new(RouterState {
+                conns,
+                workers,
+                exports_cache: Vec::new(),
+                rpc_seq: vec![0; k],
+                kills: options.faults.kill_entries(),
+                respawns_used,
+                forward_done: false,
+                shut_down: false,
+                degraded,
+                fallback_logits: None,
+            }),
+            stats,
+        })
+    }
+
+    /// Binds a listener, spawns one worker, accepts its connection, arms
+    /// the socket deadlines and runs the `Hello`/`Load`/`Loaded`
+    /// handshake. On any failure the worker is reaped before the error is
+    /// returned — no half-launched endpoints leak.
+    fn connect_worker(
+        plan: &ShardPlan,
+        options: &ShardOptions,
+        shard: usize,
+        faults: Vec<FaultEntry>,
+        stats: &ShardStatsAtomics,
+    ) -> Result<(ChaosConn, WorkerHandle)> {
+        let listener = ShardListener::bind(options.transport)?;
+        let addr = listener.local_addr()?;
+        let worker = match &options.mode {
+            SpawnMode::Thread => {
+                let shard_id = shard as u32;
+                WorkerHandle::Thread(thread::spawn_named(
+                    &format!("gcod-shard-worker-{shard}"),
+                    move || {
+                        // Connect/protocol failures surface router-side
+                        // as handshake or read errors.
+                        if let Ok(conn) = gcod_shard::ShardConn::dial(&addr) {
+                            let _ = gcod_shard::run_worker(conn, shard_id);
+                        }
+                    },
+                ))
+            }
+            SpawnMode::Process(bin) => {
+                let child = std::process::Command::new(bin)
+                    .arg("--addr")
+                    .arg(addr.to_string())
+                    .arg("--shard")
+                    .arg(shard.to_string())
+                    .spawn()
+                    .map_err(|e| ShardError::Spawn {
+                        context: format!("spawning {}: {e}", bin.display()),
+                    })?;
+                WorkerHandle::Process(child)
+            }
+        };
+        let mut conn = ChaosConn::with_faults(listener.accept()?, faults);
+        let timeout = Duration::from_millis(options.policy.rpc_timeout_ms);
+        let handshake = (|| -> Result<()> {
+            conn.set_read_timeout(Some(timeout))?;
+            conn.set_write_timeout(Some(timeout))?;
+            match recv(&mut conn, shard as u32, stats)? {
                 ShardReply::Hello { shard: said } if said == shard as u32 => {}
                 other => {
                     return Err(protocol(format!(
@@ -274,9 +650,9 @@ impl ShardedModel {
             send(
                 &mut conn,
                 &ShardRequest::Load(Box::new(plan.spec(shard).clone())),
-                &stats,
+                stats,
             )?;
-            match recv(&mut conn, shard as u32, &stats)? {
+            match recv(&mut conn, shard as u32, stats)? {
                 ShardReply::Loaded { owned, halo }
                     if owned as usize == plan.owned(shard).len()
                         && halo as usize == plan.halo(shard).len() => {}
@@ -288,20 +664,23 @@ impl ShardedModel {
                     )))
                 }
             }
-            conns.push(conn);
+            Ok(())
+        })();
+        if let Err(e) = handshake {
+            conn.shutdown_both();
+            match worker {
+                WorkerHandle::Thread(handle) => {
+                    let _ = handle.join();
+                }
+                WorkerHandle::Process(mut child) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                WorkerHandle::Gone => {}
+            }
+            return Err(e);
         }
-
-        Ok(ShardedModel {
-            name: name.into(),
-            plan,
-            state: Mutex::new(RouterState {
-                conns,
-                workers,
-                forward_done: false,
-                shut_down: false,
-            }),
-            stats,
-        })
+        Ok((conn, worker))
     }
 
     /// The serving key (batching compatibility, like `ServedModel::name`).
@@ -324,8 +703,34 @@ impl ShardedModel {
         self.stats.snapshot()
     }
 
+    /// Whether the model has degraded to the local fallback path.
+    pub fn is_degraded(&self) -> bool {
+        self.state.lock_unpoisoned().degraded
+    }
+
     pub(crate) fn stats_arc(&self) -> Arc<ShardStatsAtomics> {
         Arc::clone(&self.stats)
+    }
+
+    /// Kills one worker out from under the router — severs its connection
+    /// and SIGKILLs a process worker. A test/bench hook: the next RPC to
+    /// that shard exercises the full detect → respawn → replay path.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shard`] when the shard index is out of range or the
+    /// fabric is already gone (shut down or degraded).
+    pub fn kill_worker(&self, shard: usize) -> Result<()> {
+        let mut state = self.state.lock_unpoisoned();
+        if state.shut_down || state.degraded || shard >= state.conns.len() {
+            return Err(protocol(format!(
+                "kill_worker({shard}): no live worker (shards: {}, degraded: {})",
+                state.conns.len(),
+                state.degraded
+            )));
+        }
+        kill_endpoint(&mut state, shard);
+        Ok(())
     }
 
     /// Logit rows for `nodes` (request order, duplicates allowed),
@@ -333,12 +738,15 @@ impl ShardedModel {
     ///
     /// The first call drives the full layer lockstep across all shards and
     /// caches the result worker-side; later calls are pure `Gather`
-    /// round-trips to the owning shards.
+    /// round-trips to the owning shards. Worker/transport failures are
+    /// absorbed by the supervisor (retry → respawn+replay → degrade);
+    /// the answer is bit-identical on every recovery path.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Shard`] for out-of-range nodes, worker failures, or
-    /// wire errors (a failed router is not automatically restarted).
+    /// [`ServeError::Shard`] for out-of-range nodes or protocol
+    /// violations, [`ServeError::ShuttingDown`] when a failure races
+    /// [`shutdown`](ShardedModel::shutdown).
     pub fn forward_rows(&self, nodes: &[usize]) -> Result<Tensor> {
         let depth = self.stats.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
         self.stats
@@ -357,10 +765,21 @@ impl ShardedModel {
                 self.name
             )));
         }
+        if state.degraded {
+            return self.fallback_rows(&mut state, nodes);
+        }
         if !state.forward_done {
-            self.run_full_forward(&mut state)?;
-            state.forward_done = true;
-            self.stats.forward_passes.fetch_add(1, Ordering::SeqCst);
+            match self.run_full_forward(&mut state) {
+                Ok(()) => {
+                    state.forward_done = true;
+                    self.stats.forward_passes.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(Outage::Degrade) => {
+                    self.degrade(&mut state);
+                    return self.fallback_rows(&mut state, nodes);
+                }
+                Err(Outage::Fatal(e)) => return Err(e),
+            }
         }
 
         // Group the request by owning shard, remembering where each row of
@@ -373,28 +792,34 @@ impl ShardedModel {
             placement.push((shard, shard_rows[shard].len()));
             shard_rows[shard].push(rank as u32);
         }
-        for (shard, rows) in shard_rows.iter().enumerate() {
-            if !rows.is_empty() {
-                send(
-                    &mut state.conns[shard],
-                    &ShardRequest::Gather { rows: rows.clone() },
-                    &self.stats,
-                )?;
-            }
-        }
         let mut gathered: Vec<Option<Tensor>> = (0..k).map(|_| None).collect();
         for (shard, rows) in shard_rows.iter().enumerate() {
             if rows.is_empty() {
                 continue;
             }
-            match recv(&mut state.conns[shard], shard as u32, &self.stats)? {
-                ShardReply::Rows(rows) => gathered[shard] = Some(rows),
-                other => {
-                    return Err(protocol(format!(
-                        "shard {shard}: expected Rows, got {other:?}"
-                    )))
+            let req = ShardRequest::Gather { rows: rows.clone() };
+            let piece = loop {
+                match self.rpc(&mut state, shard, &req) {
+                    Ok(ShardReply::Rows(rows)) => break rows,
+                    Ok(other) => {
+                        return Err(protocol(format!(
+                            "shard {shard}: expected Rows, got {other:?}"
+                        )))
+                    }
+                    Err(RpcFail::Fatal(e)) => return Err(e),
+                    Err(RpcFail::Respawn) => {
+                        match self.respawn(&mut state, shard) {
+                            Ok(()) => {} // fresh worker, replayed — reissue
+                            Err(Outage::Degrade) => {
+                                self.degrade(&mut state);
+                                return self.fallback_rows(&mut state, nodes);
+                            }
+                            Err(Outage::Fatal(e)) => return Err(e),
+                        }
+                    }
                 }
-            }
+            };
+            gathered[shard] = Some(piece);
         }
 
         let mut out = Tensor::zeros(nodes.len(), self.plan.output_dim());
@@ -416,117 +841,369 @@ impl ShardedModel {
         Ok(out)
     }
 
-    /// Drives the layer lockstep: broadcast `RunLayer`, collect exports,
-    /// reassemble per-shard halo tensors via the plan's halo-source map,
-    /// broadcast `Advance`, repeat.
-    fn run_full_forward(&self, state: &mut RouterState) -> Result<()> {
-        let k = self.plan.shards();
+    /// Answers one request from the retained single-process model. The
+    /// full-graph logits are computed once and cached (the graph is
+    /// fixed), so degraded serving is a row gather — and `forward_rows` is
+    /// defined as exactly that gather, so the answer is bit-identical.
+    fn fallback_rows(&self, state: &mut RouterState, nodes: &[usize]) -> Result<Tensor> {
+        self.stats.fallbacks.fetch_add(1, Ordering::SeqCst);
+        if state.fallback_logits.is_none() {
+            state.fallback_logits = Some(self.fallback_model.forward(&self.fallback_graph)?);
+        }
+        let Some(logits) = state.fallback_logits.as_ref() else {
+            return Err(protocol("fallback logits missing after compute".into()));
+        };
+        let out = logits.gather_rows(nodes)?;
+        self.stats
+            .rows_gathered
+            .fetch_add(nodes.len() as u64, Ordering::SeqCst);
+        Ok(out)
+    }
+
+    /// Consults the scripted kill list for the RPC about to be issued.
+    fn note_scripted_kill(&self, state: &mut RouterState, shard: usize) {
+        state.rpc_seq[shard] += 1;
+        let seq = state.rpc_seq[shard];
+        if let Some(pos) = state
+            .kills
+            .iter()
+            .position(|&(s, n)| s as usize == shard && n == seq)
+        {
+            state.kills.remove(pos);
+            kill_endpoint(state, shard);
+        }
+    }
+
+    /// One supervised RPC: send, receive, and absorb recoverable failures
+    /// in place (reject → backoff + retry, timeout → probe + retry).
+    /// Escalates to [`RpcFail::Respawn`] when the connection is beyond
+    /// saving, [`RpcFail::Fatal`] when retrying cannot help.
+    fn rpc(
+        &self,
+        state: &mut RouterState,
+        shard: usize,
+        req: &ShardRequest,
+    ) -> std::result::Result<ShardReply, RpcFail> {
+        self.note_scripted_kill(state, shard);
+        let mut attempts = 0u32;
+        loop {
+            let outcome = send(&mut state.conns[shard], req, &self.stats)
+                .and_then(|()| recv(&mut state.conns[shard], shard as u32, &self.stats));
+            let err = match outcome {
+                Ok(reply) => return Ok(reply),
+                Err(e) => e,
+            };
+            let class = classify(&err);
+            match class {
+                FailureClass::Fatal => return Err(RpcFail::Fatal(err)),
+                FailureClass::Disconnect => return Err(RpcFail::Respawn),
+                FailureClass::Reject | FailureClass::Timeout => {
+                    if class == FailureClass::Reject {
+                        self.stats.checksum_rejects.fetch_add(1, Ordering::SeqCst);
+                    } else if !self.probe_alive(state, shard) {
+                        return Err(RpcFail::Respawn);
+                    }
+                    if attempts >= self.options.policy.max_retries {
+                        return Err(RpcFail::Respawn);
+                    }
+                    attempts += 1;
+                    self.stats.retries.fetch_add(1, Ordering::SeqCst);
+                    if class == FailureClass::Reject {
+                        backoff(&self.options.policy, attempts);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Liveness check after an RPC timeout: a process that `try_wait`s as
+    /// exited is dead; otherwise a `Ping` with a short deadline must come
+    /// back as a clean `Pong` — which also proves the byte stream is still
+    /// in frame sync, making an RPC retry sound.
+    fn probe_alive(&self, state: &mut RouterState, shard: usize) -> bool {
+        if let Some(WorkerHandle::Process(child)) = state.workers.get_mut(shard) {
+            if !matches!(child.try_wait(), Ok(None)) {
+                self.stats.heartbeat_misses.fetch_add(1, Ordering::SeqCst);
+                return false;
+            }
+        }
+        let conn = &mut state.conns[shard];
+        let _ = conn.set_read_timeout(Some(Duration::from_millis(
+            self.options.policy.heartbeat_timeout_ms,
+        )));
+        let alive = send(conn, &ShardRequest::Ping, &self.stats)
+            .and_then(|()| recv(conn, shard as u32, &self.stats))
+            .map(|reply| matches!(reply, ShardReply::Pong))
+            .unwrap_or(false);
+        let _ = conn.set_read_timeout(Some(Duration::from_millis(
+            self.options.policy.rpc_timeout_ms,
+        )));
+        if !alive {
+            self.stats.heartbeat_misses.fetch_add(1, Ordering::SeqCst);
+        }
+        alive
+    }
+
+    /// Replaces one dead worker: reaps the corpse, spawns + loads a fresh
+    /// one (burning respawn budget per attempt), and replays it to the
+    /// fabric's post-forward state from the cached exports. Runs under the
+    /// [`RecoveryGate`] so shutdown can fence new recovery cycles.
+    fn respawn(&self, state: &mut RouterState, shard: usize) -> std::result::Result<(), Outage> {
+        let Some(token) = self.gate.begin_recovery() else {
+            return Err(if self.gate.is_closed() {
+                Outage::Fatal(ServeError::ShuttingDown)
+            } else {
+                Outage::Fatal(protocol(format!(
+                    "shard {shard}: recovery gate busy outside the router lock"
+                )))
+            });
+        };
+        let result = self.respawn_locked(state, shard);
+        self.gate.finish(token);
+        result
+    }
+
+    fn respawn_locked(
+        &self,
+        state: &mut RouterState,
+        shard: usize,
+    ) -> std::result::Result<(), Outage> {
+        loop {
+            if state.respawns_used[shard] >= self.options.policy.respawn_budget {
+                return Err(Outage::Degrade);
+            }
+            state.respawns_used[shard] += 1;
+            self.stats.respawns.fetch_add(1, Ordering::SeqCst);
+
+            // Reap the corpse: sever, kill (process mode), join/wait.
+            state.conns[shard].shutdown_both();
+            match std::mem::replace(&mut state.workers[shard], WorkerHandle::Gone) {
+                WorkerHandle::Thread(handle) => {
+                    let _ = handle.join();
+                }
+                WorkerHandle::Process(mut child) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                WorkerHandle::Gone => {}
+            }
+
+            match Self::connect_worker(&self.plan, &self.options, shard, Vec::new(), &self.stats) {
+                Ok((conn, worker)) => {
+                    state.conns[shard] = conn;
+                    state.workers[shard] = worker;
+                }
+                Err(e) => {
+                    if classify(&e) == FailureClass::Fatal {
+                        return Err(Outage::Fatal(e));
+                    }
+                    continue; // burn more budget on another attempt
+                }
+            }
+
+            if state.forward_done {
+                match self.replay_shard(state, shard) {
+                    Ok(()) => return Ok(()),
+                    Err(RpcFail::Fatal(e)) => return Err(Outage::Fatal(e)),
+                    Err(RpcFail::Respawn) => continue,
+                }
+            }
+            return Ok(());
+        }
+    }
+
+    /// Re-runs the layer lockstep on `shard` alone, feeding the halo rows
+    /// every other shard contributed to the *original* pass from the
+    /// router's export cache — deterministic worker compute on identical
+    /// inputs, so the restored state matches the lost one bit for bit.
+    fn replay_shard(
+        &self,
+        state: &mut RouterState,
+        shard: usize,
+    ) -> std::result::Result<(), RpcFail> {
         let num_layers = self.plan.num_layers();
         for layer in 0..num_layers {
-            for conn in state.conns.iter_mut() {
-                send(
-                    conn,
-                    &ShardRequest::RunLayer {
-                        layer: layer as u32,
-                    },
-                    &self.stats,
-                )?;
-            }
-            let mut exports = Vec::with_capacity(k);
-            for (shard, conn) in state.conns.iter_mut().enumerate() {
-                match recv(conn, shard as u32, &self.stats)? {
-                    ShardReply::LayerDone { exports: e } => exports.push(e),
-                    other => {
-                        return Err(protocol(format!(
-                            "shard {shard}: expected LayerDone, got {other:?}"
-                        )))
-                    }
+            match self.rpc(
+                state,
+                shard,
+                &ShardRequest::RunLayer {
+                    layer: layer as u32,
+                },
+            )? {
+                ShardReply::LayerDone { exports } => {
+                    state.exports_cache[layer][shard] = exports;
+                }
+                other => {
+                    return Err(RpcFail::Fatal(protocol(format!(
+                        "shard {shard}: expected LayerDone during replay, got {other:?}"
+                    ))))
                 }
             }
             if layer + 1 == num_layers {
                 break;
             }
-            // Width of this layer's activations (all shards share the
-            // model, so shard 0's layer stack is authoritative).
-            let width = self.plan.spec(0).layers[layer].bias.cols();
-            let mut relayed = 0u64;
-            for shard in 0..k {
-                let sources = self.plan.halo_sources(shard);
-                let mut data = Vec::with_capacity(sources.len() * width);
-                for &(owner, idx) in sources {
-                    let export = &exports[owner as usize];
-                    if idx as usize >= export.rows() || export.cols() != width {
-                        return Err(protocol(format!(
-                            "shard {owner}: export {idx} out of range of {:?}",
-                            export.shape()
-                        )));
-                    }
-                    data.extend_from_slice(export.row(idx as usize));
-                }
-                relayed += sources.len() as u64;
-                let halo = Tensor::from_vec(sources.len(), width, data).map_err(ShardError::Nn)?;
-                send(
-                    &mut state.conns[shard],
-                    &ShardRequest::Advance { halo },
-                    &self.stats,
-                )?;
-            }
-            for (shard, conn) in state.conns.iter_mut().enumerate() {
-                match recv(conn, shard as u32, &self.stats)? {
-                    ShardReply::Advanced => {}
-                    other => {
-                        return Err(protocol(format!(
-                            "shard {shard}: expected Advanced, got {other:?}"
-                        )))
-                    }
+            let halo = self
+                .halo_for(shard, layer, &state.exports_cache[layer])
+                .map_err(RpcFail::Fatal)?;
+            match self.rpc(state, shard, &ShardRequest::Advance { halo })? {
+                ShardReply::Advanced => {}
+                other => {
+                    return Err(RpcFail::Fatal(protocol(format!(
+                        "shard {shard}: expected Advanced during replay, got {other:?}"
+                    ))))
                 }
             }
-            self.stats.halo_rows.fetch_add(relayed, Ordering::SeqCst);
         }
         Ok(())
     }
 
-    /// Gracefully stops every worker: `Shutdown`/`Bye` over the wire, then
-    /// joins threads / waits on child processes. Idempotent; also run (best
+    /// Assembles `shard`'s halo tensor for `layer` from the per-shard
+    /// export set, via the plan's halo-source map.
+    fn halo_for(&self, shard: usize, layer: usize, exports: &[Tensor]) -> Result<Tensor> {
+        // Width of this layer's activations (all shards share the model,
+        // so shard 0's layer stack is authoritative).
+        let width = self.plan.spec(0).layers[layer].bias.cols();
+        let sources = self.plan.halo_sources(shard);
+        let mut data = Vec::with_capacity(sources.len() * width);
+        for &(owner, idx) in sources {
+            let export = &exports[owner as usize];
+            if idx as usize >= export.rows() || export.cols() != width {
+                return Err(protocol(format!(
+                    "shard {owner}: export {idx} out of range of {:?}",
+                    export.shape()
+                )));
+            }
+            data.extend_from_slice(export.row(idx as usize));
+        }
+        self.stats
+            .halo_rows
+            .fetch_add(sources.len() as u64, Ordering::SeqCst);
+        let halo = Tensor::from_vec(sources.len(), width, data).map_err(ShardError::Nn)?;
+        Ok(halo)
+    }
+
+    /// Drives the layer lockstep: `RunLayer` each shard, reassemble
+    /// per-shard halo tensors via the plan's halo-source map, `Advance`,
+    /// repeat — caching every export layer so a later respawn can replay a
+    /// single shard. A mid-pass respawn restarts the whole (deterministic)
+    /// pass from layer 0; `RunLayer{0}` resets every worker's state.
+    fn run_full_forward(&self, state: &mut RouterState) -> std::result::Result<(), Outage> {
+        let k = self.plan.shards();
+        let num_layers = self.plan.num_layers();
+        'restart: loop {
+            let mut cache: Vec<Vec<Tensor>> = Vec::with_capacity(num_layers);
+            for layer in 0..num_layers {
+                let mut exports = Vec::with_capacity(k);
+                for shard in 0..k {
+                    match self.rpc(
+                        state,
+                        shard,
+                        &ShardRequest::RunLayer {
+                            layer: layer as u32,
+                        },
+                    ) {
+                        Ok(ShardReply::LayerDone { exports: e }) => exports.push(e),
+                        Ok(other) => {
+                            return Err(Outage::Fatal(protocol(format!(
+                                "shard {shard}: expected LayerDone, got {other:?}"
+                            ))))
+                        }
+                        Err(RpcFail::Fatal(e)) => return Err(Outage::Fatal(e)),
+                        Err(RpcFail::Respawn) => {
+                            self.respawn(state, shard)?;
+                            continue 'restart;
+                        }
+                    }
+                }
+                if layer + 1 < num_layers {
+                    for shard in 0..k {
+                        let halo = self
+                            .halo_for(shard, layer, &exports)
+                            .map_err(Outage::Fatal)?;
+                        match self.rpc(state, shard, &ShardRequest::Advance { halo }) {
+                            Ok(ShardReply::Advanced) => {}
+                            Ok(other) => {
+                                return Err(Outage::Fatal(protocol(format!(
+                                    "shard {shard}: expected Advanced, got {other:?}"
+                                ))))
+                            }
+                            Err(RpcFail::Fatal(e)) => return Err(Outage::Fatal(e)),
+                            Err(RpcFail::Respawn) => {
+                                self.respawn(state, shard)?;
+                                continue 'restart;
+                            }
+                        }
+                    }
+                }
+                cache.push(exports);
+            }
+            state.exports_cache = cache;
+            return Ok(());
+        }
+    }
+
+    /// Tears the fabric down and flips the model to the local fallback:
+    /// sever every connection, reap every worker (never leak a child),
+    /// drop the export cache, raise [`ShardHealth::Degraded`].
+    fn degrade(&self, state: &mut RouterState) {
+        state.degraded = true;
+        self.stats.degraded.store(true, Ordering::SeqCst);
+        for conn in &state.conns {
+            conn.shutdown_both();
+        }
+        state.conns.clear();
+        for worker in state.workers.drain(..) {
+            reap(worker);
+        }
+        state.exports_cache.clear();
+    }
+
+    /// Gracefully stops every worker: closes the recovery gate (no new
+    /// respawn cycles), says `Shutdown`/`Bye` over the wire, then joins
+    /// threads / waits on child processes — **every** worker is reaped,
+    /// goodbye failures notwithstanding. Idempotent; also run (best
     /// effort) on drop.
     ///
     /// # Errors
     ///
-    /// The first wire or protocol error met while saying goodbye — workers
-    /// are still joined in that case.
-    pub fn shutdown(&self) -> Result<()> {
+    /// None today — per-shard goodbye failures are returned in the
+    /// [`ShutdownReport`] instead of short-circuiting the teardown.
+    pub fn shutdown(&self) -> Result<ShutdownReport> {
+        self.gate.close();
         let mut state = self.state.lock_unpoisoned();
         if state.shut_down {
-            return Ok(());
+            return Ok(ShutdownReport::default());
         }
         state.shut_down = true;
-        let mut first_err: Option<ServeError> = None;
-        for (shard, conn) in state.conns.iter_mut().enumerate() {
-            let result =
-                send(conn, &ShardRequest::Shutdown, &self.stats).and_then(|()| {
-                    match recv(conn, shard as u32, &self.stats)? {
-                        ShardReply::Bye => Ok(()),
-                        other => Err(protocol(format!(
-                            "shard {shard}: expected Bye, got {other:?}"
-                        ))),
-                    }
-                });
-            if let (Err(e), None) = (result, &first_err) {
-                first_err = Some(e);
+        let mut outcomes = Vec::with_capacity(state.workers.len());
+        let conns = std::mem::take(&mut state.conns);
+        for (shard, mut conn) in conns.into_iter().enumerate() {
+            let goodbye = send(&mut conn, &ShardRequest::Shutdown, &self.stats).and_then(|()| {
+                match recv(&mut conn, shard as u32, &self.stats)? {
+                    ShardReply::Bye => Ok(()),
+                    other => Err(protocol(format!(
+                        "shard {shard}: expected Bye, got {other:?}"
+                    ))),
+                }
+            });
+            outcomes.push(ShardShutdownOutcome {
+                shard,
+                error: goodbye.err().map(|e| e.to_string()),
+                reaped: false,
+            });
+            // A worker that missed the goodbye must still observe EOF.
+            conn.shutdown_both();
+        }
+        for (shard, worker) in state.workers.drain(..).enumerate() {
+            let reaped = reap(worker);
+            if let Some(outcome) = outcomes.get_mut(shard) {
+                outcome.reaped = reaped;
             }
         }
-        state.conns.clear();
-        for worker in state.workers.drain(..) {
-            match worker {
-                WorkerHandle::Thread(handle) => {
-                    let _ = handle.join();
-                }
-                WorkerHandle::Process(mut child) => {
-                    let _ = child.wait();
-                }
-            }
-        }
-        first_err.map_or(Ok(()), Err)
+        Ok(ShutdownReport {
+            outcomes,
+            degraded: state.degraded,
+        })
     }
 }
 
@@ -541,7 +1218,7 @@ fn protocol(context: String) -> ServeError {
 }
 
 /// Writes one frame, maintaining the transport counters.
-fn send(conn: &mut ShardConn, msg: &ShardRequest, stats: &ShardStatsAtomics) -> Result<()> {
+fn send(conn: &mut ChaosConn, msg: &ShardRequest, stats: &ShardStatsAtomics) -> Result<()> {
     let bytes = write_frame(conn, msg).map_err(ShardError::Wire)?;
     stats.frames_sent.fetch_add(1, Ordering::SeqCst);
     stats.bytes_sent.fetch_add(bytes as u64, Ordering::SeqCst);
@@ -550,7 +1227,7 @@ fn send(conn: &mut ShardConn, msg: &ShardRequest, stats: &ShardStatsAtomics) -> 
 
 /// Reads one frame, maintaining the transport counters; a worker `Err`
 /// reply is promoted to [`ShardError::Worker`].
-fn recv(conn: &mut ShardConn, shard: u32, stats: &ShardStatsAtomics) -> Result<ShardReply> {
+fn recv(conn: &mut ChaosConn, shard: u32, stats: &ShardStatsAtomics) -> Result<ShardReply> {
     let (reply, bytes): (ShardReply, usize) = read_frame(conn).map_err(ShardError::Wire)?;
     stats.frames_received.fetch_add(1, Ordering::SeqCst);
     stats
@@ -569,6 +1246,7 @@ mod tests {
     use super::*;
     use gcod_graph::{DatasetProfile, GraphGenerator};
     use gcod_nn::models::ModelConfig;
+    use gcod_shard::FaultAction;
 
     fn graph_and_model() -> (Graph, GnnModel) {
         let graph = GraphGenerator::new(17)
@@ -576,6 +1254,16 @@ mod tests {
             .expect("generate");
         let model = GnnModel::new(ModelConfig::gcn(&graph), 3).expect("model");
         (graph, model)
+    }
+
+    /// Short deadlines so drop-style faults cost milliseconds, not the
+    /// 5-second production default.
+    fn fast_policy() -> SupervisorPolicy {
+        SupervisorPolicy {
+            rpc_timeout_ms: 250,
+            heartbeat_timeout_ms: 250,
+            ..SupervisorPolicy::default()
+        }
     }
 
     #[test]
@@ -616,6 +1304,8 @@ mod tests {
             after_launch.halo_nodes * (sharded.plan().num_layers() as u64 - 1),
             "every halo slot is refreshed between consecutive layers"
         );
+        assert_eq!(after.health, ShardHealth::Healthy);
+        assert_eq!(after.retries + after.respawns + after.fallbacks, 0);
 
         // Second call hits the worker-side cache: no RunLayer/Advance, only
         // one Gather round-trip to the owning shard.
@@ -631,8 +1321,11 @@ mod tests {
         let (graph, model) = graph_and_model();
         let sharded =
             ShardedModel::launch("m", &graph, &model, &ShardOptions::new(2)).expect("launch");
-        sharded.shutdown().expect("first");
-        sharded.shutdown().expect("second");
+        let report = sharded.shutdown().expect("first");
+        assert!(report.is_clean(), "clean fabric says goodbye cleanly");
+        assert_eq!(report.outcomes.len(), 2);
+        let second = sharded.shutdown().expect("second");
+        assert!(second.outcomes.is_empty(), "idempotent second shutdown");
         assert!(matches!(
             sharded.forward_rows(&[0]),
             Err(ServeError::Shard(ShardError::Protocol { .. }))
@@ -660,5 +1353,207 @@ mod tests {
             ShardedModel::launch("m", &graph, &model, &ShardOptions::new(10_000)),
             Err(ServeError::Shard(ShardError::InvalidConfig { .. }))
         ));
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected_and_retried_bit_identically() {
+        let (graph, model) = graph_and_model();
+        let nodes: Vec<usize> = vec![0, 7, 3, 119, 7, 64];
+        let expected = model.forward_rows(&graph, &nodes).expect("oracle");
+        // Shard 0, 2nd sent frame = RunLayer{0} (Load was the 1st); shard 1,
+        // 3rd received frame = its first LayerDone (after Hello + Loaded).
+        let faults = FaultPlan::new().with(0, 2, FaultAction::CorruptSend).with(
+            1,
+            3,
+            FaultAction::CorruptRecv,
+        );
+        let options = ShardOptions::new(2)
+            .with_faults(faults)
+            .with_policy(fast_policy());
+        let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
+        let got = sharded.forward_rows(&nodes).expect("forward");
+        assert_eq!(
+            got.data(),
+            expected.data(),
+            "recovery must be bit-identical"
+        );
+        let stats = sharded.stats();
+        assert!(
+            stats.checksum_rejects >= 2,
+            "both corruptions caught by CRC"
+        );
+        assert!(stats.retries >= 2, "both RPCs retried in place");
+        assert_eq!(stats.respawns, 0, "rejects never cost a respawn");
+        assert_eq!(stats.health, ShardHealth::Healthy);
+        sharded.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn dropped_frame_is_probed_and_retried() {
+        let (graph, model) = graph_and_model();
+        let nodes: Vec<usize> = (0..20).collect();
+        let expected = model.forward_rows(&graph, &nodes).expect("oracle");
+        // Swallow shard 1's first RunLayer: the router times out, probes
+        // Ping/Pong, and reissues on the still-synchronised stream.
+        let faults = FaultPlan::new().with(1, 2, FaultAction::DropSend);
+        let options = ShardOptions::new(2)
+            .with_faults(faults)
+            .with_policy(fast_policy());
+        let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
+        let got = sharded.forward_rows(&nodes).expect("forward");
+        assert_eq!(got.data(), expected.data());
+        let stats = sharded.stats();
+        assert!(stats.retries >= 1);
+        assert_eq!(stats.health, ShardHealth::Healthy);
+        sharded.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn killed_worker_respawns_and_recovers_bit_identically() {
+        let (graph, model) = graph_and_model();
+        let nodes: Vec<usize> = (0..120).collect();
+        let expected = model.forward_rows(&graph, &nodes).expect("oracle");
+        let options = ShardOptions::new(2).with_policy(fast_policy());
+        let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
+        assert_eq!(
+            sharded.forward_rows(&nodes).expect("warm forward").data(),
+            expected.data()
+        );
+        // Steady-state kill: the next Gather detects the dead worker, the
+        // supervisor respawns and replays it from the export cache.
+        sharded.kill_worker(1).expect("kill");
+        let got = sharded.forward_rows(&nodes).expect("recovered forward");
+        assert_eq!(got.data(), expected.data(), "post-respawn answer diverged");
+        let stats = sharded.stats();
+        assert_eq!(stats.respawns, 1);
+        assert_eq!(stats.health, ShardHealth::Healthy);
+        assert_eq!(stats.forward_passes, 1, "replay is not a new full pass");
+        sharded.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn scripted_mid_forward_kill_restarts_the_pass() {
+        let (graph, model) = graph_and_model();
+        let nodes: Vec<usize> = (0..60).collect();
+        let expected = model.forward_rows(&graph, &nodes).expect("oracle");
+        // Kill shard 0 right before its 2nd supervised RPC — mid first
+        // forward, between RunLayer{0} and Advance.
+        let faults = FaultPlan::new().with(0, 2, FaultAction::KillWorker);
+        let options = ShardOptions::new(2)
+            .with_faults(faults)
+            .with_policy(fast_policy());
+        let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
+        let got = sharded.forward_rows(&nodes).expect("forward");
+        assert_eq!(got.data(), expected.data());
+        let stats = sharded.stats();
+        assert!(stats.respawns >= 1);
+        assert_eq!(stats.health, ShardHealth::Healthy);
+        sharded.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn exhausted_respawn_budget_degrades_to_local_fallback() {
+        let (graph, model) = graph_and_model();
+        let nodes: Vec<usize> = vec![3, 50, 119, 3];
+        let expected = model.forward_rows(&graph, &nodes).expect("oracle");
+        let policy = SupervisorPolicy {
+            respawn_budget: 0,
+            ..fast_policy()
+        };
+        let options = ShardOptions::new(2).with_policy(policy);
+        let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
+        sharded.kill_worker(0).expect("kill");
+        let got = sharded.forward_rows(&nodes).expect("fallback forward");
+        assert_eq!(
+            got.data(),
+            expected.data(),
+            "fallback must be bit-identical"
+        );
+        assert!(sharded.is_degraded());
+        let stats = sharded.stats();
+        assert_eq!(stats.health, ShardHealth::Degraded);
+        assert!(stats.fallbacks >= 1);
+        // Later requests keep resolving from the cached local logits.
+        let again = sharded.forward_rows(&nodes).expect("degraded steady state");
+        assert_eq!(again.data(), expected.data());
+        let report = sharded.shutdown().expect("shutdown");
+        assert!(report.degraded);
+        assert!(report.outcomes.is_empty(), "fabric already reaped");
+    }
+
+    #[test]
+    fn shutdown_reports_outcomes_and_reaps_a_pre_killed_worker() {
+        let (graph, model) = graph_and_model();
+        let sharded = ShardedModel::launch(
+            "m",
+            &graph,
+            &model,
+            &ShardOptions::new(2).with_policy(fast_policy()),
+        )
+        .expect("launch");
+        sharded.forward_rows(&[0]).expect("forward");
+        // Kill one worker, then shut down without any intervening request:
+        // the goodbye to shard 0 fails, but every worker is still reaped.
+        sharded.kill_worker(0).expect("kill");
+        let report = sharded.shutdown().expect("shutdown");
+        assert_eq!(report.outcomes.len(), 2);
+        assert!(
+            report.outcomes[0].error.is_some(),
+            "dead shard's goodbye must surface an error"
+        );
+        assert!(report.outcomes[0].reaped, "dead worker still reaped");
+        assert!(report.outcomes[1].error.is_none());
+        assert!(report.outcomes[1].reaped);
+    }
+
+    #[test]
+    fn seeded_fault_sweep_recovers_bit_identically() {
+        let (graph, model) = graph_and_model();
+        let nodes: Vec<usize> = (0..120).step_by(3).collect();
+        let expected = model.forward_rows(&graph, &nodes).expect("oracle");
+        for k in [2usize, 4] {
+            for seed in [1u64, 7, 23] {
+                let options = ShardOptions::new(k)
+                    .with_faults(FaultPlan::seeded(seed, k as u32, 4))
+                    .with_policy(fast_policy());
+                let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
+                let got = sharded.forward_rows(&nodes).expect("forward");
+                assert_eq!(
+                    got.data(),
+                    expected.data(),
+                    "k={k} seed={seed} recovery diverged"
+                );
+                sharded.shutdown().expect("shutdown");
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_env_parse_defaults_and_overrides() {
+        assert_eq!(shard_timeout_ms(None), 5_000);
+        assert_eq!(shard_timeout_ms(Some("250")), 250);
+        assert_eq!(shard_timeout_ms(Some(" 250 ")), 250);
+        assert_eq!(shard_timeout_ms(Some("0")), 5_000);
+        assert_eq!(shard_timeout_ms(Some("junk")), 5_000);
+    }
+
+    #[test]
+    fn merge_takes_worst_health_and_sums_counters() {
+        let mut a = ShardTransportStats {
+            retries: 1,
+            checksum_rejects: 2,
+            ..ShardTransportStats::default()
+        };
+        let b = ShardTransportStats {
+            retries: 2,
+            respawns: 1,
+            health: ShardHealth::Degraded,
+            ..ShardTransportStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.respawns, 1);
+        assert_eq!(a.checksum_rejects, 2);
+        assert_eq!(a.health, ShardHealth::Degraded);
     }
 }

@@ -66,6 +66,15 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 fn io_err(context: &str, e: std::io::Error) -> WireError {
+    // Expired read/write deadlines surface as `WouldBlock` (unix sockets)
+    // or `TimedOut` (TCP); both mean "deadline passed", not "transport
+    // broken", and get their own typed variant so callers can probe the
+    // peer instead of tearing the connection down unconditionally.
+    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+        return WireError::TimedOut {
+            context: format!("{context}: {e}"),
+        };
+    }
     WireError::Io {
         context: format!("{context}: {e}"),
     }

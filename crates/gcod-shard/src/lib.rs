@@ -15,6 +15,10 @@
 //! * [`proto`] — the shard control messages ([`ShardRequest`] /
 //!   [`ShardReply`]) and the self-contained [`ShardSpec`],
 //! * [`transport`] — Unix-domain sockets with a TCP loopback fallback,
+//!   with per-connection read/write deadlines,
+//! * [`fault`] — deterministic, [`FaultPlan`]-scripted fault injection
+//!   ([`ChaosConn`] drops/delays/truncates/corrupts scripted frames) so
+//!   the supervisor's recovery paths are tested, not hoped for,
 //! * [`plan`] — [`ShardPlan`]: partition the graph, slice propagation
 //!   rows, build the halo-exchange routing map,
 //! * [`worker`] — the [`ShardWorker`] state machine plus the socket loop
@@ -38,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 mod error;
+pub mod fault;
 pub mod frame;
 pub mod plan;
 pub mod proto;
@@ -46,6 +51,7 @@ pub mod wire;
 pub mod worker;
 
 pub use error::{Result, ShardError};
+pub use fault::{ChaosConn, FaultAction, FaultEntry, FaultPlan};
 pub use frame::{crc32, read_frame, write_frame, MAX_FRAME_LEN, PROTOCOL_VERSION};
 pub use plan::{ShardPlan, ShardPlanConfig};
 pub use proto::{ShardReply, ShardRequest, ShardSpec};

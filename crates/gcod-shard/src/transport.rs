@@ -11,6 +11,7 @@ use std::fmt;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -221,6 +222,52 @@ impl ShardConn {
                 Ok(ShardConn::Tcp(stream))
             }
         }
+    }
+
+    /// Sets (or clears, with `None`) the read deadline: a blocked read
+    /// returns an error the frame layer maps to
+    /// [`WireError::TimedOut`](crate::WireError::TimedOut) once the
+    /// duration elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Spawn`] when the OS rejects
+    /// the option (e.g. a zero duration).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<()> {
+        match self {
+            #[cfg(unix)]
+            ShardConn::Uds(s) => s.set_read_timeout(timeout),
+            ShardConn::Tcp(s) => s.set_read_timeout(timeout),
+        }
+        .map_err(|e| spawn_err("set read timeout", e))
+    }
+
+    /// Sets (or clears, with `None`) the write deadline; see
+    /// [`set_read_timeout`](ShardConn::set_read_timeout).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Spawn`] when the OS rejects
+    /// the option.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> Result<()> {
+        match self {
+            #[cfg(unix)]
+            ShardConn::Uds(s) => s.set_write_timeout(timeout),
+            ShardConn::Tcp(s) => s.set_write_timeout(timeout),
+        }
+        .map_err(|e| spawn_err("set write timeout", e))
+    }
+
+    /// Severs both directions of the connection immediately. The peer's
+    /// next read observes EOF; used by the chaos harness to simulate a
+    /// crash at a scripted frame, and by the supervisor to fence off a
+    /// worker it is about to respawn.
+    pub fn shutdown_both(&self) {
+        let _ = match self {
+            #[cfg(unix)]
+            ShardConn::Uds(s) => s.shutdown(std::net::Shutdown::Both),
+            ShardConn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
     }
 }
 

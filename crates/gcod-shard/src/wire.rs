@@ -84,6 +84,16 @@ pub enum WireError {
     },
     /// The peer closed the connection cleanly between frames.
     Closed,
+    /// A socket read/write deadline expired before the frame completed.
+    ///
+    /// Distinct from [`WireError::Io`] so supervisors can tell a wedged
+    /// (but possibly alive) peer from a broken transport: after a timeout
+    /// the stream may hold a partially transferred frame, so the safe
+    /// recovery is a heartbeat probe and, failing that, a reconnect.
+    TimedOut {
+        /// What the caller was doing when the deadline expired.
+        context: String,
+    },
     /// An I/O error from the underlying socket.
     Io {
         /// Stringified `std::io::Error`.
@@ -116,6 +126,9 @@ impl fmt::Display for WireError {
             }
             WireError::Malformed { context } => write!(f, "malformed wire data: {context}"),
             WireError::Closed => write!(f, "peer closed the connection"),
+            WireError::TimedOut { context } => {
+                write!(f, "socket deadline expired: {context}")
+            }
             WireError::Io { context } => write!(f, "socket i/o error: {context}"),
         }
     }

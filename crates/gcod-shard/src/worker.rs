@@ -198,6 +198,13 @@ impl ShardWorker {
 /// Serve one connection until `Shutdown` or the peer hangs up.
 ///
 /// Sends `Hello{shard_id}` first, then answers one reply per request.
+///
+/// Frame-level decode failures (a corrupt body caught by the CRC, an
+/// unknown tag, trailing bytes, ...) do **not** kill the worker: the
+/// length prefix already consumed the damaged frame, so the byte stream is
+/// still in sync and the worker answers [`ShardReply::Err`] and keeps
+/// serving — the router retries the idempotent RPC. Only a broken
+/// transport (`Io`) is fatal; a clean `Closed` is a normal exit.
 pub fn run(mut conn: ShardConn, shard_id: u32) -> Result<()> {
     write_frame(&mut conn, &ShardReply::Hello { shard: shard_id })?;
     let mut worker = ShardWorker::new();
@@ -205,7 +212,22 @@ pub fn run(mut conn: ShardConn, shard_id: u32) -> Result<()> {
         let request: ShardRequest = match read_frame(&mut conn) {
             Ok((req, _)) => req,
             Err(WireError::Closed) => return Ok(()),
-            Err(e) => return Err(ShardError::Wire(e)),
+            // A timed-out or broken read may have left a partial frame on
+            // the stream — no way back into sync, so exit.
+            Err(e @ (WireError::Io { .. } | WireError::TimedOut { .. })) => {
+                return Err(ShardError::Wire(e))
+            }
+            Err(recoverable) => {
+                // The frame was fully consumed before decoding failed, so
+                // the stream stays framed; report and continue serving.
+                write_frame(
+                    &mut conn,
+                    &ShardReply::Err {
+                        message: format!("bad frame: {recoverable}"),
+                    },
+                )?;
+                continue;
+            }
         };
         let shutdown = request == ShardRequest::Shutdown;
         let reply = worker.handle(request);

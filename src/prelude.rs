@@ -41,8 +41,9 @@ pub use gcod_baselines::{suite, PlatformSpec};
 
 pub use gcod_serve::{
     Backend, Classification, Handle, PerfPrediction, ServeError, ServeRequest, ServeResponse,
-    ServedModel, Server, ServerConfig, ServerStats, ShardOptions, ShardTransportStats,
-    ShardedModel, SpawnMode, Ticket,
+    ServedModel, Server, ServerConfig, ServerStats, ShardHealth, ShardOptions,
+    ShardShutdownOutcome, ShardTransportStats, ShardedModel, ShutdownReport, SpawnMode,
+    SupervisorPolicy, Ticket,
 };
 
-pub use gcod_shard::{ShardPlan, ShardPlanConfig, TransportKind};
+pub use gcod_shard::{FaultAction, FaultPlan, ShardPlan, ShardPlanConfig, TransportKind};

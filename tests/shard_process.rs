@@ -82,3 +82,134 @@ fn sharded_server_end_to_end_over_processes() {
     assert_eq!(stats.shard.shards, 2);
     assert!(stats.shard.frames_sent > 0);
 }
+
+/// Short supervisor deadlines so scripted drops cost milliseconds, not the
+/// 5-second production default.
+fn fast_policy() -> SupervisorPolicy {
+    SupervisorPolicy {
+        rpc_timeout_ms: 300,
+        heartbeat_timeout_ms: 300,
+        ..SupervisorPolicy::default()
+    }
+}
+
+#[test]
+fn sigkilled_worker_process_recovers_bit_identically_mid_request() {
+    let (graph, model) = workloads().remove(0);
+    let nodes: Vec<usize> = (0..graph.num_nodes()).collect();
+    let expected = model.forward_rows(&graph, &nodes).expect("oracle");
+    let options = ShardOptions::new(2)
+        .with_worker_bin(worker_bin())
+        .with_policy(fast_policy());
+    let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
+    assert_eq!(
+        sharded.forward_rows(&nodes).expect("warm forward").data(),
+        expected.data()
+    );
+    // SIGKILL a real OS worker; the next request's Gather hits the corpse
+    // and must come back through respawn + replay, bit-identical.
+    sharded.kill_worker(0).expect("kill");
+    let got = sharded.forward_rows(&nodes).expect("recovered forward");
+    assert_eq!(got.data(), expected.data(), "post-SIGKILL answer diverged");
+    let stats = sharded.stats();
+    assert!(stats.respawns >= 1);
+    assert_eq!(stats.health, ShardHealth::Healthy);
+    assert_eq!(stats.forward_passes, 1, "replay is not a new full pass");
+    let report = sharded.shutdown().expect("shutdown");
+    assert!(report.is_clean(), "respawned fabric shuts down cleanly");
+}
+
+#[test]
+fn scripted_kill_between_layers_recovers_bit_identically() {
+    let (graph, model) = workloads().remove(0);
+    let nodes: Vec<usize> = (0..graph.num_nodes()).step_by(2).collect();
+    let expected = model.forward_rows(&graph, &nodes).expect("oracle");
+    // Kill shard 1 right before its 2nd supervised RPC — mid first forward,
+    // between RunLayer{0} and the layer-boundary Advance.
+    let options = ShardOptions::new(2)
+        .with_worker_bin(worker_bin())
+        .with_policy(fast_policy())
+        .with_faults(FaultPlan::new().with(1, 2, FaultAction::KillWorker));
+    let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
+    let got = sharded.forward_rows(&nodes).expect("forward");
+    assert_eq!(got.data(), expected.data(), "mid-forward kill diverged");
+    let stats = sharded.stats();
+    assert!(stats.respawns >= 1);
+    assert_eq!(stats.health, ShardHealth::Healthy);
+    sharded.shutdown().expect("shutdown");
+}
+
+#[test]
+fn seeded_fault_sweep_over_worker_processes() {
+    let (graph, model) = workloads().remove(0);
+    let nodes: Vec<usize> = (0..graph.num_nodes()).step_by(3).collect();
+    let expected = model.forward_rows(&graph, &nodes).expect("oracle");
+    for k in [2usize, 4] {
+        for seed in [3u64, 11] {
+            let options = ShardOptions::new(k)
+                .with_worker_bin(worker_bin())
+                .with_policy(fast_policy())
+                .with_faults(FaultPlan::seeded(seed, k as u32, 4));
+            let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
+            let got = sharded.forward_rows(&nodes).expect("forward");
+            assert_eq!(
+                got.data(),
+                expected.data(),
+                "k={k} seed={seed} process-mode recovery diverged"
+            );
+            sharded.shutdown().expect("shutdown");
+        }
+    }
+}
+
+#[test]
+fn exhausted_budget_degrades_to_local_fallback_over_processes() {
+    let (graph, model) = workloads().remove(0);
+    let nodes: Vec<usize> = vec![1, 42, 42, 100];
+    let expected = model.forward_rows(&graph, &nodes).expect("oracle");
+    let options = ShardOptions::new(2)
+        .with_worker_bin(worker_bin())
+        .with_policy(SupervisorPolicy {
+            respawn_budget: 0,
+            ..fast_policy()
+        });
+    let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
+    sharded.kill_worker(1).expect("kill");
+    let got = sharded.forward_rows(&nodes).expect("fallback forward");
+    assert_eq!(
+        got.data(),
+        expected.data(),
+        "fallback must be bit-identical"
+    );
+    assert!(sharded.is_degraded());
+    let stats = sharded.stats();
+    assert_eq!(stats.health, ShardHealth::Degraded);
+    assert!(stats.fallbacks >= 1);
+    let report = sharded.shutdown().expect("shutdown");
+    assert!(report.degraded);
+    assert!(
+        report.outcomes.is_empty(),
+        "degradation already reaped the fabric"
+    );
+}
+
+#[test]
+fn shutdown_reports_outcomes_and_reaps_a_sigkilled_worker() {
+    let (graph, model) = workloads().remove(0);
+    let options = ShardOptions::new(2)
+        .with_worker_bin(worker_bin())
+        .with_policy(fast_policy());
+    let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
+    sharded.forward_rows(&[0]).expect("forward");
+    sharded.kill_worker(0).expect("kill");
+    let report = sharded.shutdown().expect("shutdown");
+    assert_eq!(report.outcomes.len(), 2);
+    assert!(
+        report.outcomes[0].error.is_some(),
+        "dead shard's goodbye must surface an error"
+    );
+    assert!(
+        report.outcomes.iter().all(|o| o.reaped),
+        "every child waited on, SIGKILL notwithstanding"
+    );
+}
