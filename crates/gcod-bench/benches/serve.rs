@@ -20,12 +20,13 @@
 //! `cargo bench --bench serve -- --test`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcod_bench::load;
 use gcod_bench::sweeps::{
     serve_classify_request, serve_recover_iteration, serve_recover_model, serve_server,
     SERVE_BATCH_SIZES, SERVE_MODEL_NAME, SERVE_RECOVER_SHARDS,
 };
 use gcod_runtime::Pool;
-use gcod_serve::ServeRequest;
+use gcod_serve::{ServeRequest, SubmitOptions};
 
 fn bench_serve(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve");
@@ -37,7 +38,10 @@ fn bench_serve(c: &mut Criterion) {
                 let tickets: Vec<_> = (0..batch)
                     .map(|i| {
                         handle
-                            .submit_blocking(serve_classify_request(i))
+                            .submit(
+                                serve_classify_request(i),
+                                SubmitOptions::default().blocking(),
+                            )
                             .expect("server is live")
                     })
                     .collect();
@@ -55,7 +59,10 @@ fn bench_serve(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("route-auto", 1usize), &1usize, |b, _| {
         b.iter(|| {
             handle
-                .submit_blocking(ServeRequest::predict_perf(SERVE_MODEL_NAME))
+                .submit(
+                    ServeRequest::predict_perf(SERVE_MODEL_NAME),
+                    SubmitOptions::default().blocking(),
+                )
                 .expect("server is live")
                 .wait()
                 .expect("routing succeeds")
@@ -86,6 +93,9 @@ fn bench_serve(c: &mut Criterion) {
 /// Renders the recorded medians as JSON by hand (the vendored serde shim has
 /// no serializer). The worker count is resolved **once** via the global pool
 /// and reused for every row — the same resolution the execution path uses.
+/// The open-loop tail-latency sweep ([`gcod_bench::load`]) is appended so a
+/// regenerated `BENCH_serve.json` keeps the committed `open-p50`/`open-p99`/
+/// `open-p999` rows the gate checks.
 fn render_summary(c: &Criterion) -> String {
     let resolved_workers = Pool::global().workers();
     let mut entries = Vec::new();
@@ -109,6 +119,8 @@ fn render_summary(c: &Criterion) -> String {
              \"resolved_workers\": {resolved_workers}}}"
         ));
     }
+    let open_loop = load::sweep_open_loop(load::OPEN_LOOP_LOADS, load::OPEN_LOOP_REQUESTS, 7);
+    entries.extend(load::open_loop_summary_rows(&open_loop, resolved_workers));
     format!("[\n{}\n]\n", entries.join(",\n"))
 }
 

@@ -32,7 +32,7 @@
 //! bench_gate`.
 
 use gcod_bench::gate::{compare, parse_bench_rows, tolerance_from_env, Direction, GateOutcome};
-use gcod_bench::sweeps;
+use gcod_bench::{load, sweeps};
 use std::path::PathBuf;
 
 /// Timed samples per sweep case.
@@ -113,6 +113,12 @@ fn main() {
     let mut serve = sweeps::smoke_serve_medians(samples);
     println!("re-measuring serving recover-kill case...");
     serve.extend(sweeps::smoke_serve_recover_medians(samples));
+    println!("re-measuring open-loop tail-latency sweep...");
+    serve.extend(load::open_loop_gate_rows(&load::sweep_open_loop(
+        load::OPEN_LOOP_LOADS,
+        load::OPEN_LOOP_REQUESTS,
+        7,
+    )));
     println!("re-measuring sharded-serving sweep...");
     let shard = sweeps::smoke_shard_medians(samples);
     println!("re-measuring quantized-inference sweep...");

@@ -1,0 +1,108 @@
+//! CI smoke driver and row generator for the open-loop serving load
+//! generator ([`gcod_bench::load`]).
+//!
+//! Default (smoke) mode runs a tiny Poisson sweep and asserts the
+//! serving-layer invariants the reactor guarantees:
+//!
+//! * **zero lost tickets** — every accepted submission resolves (the
+//!   drain-on-shutdown contract, observed end-to-end under load);
+//! * **count conservation** — offered = completed + rejected + lost;
+//! * **monotone quantiles** — p50 ≤ p99 ≤ p999 per offered load.
+//!
+//! `--rows` mode runs the full committed sweep ([`load::OPEN_LOOP_LOADS`] ×
+//! [`load::OPEN_LOOP_REQUESTS`] requests) and prints the
+//! `BENCH_serve.json`-shaped open-loop rows, ready to append to the
+//! committed file (the `bench_gate` binary then re-measures and gates
+//! them like every other serve row).
+//!
+//! Exits non-zero on any violated invariant.
+
+use gcod_bench::load::{self, OpenLoopReport};
+use gcod_runtime::Pool;
+
+fn check_invariants(report: &OpenLoopReport) -> Result<(), String> {
+    let label = format!("load {:.0} rps", report.offered_rps);
+    if report.lost != 0 {
+        return Err(format!(
+            "{label}: {} lost tickets — accepted submissions must always resolve",
+            report.lost
+        ));
+    }
+    let accounted = report.histogram.count() + report.rejected + report.lost;
+    if report.offered != accounted {
+        return Err(format!(
+            "{label}: offered {} != completed {} + rejected {} + lost {}",
+            report.offered,
+            report.histogram.count(),
+            report.rejected,
+            report.lost
+        ));
+    }
+    let p50 = report.quantile_ns(0.50);
+    let p99 = report.quantile_ns(0.99);
+    let p999 = report.quantile_ns(0.999);
+    if !(p50 <= p99 && p99 <= p999) {
+        return Err(format!(
+            "{label}: quantiles not monotone (p50={p50} p99={p99} p999={p999})"
+        ));
+    }
+    if report.histogram.count() > 0 && p50 == 0 {
+        return Err(format!("{label}: completed requests but a zero p50"));
+    }
+    Ok(())
+}
+
+fn print_report(report: &OpenLoopReport) {
+    println!(
+        "  {:>6.0} rps offered | {:>4} completed {:>3} rejected {:>2} lost | \
+         achieved {:>7.1} rps | p50 {:>9} ns  p99 {:>9} ns  p999 {:>9} ns",
+        report.offered_rps,
+        report.histogram.count(),
+        report.rejected,
+        report.lost,
+        report.achieved_rps,
+        report.quantile_ns(0.50),
+        report.quantile_ns(0.99),
+        report.quantile_ns(0.999),
+    );
+}
+
+fn main() {
+    let rows_mode = std::env::args().any(|a| a == "--rows");
+    let (loads, requests): (&[f64], usize) = if rows_mode {
+        (load::OPEN_LOOP_LOADS, load::OPEN_LOOP_REQUESTS)
+    } else {
+        // Smoke: small enough for CI, large enough that the tail buckets
+        // are populated and a lost wakeup would be caught.
+        (&[200.0, 1500.0], 60)
+    };
+
+    println!(
+        "open-loop load harness: {} loads x {requests} requests (seed 7)",
+        loads.len()
+    );
+    let reports = load::sweep_open_loop(loads, requests, 7);
+    let mut failures = Vec::new();
+    for report in &reports {
+        print_report(report);
+        if let Err(message) = check_invariants(report) {
+            failures.push(message);
+        }
+    }
+
+    if rows_mode {
+        println!("\nBENCH_serve.json open-loop rows:");
+        for row in load::open_loop_summary_rows(&reports, Pool::global().workers()) {
+            println!("{row},");
+        }
+    }
+
+    if failures.is_empty() {
+        println!("load harness: all invariants hold");
+    } else {
+        for failure in &failures {
+            eprintln!("load harness FAILURE: {failure}");
+        }
+        std::process::exit(1);
+    }
+}

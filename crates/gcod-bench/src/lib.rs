@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod load;
 pub mod sweeps;
 
 use gcod::{Experiment, SuiteRequests};

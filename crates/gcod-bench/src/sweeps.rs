@@ -16,7 +16,8 @@ use gcod_nn::sparse_ops::spmm_csc;
 use gcod_nn::train::{TrainConfig, Trainer};
 use gcod_nn::Tensor;
 use gcod_serve::{
-    ServeRequest, ServedModel, Server, ServerConfig, ShardOptions, ShardedModel, SupervisorPolicy,
+    ServeRequest, ServedModel, Server, ServerConfig, ShardOptions, ShardedModel, SubmitOptions,
+    SupervisorPolicy,
 };
 use gcod_shard::{ShardPlan, ShardPlanConfig};
 use std::time::Instant;
@@ -287,7 +288,10 @@ pub fn smoke_serve_medians(samples: usize) -> Vec<(String, f64)> {
             let tickets: Vec<_> = (0..batch)
                 .map(|i| {
                     handle
-                        .submit_blocking(serve_classify_request(i))
+                        .submit(
+                            serve_classify_request(i),
+                            SubmitOptions::default().blocking(),
+                        )
                         .expect("server is live")
                 })
                 .collect();
@@ -309,7 +313,10 @@ pub fn smoke_serve_medians(samples: usize) -> Vec<(String, f64)> {
     let handle = serve_server(1).spawn();
     let route = || {
         handle
-            .submit_blocking(ServeRequest::predict_perf(SERVE_MODEL_NAME))
+            .submit(
+                ServeRequest::predict_perf(SERVE_MODEL_NAME),
+                SubmitOptions::default().blocking(),
+            )
             .expect("server is live")
             .wait()
             .expect("routing succeeds")

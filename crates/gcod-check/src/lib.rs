@@ -28,6 +28,11 @@
 //! |                      | convenience or a bug                                               |
 //! | `condvar-wait-while` | every `Condvar::wait`/`wait_timeout` sits inside a `while`/`loop`  |
 //! |                      | that re-checks its predicate — never an `if`                       |
+//! | `reactor-notify-one` | no `notify_one` in reactor modules (file stem containing           |
+//! |                      | `reactor`) — reactor waiters are heterogeneous (dispatcher,        |
+//! |                      | pausers, event polls) and multiplex distinct event masks on one    |
+//! |                      | condvar, so `notify_one` can wake the wrong class and lose the     |
+//! |                      | wakeup the model checker proves impossible with `notify_all`       |
 //!
 //! Each lint has an annotation escape hatch, placed on the offending line or
 //! the line directly above, with a mandatory non-empty reason:
@@ -60,6 +65,7 @@ pub const LINT_HASH: &str = "hash-container";
 pub const LINT_WALL_CLOCK: &str = "wall-clock";
 pub const LINT_SLEEP: &str = "thread-sleep";
 pub const LINT_CONDVAR: &str = "condvar-wait-while";
+pub const LINT_NOTIFY: &str = "reactor-notify-one";
 
 /// One lint violation: `file:line: [lint] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,20 +89,27 @@ impl fmt::Display for Finding {
 /// Which crate-scoped lints apply to a file. `safety-comment`,
 /// `thread-sleep`, and `condvar-wait-while` are unconditional; the other
 /// three are policy decisions scoped to the crates where the invariant is
-/// load-bearing.
+/// load-bearing. `reactor_discipline` is *module*-scoped rather than
+/// crate-scoped: it follows the file stem (see [`is_reactor_module`]), so
+/// [`LintScope::STRICT`] leaves it off and [`lint_file`]/[`lint_tree`]
+/// derive it from the path.
 #[derive(Debug, Clone, Copy)]
 pub struct LintScope {
     pub no_unwrap: bool,
     pub hash_container: bool,
     pub wall_clock: bool,
+    pub reactor_discipline: bool,
 }
 
 impl LintScope {
-    /// Every lint enabled — used for explicitly-passed files and fixtures.
+    /// Every crate-scoped lint enabled — used for explicitly-passed files
+    /// and fixtures (the module-scoped `reactor-notify-one` still follows
+    /// the file stem).
     pub const STRICT: LintScope = LintScope {
         no_unwrap: true,
         hash_container: true,
         wall_clock: true,
+        reactor_discipline: false,
     };
 
     /// Crate-scoped applicability, derived from the path's
@@ -118,8 +131,18 @@ impl LintScope {
                     | "gcod-shard"
                     | "gcod-serve"
             ),
+            reactor_discipline: is_reactor_module(path),
         }
     }
+}
+
+/// Is this a reactor module — a file whose stem contains `reactor`
+/// (`reactor.rs`, `model_reactor.rs`, ...)? Scopes the condvar-discipline
+/// extension `reactor-notify-one`: inside a reactor, waiters of different
+/// classes multiplex one condvar, so only `notify_all` is sound.
+pub fn is_reactor_module(path: &Path) -> bool {
+    path.file_stem()
+        .is_some_and(|stem| stem.to_string_lossy().contains("reactor"))
 }
 
 fn crate_of(path: &Path) -> Option<String> {
@@ -456,6 +479,16 @@ pub fn lint_source(file_label: &str, source: &str, scope: LintScope) -> Vec<Find
                 "`thread::sleep` in library code — wait on a condition, not the clock".to_string(),
             );
         }
+        if scope.reactor_discipline && line_text.contains(".notify_one(") {
+            push(
+                line,
+                LINT_NOTIFY,
+                "`notify_one` in a reactor module — heterogeneous waiter classes \
+                 share the condvar, so a single wakeup can land on the wrong \
+                 class and be lost; use `notify_all`"
+                    .to_string(),
+            );
+        }
     }
 
     // Structure-scoped lints: a single pass tracking brace frames.
@@ -684,9 +717,14 @@ fn safety_comment_nearby(raw_lines: &[&str], line: usize) -> bool {
     false
 }
 
-/// Lints one on-disk file.
+/// Lints one on-disk file. The module-scoped `reactor-notify-one` lint is
+/// derived from the file name on top of the passed crate scope.
 pub fn lint_file(path: &Path, scope: LintScope) -> io::Result<Vec<Finding>> {
     let source = fs::read_to_string(path)?;
+    let scope = LintScope {
+        reactor_discipline: scope.reactor_discipline || is_reactor_module(path),
+        ..scope
+    };
     Ok(lint_source(&path.display().to_string(), &source, scope))
 }
 
@@ -815,6 +853,31 @@ mod tests {
         // `Latch::wait()` / `Ticket::wait()` take no guard — never flagged.
         let src = "fn f(t: &Ticket) { t.wait(); }";
         assert!(lint_source("x.rs", src, LintScope::STRICT).is_empty());
+    }
+
+    #[test]
+    fn notify_one_fires_only_under_reactor_discipline() {
+        let src = "fn raise(cv: &Condvar) { cv.notify_one(); }";
+        let reactor_scope = LintScope {
+            reactor_discipline: true,
+            ..LintScope::STRICT
+        };
+        let findings = lint_source("reactor.rs", src, reactor_scope);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, LINT_NOTIFY);
+        assert!(
+            lint_source("server.rs", src, LintScope::STRICT).is_empty(),
+            "outside reactor modules notify_one is a legitimate single-waiter handoff"
+        );
+        let all = "fn raise(cv: &Condvar) { cv.notify_all(); }";
+        assert!(lint_source("reactor.rs", all, reactor_scope).is_empty());
+    }
+
+    #[test]
+    fn reactor_module_detection_follows_the_file_stem() {
+        assert!(is_reactor_module(Path::new("crates/x/src/reactor.rs")));
+        assert!(is_reactor_module(Path::new("tests/model_reactor.rs")));
+        assert!(!is_reactor_module(Path::new("crates/x/src/server.rs")));
     }
 
     #[test]

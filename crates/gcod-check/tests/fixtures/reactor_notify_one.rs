@@ -1,0 +1,10 @@
+//! Seeded violation: `notify_one` inside a reactor module (the file stem
+//! scopes the lint) — heterogeneous waiters share the condvar.
+
+use std::sync::{Condvar, Mutex};
+
+pub fn raise(lock: &Mutex<u64>, changed: &Condvar) {
+    let mut bits = lock.lock().unwrap_or_else(|e| e.into_inner());
+    *bits |= 1;
+    changed.notify_one();
+}

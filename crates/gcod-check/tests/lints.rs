@@ -6,8 +6,8 @@ use std::path::PathBuf;
 use std::process::Command;
 
 use gcod_check::{
-    lint_file, LintScope, LINT_CONDVAR, LINT_HASH, LINT_SAFETY, LINT_SLEEP, LINT_UNWRAP,
-    LINT_WALL_CLOCK,
+    lint_file, LintScope, LINT_CONDVAR, LINT_HASH, LINT_NOTIFY, LINT_SAFETY, LINT_SLEEP,
+    LINT_UNWRAP, LINT_WALL_CLOCK,
 };
 
 fn fixture(name: &str) -> PathBuf {
@@ -61,6 +61,11 @@ fn condvar_fixture_fires_on_wait_under_if() {
 }
 
 #[test]
+fn reactor_notify_one_fixture_fires_via_the_file_stem() {
+    assert_eq!(findings_of("reactor_notify_one.rs"), vec![(9, LINT_NOTIFY)]);
+}
+
+#[test]
 fn clean_fixture_is_silent() {
     assert_eq!(findings_of("clean.rs"), vec![]);
 }
@@ -91,6 +96,7 @@ fn cli_exits_zero_on_tree_and_nonzero_on_violations() {
         "wall_clock.rs",
         "thread_sleep.rs",
         "condvar_wait_if.rs",
+        "reactor_notify_one.rs",
     ] {
         let status = Command::new(bin)
             .arg("lint")

@@ -49,9 +49,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod queue;
+pub mod reactor;
 pub mod sync;
 
 pub use queue::{PopTimeout, PushError, SyncQueue};
+pub use reactor::{Event, Reactor, Wake, Waker};
 
 use crate::sync::{thread::JoinHandle, Condvar, Mutex};
 use std::cell::Cell;

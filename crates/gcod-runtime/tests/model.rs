@@ -19,7 +19,7 @@ use std::time::Duration;
 
 use gcod_runtime::sync::model::{self, Model};
 use gcod_runtime::sync::{thread, Condvar, Mutex};
-use gcod_runtime::{Latch, Pool, PopTimeout, SyncQueue};
+use gcod_runtime::{Latch, Pool, PopTimeout, Reactor, SyncQueue};
 
 /// Every schedule of two producers racing one consumer must hand both items
 /// over — a lost wakeup would strand the consumer in `pop` and show up as a
@@ -214,6 +214,110 @@ fn pool_run_and_shutdown_never_hang() {
         pool.run(tasks);
         assert_eq!(counter.load(Ordering::SeqCst), 2);
         drop(pool); // close the feed, join the worker — must not hang
+    });
+}
+
+/// A raise racing the consumer's block must be observed on every schedule —
+/// the sticky event mask is exactly the mechanism that closes the classic
+/// check-then-sleep window, and a lost raise would strand the consumer in
+/// `wait` (reported as a deadlock by the scheduler).
+#[test]
+fn reactor_raise_is_never_lost() {
+    let model = Model {
+        max_preemptions: 4,
+        ..Model::default()
+    };
+    let report = model.check("reactor-raise-wait", || {
+        let reactor = Reactor::new();
+        let producers: Vec<_> = [1u64, 2]
+            .into_iter()
+            .map(|bit| {
+                let waker = reactor.waker(1 << bit);
+                thread::spawn_named(&format!("raiser-{bit}"), move || waker.wake())
+            })
+            .collect();
+        // Two raises may coalesce into one wake or arrive as two; either
+        // way both bits must be seen, and neither wait may hang.
+        let mut seen = 0u64;
+        while seen != (1 << 1) | (1 << 2) {
+            let wake = reactor.wait();
+            assert!(!wake.closed, "nobody closed the reactor");
+            assert_ne!(wake.events, 0, "an open reactor only wakes for events");
+            seen |= wake.events;
+        }
+        for producer in producers {
+            producer.join().expect("producer ran to completion");
+        }
+    });
+    assert!(
+        report.interleavings >= 100,
+        "expected a meaningful exploration, got {} interleavings",
+        report.interleavings
+    );
+}
+
+/// `close()` racing a raise must wake a blocked consumer on every schedule
+/// and never swallow the raised bit: the final wake carries the close flag,
+/// and the bit is observed either with it or before it.
+#[test]
+fn reactor_close_wakes_consumer_without_dropping_events() {
+    let model = Model {
+        max_preemptions: 4,
+        ..Model::default()
+    };
+    let report = model.check("reactor-close-vs-raise", || {
+        let reactor = Reactor::new();
+        let raiser = {
+            let waker = reactor.waker(1);
+            thread::spawn_named("raiser", move || waker.wake())
+        };
+        let closer = {
+            let reactor = reactor.clone();
+            thread::spawn_named("closer", move || reactor.close())
+        };
+        let mut seen = 0u64;
+        loop {
+            let wake = reactor.wait();
+            seen |= wake.events;
+            if wake.closed {
+                break;
+            }
+        }
+        // The close delivered. Once the raiser has finished, its bit must
+        // be accounted for — seen before the close or still sticky after it.
+        raiser.join().expect("raiser ran to completion");
+        closer.join().expect("closer ran to completion");
+        seen |= reactor.try_wait().events;
+        assert_eq!(seen, 1, "the raised bit survived the close race");
+    });
+    assert!(
+        report.interleavings >= 100,
+        "expected a meaningful exploration, got {} interleavings",
+        report.interleavings
+    );
+}
+
+/// `Reactor::wait_timeout` must resolve on every schedule — with the bit
+/// when the raiser won, `timed_out` when the timeout fired first — and never
+/// hang.
+#[test]
+fn reactor_wait_timeout_always_resolves() {
+    model::check("reactor-wait-timeout", || {
+        let reactor = Reactor::new();
+        let raiser = {
+            let waker = reactor.waker(1);
+            thread::spawn_named("raiser", move || waker.wake())
+        };
+        let wake = reactor.wait_timeout(Duration::from_millis(1));
+        assert!(!wake.closed, "nobody closed the reactor");
+        raiser.join().expect("raiser ran to completion");
+        // After the join the raise has happened; if the timed wait missed
+        // it, the sticky mask still holds it.
+        if wake.timed_out {
+            assert_eq!(reactor.try_wait().events, 1);
+        } else {
+            assert_eq!(wake.events, 1);
+        }
     });
 }
 

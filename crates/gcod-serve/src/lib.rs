@@ -18,20 +18,30 @@
 //!   and dispatching to the cheapest (or an explicitly named) platform
 //!   model.
 //!
+//! The dispatcher is **event-driven**: submissions, control changes
+//! (pause/resume/shutdown) and shard worker-recovery events raise sticky
+//! bits on a [`gcod_runtime::Reactor`], and the dispatcher blocks in
+//! `Reactor::wait` whenever the queue runs dry — there is no polling
+//! interval anywhere in the serving path. Batching is **deadline-aware**:
+//! each fused pass is sized so the oldest queued deadline survives it
+//! (given the observed per-request service time), and submissions whose
+//! deadline would expire waiting for the backlog are shed at the door with
+//! [`RejectReason::Overloaded`].
+//!
 //! The client surface is synchronous-client + handle-based async-style:
 //! [`Server::spawn`] starts the dispatcher and returns a cloneable
-//! [`Handle`]; [`Handle::submit`] enqueues onto a **bounded** queue
-//! (rejecting with [`ServeError::QueueFull`] backpressure when loaded, or
-//! blocking via [`Handle::submit_blocking`]) and returns a [`Ticket`];
-//! [`Ticket::wait`] blocks for the response. Requests may carry deadlines
-//! ([`Handle::submit_with_deadline`]); [`Handle::shutdown`] (or dropping the
-//! last handle) drains and resolves every accepted ticket before the
-//! dispatcher exits.
+//! [`Handle`]; [`Handle::submit`] takes the request plus [`SubmitOptions`]
+//! (deadline, full-queue policy), enqueues onto a **bounded** queue and
+//! returns a [`Ticket`]; [`Ticket::wait`] blocks for the response. All
+//! admission failures surface as [`ServeError::Rejected`] carrying a
+//! [`RejectReason`]. [`Handle::shutdown`] (or dropping the last handle)
+//! drains and resolves every accepted ticket before the dispatcher exits.
 //!
 //! ```
 //! use gcod_graph::{DatasetProfile, GraphGenerator};
 //! use gcod_nn::models::{GnnModel, ModelConfig};
-//! use gcod_serve::{ServedModel, ServeRequest, Server};
+//! use gcod_serve::{ServedModel, ServeRequest, Server, SubmitOptions};
+//! use std::time::Duration;
 //!
 //! # fn main() -> gcod_serve::Result<()> {
 //! let graph = GraphGenerator::new(1)
@@ -41,7 +51,10 @@
 //! let server = Server::new().register(ServedModel::new("demo-gcn", graph, model));
 //!
 //! let handle = server.spawn();
-//! let ticket = handle.submit(ServeRequest::classify("demo-gcn", vec![0, 5, 2]))?;
+//! let ticket = handle.submit(
+//!     ServeRequest::classify("demo-gcn", vec![0, 5, 2]),
+//!     SubmitOptions::default().deadline(Duration::from_secs(5)),
+//! )?;
 //! let response = ticket.wait()?;
 //! assert_eq!(response.as_classification().unwrap().classes.len(), 3);
 //! handle.shutdown();
@@ -61,10 +74,10 @@ mod shard;
 mod ticket;
 mod wire_impls;
 
-pub use error::{Result, ServeError};
+pub use error::{RejectReason, Result, ServeError};
 pub use model::ServedModel;
 pub use request::{Backend, Classification, PerfPrediction, ServeRequest, ServeResponse};
-pub use server::{Handle, Server, ServerConfig, ServerStats};
+pub use server::{Handle, Server, ServerConfig, ServerStats, SubmitOptions};
 pub use shard::{
     ShardHealth, ShardOptions, ShardShutdownOutcome, ShardTransportStats, ShardedModel,
     ShutdownReport, SpawnMode, SupervisorPolicy,

@@ -1,23 +1,33 @@
-//! The serving engine: a bounded submission queue feeding a batcher that
-//! coalesces compatible requests into fused forward passes, plus the
-//! cost-scored backend router for perf predictions.
+//! The serving engine: an event-driven reactor dispatching a bounded
+//! submission queue into deadline-aware fused batches, plus the cost-scored
+//! backend router for perf predictions.
 //!
 //! ```text
-//! clients ──submit──▶ SyncQueue (bounded; Full = backpressure)
-//!                        │ pop (dispatcher thread)
-//!                        ▼
-//!                    batcher: deadline triage → group by served model
-//!                        │                         │
-//!                        ▼                         ▼
-//!                  fused forward_rows       Platform cost router
-//!                  (CPU kernel path on      (cheapest / named
-//!                   the gcod-runtime pool)   accelerator model)
-//!                        │                         │
-//!                        └────────▶ Ticket.fulfill ◀┘
+//! clients ──submit(SubmitOptions)──▶ SyncQueue (bounded; Full/Overloaded = backpressure)
+//!              │ raise(EV_SUBMIT)        │ try_pop (dispatcher thread)
+//!              ▼                         ▼
+//!          Reactor ◀─EV_CONTROL── pause/resume/shutdown
+//!          (sticky  ◀─EV_RECOVERY─ shard supervisor (worker respawned)
+//!           event
+//!           bits)   batcher: deadline triage → group by served model
+//!              │         → adaptive fusion window (oldest deadline ÷
+//!              ▼           observed service time)     │
+//!        wait() blocks only      │                    ▼
+//!        when queue empty        ▼              Platform cost router
+//!        and nothing raised  fused forward_rows (cheapest / named
+//!                            per window          accelerator model)
+//!                                │                    │
+//!                                └──▶ Ticket.fulfill ◀┘
 //! ```
+//!
+//! The dispatcher never polls: it pops greedily, and when the queue is
+//! empty it blocks in [`gcod_runtime::Reactor::wait`] until a submission,
+//! control change, or worker-recovery event raises a sticky bit. The wakeup
+//! protocol (and the drain-on-shutdown contract: every accepted ticket
+//! resolves) is model-checked in `tests/model_reactor.rs`.
 
-use crate::batch::{group_in_arrival_order, split_stacked};
-use crate::error::{Result, ServeError};
+use crate::batch::{adaptive_max_batch, group_in_arrival_order, split_stacked};
+use crate::error::{RejectReason, Result, ServeError};
 use crate::model::ServedModel;
 use crate::request::{Backend, Classification, PerfPrediction, ServeRequest, ServeResponse};
 use crate::shard::{ShardStatsAtomics, ShardTransportStats, ShardedModel};
@@ -27,25 +37,32 @@ use gcod_nn::Tensor;
 use gcod_platform::{cheapest_platform, Platform};
 use gcod_runtime::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use gcod_runtime::sync::{thread, Condvar, Mutex};
-use gcod_runtime::{PopTimeout, PushError, SyncQueue};
+use gcod_runtime::{PushError, Reactor, SyncQueue, Wake};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Reactor bit: a submission was pushed onto the queue.
+const EV_SUBMIT: u64 = 1 << 0;
+/// Reactor bit: a control flag (pause/resume) changed.
+const EV_CONTROL: u64 = 1 << 1;
+/// Reactor bit: a shard supervisor finished a recovery transition
+/// (worker respawned or the model degraded to its local fallback).
+const EV_RECOVERY: u64 = 1 << 2;
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Capacity of the bounded submission queue; a full queue rejects
-    /// submissions with [`ServeError::QueueFull`] (backpressure).
+    /// submissions with [`RejectReason::QueueFull`] (backpressure).
     pub queue_capacity: usize,
-    /// Most requests one fused batch may coalesce.
+    /// Most requests one fused batch may coalesce. Deadline-carrying
+    /// traffic may fuse fewer (see [`ServerStats::est_request_ns`]); never
+    /// more.
     pub max_batch: usize,
     /// Deadline applied to submissions that carry none (`None` = requests
     /// never expire).
     pub default_deadline: Option<Duration>,
-    /// How often the idle dispatcher re-checks its control flags (pause,
-    /// shutdown). Purely a liveness knob; it never affects results.
-    pub poll_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -54,7 +71,6 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             max_batch: 32,
             default_deadline: None,
-            poll_interval: Duration::from_millis(10),
         }
     }
 }
@@ -64,8 +80,12 @@ impl Default for ServerConfig {
 pub struct ServerStats {
     /// Submissions accepted into the queue.
     pub submitted: u64,
-    /// Submissions rejected with queue-full backpressure.
+    /// Submissions rejected at the door (queue-full backpressure plus
+    /// overload shedding).
     pub rejected: u64,
+    /// Of the rejected, those shed by admission control: the deadline would
+    /// have expired waiting for the backlog ([`RejectReason::Overloaded`]).
+    pub shed: u64,
     /// Accepted requests whose deadline expired before execution.
     pub expired: u64,
     /// Requests completed successfully.
@@ -76,6 +96,13 @@ pub struct ServerStats {
     pub batches: u64,
     /// Largest number of requests fused into one forward pass so far.
     pub largest_batch: usize,
+    /// Worker-recovery events the reactor observed (a shard supervisor
+    /// respawned a dead worker or degraded to the local fallback).
+    pub worker_events: u64,
+    /// Running estimate of per-request fused service time in nanoseconds
+    /// (EWMA over successful fused passes; 0 until the first pass). This is
+    /// the signal adaptive batching and overload shedding act on.
+    pub est_request_ns: u64,
     /// Shard-transport counters, aggregated over every sharded model the
     /// server owns (all zeros when nothing is sharded).
     pub shard: ShardTransportStats,
@@ -93,11 +120,14 @@ struct Submission {
 struct Stats {
     submitted: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
     expired: AtomicU64,
     completed_ok: AtomicU64,
     completed_err: AtomicU64,
     batches: AtomicU64,
     largest_batch: AtomicUsize,
+    worker_events: AtomicU64,
+    est_request_ns: AtomicU64,
 }
 
 impl Stats {
@@ -105,11 +135,14 @@ impl Stats {
         ServerStats {
             submitted: self.submitted.load(Ordering::SeqCst),
             rejected: self.rejected.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
             expired: self.expired.load(Ordering::SeqCst),
             completed_ok: self.completed_ok.load(Ordering::SeqCst),
             completed_err: self.completed_err.load(Ordering::SeqCst),
             batches: self.batches.load(Ordering::SeqCst),
             largest_batch: self.largest_batch.load(Ordering::SeqCst),
+            worker_events: self.worker_events.load(Ordering::SeqCst),
+            est_request_ns: self.est_request_ns.load(Ordering::SeqCst),
             shard: ShardTransportStats::default(),
         }
     }
@@ -125,6 +158,10 @@ struct ControlState {
 /// State shared between client handles and the dispatcher thread.
 struct Shared {
     queue: SyncQueue<Submission>,
+    /// The wakeup hub: submissions, control changes and worker-recovery
+    /// events raise sticky bits here; the dispatcher blocks in
+    /// [`Reactor::wait`] instead of polling.
+    reactor: Reactor,
     control: Mutex<ControlState>,
     control_changed: Condvar,
     stats: Stats,
@@ -134,13 +171,13 @@ struct Shared {
     next_id: AtomicU64,
     queue_capacity: usize,
     default_deadline: Option<Duration>,
-    poll_interval: Duration,
 }
 
 impl Shared {
     fn new(config: &ServerConfig, shard_stats: Vec<Arc<ShardStatsAtomics>>) -> Self {
         Self {
             queue: SyncQueue::bounded(config.queue_capacity),
+            reactor: Reactor::new(),
             control: Mutex::new(ControlState {
                 paused: false,
                 parked: false,
@@ -151,7 +188,6 @@ impl Shared {
             next_id: AtomicU64::new(0),
             queue_capacity: config.queue_capacity.max(1),
             default_deadline: config.default_deadline,
-            poll_interval: config.poll_interval,
         }
     }
 
@@ -164,23 +200,50 @@ impl Shared {
         stats
     }
 
-    /// Parks the dispatcher while paused; returns when unpaused or when the
-    /// queue is closed (shutdown must always reach the drain).
-    fn wait_while_paused(&self) {
-        let mut control = self.control.lock_unpoisoned();
-        while control.paused && !self.queue.is_closed() {
-            if !control.parked {
-                control.parked = true;
-                self.control_changed.notify_all();
-            }
-            // Timed wait so a close() issued without a control notification
-            // still wakes the parked dispatcher promptly.
-            let (guard, _) = self
-                .control_changed
-                .wait_timeout(control, self.poll_interval);
-            control = guard;
+    /// Folds a reactor wakeup's event bits into the counters.
+    fn record_wake(&self, wake: &Wake) {
+        if wake.has(EV_RECOVERY) {
+            self.stats.worker_events.fetch_add(1, Ordering::SeqCst);
         }
-        control.parked = false;
+    }
+
+    /// Parks the dispatcher while paused; returns when unpaused or when the
+    /// reactor is closed (shutdown must always reach the drain). The park
+    /// itself blocks in [`Reactor::wait`] — no timed polling — relying on
+    /// `resume`/`shutdown` raising `EV_CONTROL`/closing the reactor.
+    fn park_while_paused(&self) {
+        loop {
+            {
+                let mut control = self.control.lock_unpoisoned();
+                if !control.paused || self.reactor.is_closed() {
+                    control.parked = false;
+                    return;
+                }
+                if !control.parked {
+                    control.parked = true;
+                    self.control_changed.notify_all();
+                }
+            }
+            let wake = self.reactor.wait();
+            self.record_wake(&wake);
+        }
+    }
+
+    /// Folds one successful fused pass into the per-request service-time
+    /// estimate (EWMA, ~4-pass horizon). Only the dispatcher writes, so the
+    /// load/store pair needs no compare-and-swap; clamped to ≥ 1 ns because
+    /// 0 means "nothing measured yet".
+    fn observe_service_time(&self, elapsed: Duration, members: usize) {
+        let sample = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX) / members.max(1) as u64;
+        let prev = self.stats.est_request_ns.load(Ordering::SeqCst);
+        let next = if prev == 0 {
+            sample
+        } else {
+            (prev.saturating_mul(3).saturating_add(sample)) / 4
+        };
+        self.stats
+            .est_request_ns
+            .store(next.max(1), Ordering::SeqCst);
     }
 }
 
@@ -283,8 +346,10 @@ impl Server {
     /// [`ServeError::NoEligibleBackend`].
     #[must_use]
     pub fn register_sharded(mut self, model: ShardedModel) -> Self {
-        self.models
-            .insert(model.name().to_string(), ModelEntry::Sharded(Box::new(model)));
+        self.models.insert(
+            model.name().to_string(),
+            ModelEntry::Sharded(Box::new(model)),
+        );
         self
     }
 
@@ -340,6 +405,13 @@ impl Server {
             })
             .collect();
         let shared = Arc::new(Shared::new(&self.config, shard_stats));
+        // Worker death is a routine scheduling event: every shard
+        // supervisor pings the reactor when a recovery transition completes.
+        for entry in self.models.values() {
+            if let ModelEntry::Sharded(m) = entry {
+                m.set_recovery_waker(shared.reactor.waker(EV_RECOVERY));
+            }
+        }
         let dispatcher_shared = Arc::clone(&shared);
         let thread = thread::spawn_named("gcod-serve-dispatcher", move || {
             self.dispatcher_loop(&dispatcher_shared)
@@ -405,15 +477,30 @@ impl Server {
         }
     }
 
+    /// The reactor loop: pop greedily; when the queue runs dry, block in
+    /// [`Reactor::wait`] until something is raised. Termination is decided
+    /// on the *queue's* closed flag (which shutdown sets before closing the
+    /// reactor): once the queue is closed no push can succeed, so observing
+    /// closed-and-empty proves every accepted submission has been executed
+    /// — the graceful-drain contract.
     fn dispatcher_loop(self, shared: &Shared) {
         loop {
-            shared.wait_while_paused();
-            let first = match shared.queue.pop_timeout(shared.poll_interval) {
-                PopTimeout::Item(submission) => submission,
-                PopTimeout::TimedOut => continue,
-                // Closed and fully drained: every accepted ticket has been
-                // resolved — the graceful-shutdown contract.
-                PopTimeout::Closed => break,
+            shared.park_while_paused();
+            let first = match shared.queue.try_pop() {
+                Some(submission) => submission,
+                None => {
+                    if shared.queue.is_closed() {
+                        if shared.queue.is_empty() {
+                            break;
+                        }
+                        // A submission raced in between our pop and the
+                        // close; go around and pop it normally.
+                        continue;
+                    }
+                    let wake = shared.reactor.wait();
+                    shared.record_wake(&wake);
+                    continue;
+                }
             };
             let mut pending = vec![first];
             while pending.len() < self.config.max_batch.max(1) {
@@ -428,7 +515,8 @@ impl Server {
     }
 
     /// Executes one dispatcher batch: deadline triage, then perf requests
-    /// individually and classification requests fused per served model.
+    /// individually and classification requests fused per served model, in
+    /// fusion windows sized by the oldest deadline in each group.
     fn execute_pending(&self, shared: &Shared, pending: Vec<Submission>) {
         // gcod-check: allow(wall-clock) — request-deadline triage is real elapsed time by definition; simulated time lives in gcod-platform.
         let now = Instant::now();
@@ -440,7 +528,7 @@ impl Server {
                 finish(
                     shared,
                     submission.completion,
-                    Err(ServeError::DeadlineExpired),
+                    Err(ServeError::Rejected(RejectReason::DeadlineExpired)),
                 );
                 continue;
             }
@@ -455,11 +543,27 @@ impl Server {
         }
         let groups = group_in_arrival_order(classify, |s| s.request.model().to_string());
         for (model_name, members) in groups {
-            self.execute_classify_group(shared, &model_name, members);
+            // Adaptive fusion window: one fused pass may carry only as many
+            // members as the group's *oldest* deadline can absorb at the
+            // observed per-request service time — mixed fast/slow traffic
+            // must not convoy behind one maximal pass. Without deadlines or
+            // without an estimate the window is the configured max, which
+            // is what keeps this bit-identical to fixed-batch execution.
+            let slack_ns = members.iter().filter_map(|m| m.deadline).min().map(|d| {
+                u64::try_from(d.saturating_duration_since(now).as_nanos()).unwrap_or(u64::MAX)
+            });
+            let est = shared.stats.est_request_ns.load(Ordering::SeqCst);
+            let window = adaptive_max_batch(self.config.max_batch, slack_ns, est);
+            let mut members = members;
+            while !members.is_empty() {
+                let rest = members.split_off(window.min(members.len()));
+                self.execute_classify_group(shared, &model_name, members);
+                members = rest;
+            }
         }
     }
 
-    /// Runs one coalesced classification group as a single fused forward
+    /// Runs one coalesced classification window as a single fused forward
     /// pass, splitting the stacked logits back out per member. Falls back to
     /// per-member execution when the fused pass fails (e.g. one member holds
     /// an out-of-range node index) so a bad request cannot poison its batch
@@ -487,11 +591,14 @@ impl Server {
             .collect();
         let lens: Vec<usize> = member_nodes.iter().map(Vec::len).collect();
         let stacked_nodes: Vec<usize> = member_nodes.iter().flatten().copied().collect();
+        // gcod-check: allow(wall-clock) — service-time observation feeds the adaptive-batching estimate.
+        let started = Instant::now();
         let fused = entry
             .forward_rows(&stacked_nodes)
             .and_then(|stacked| split_stacked(&stacked, &lens).map_err(ServeError::from));
         match fused {
             Ok(pieces) => {
+                shared.observe_service_time(started.elapsed(), members.len());
                 for ((member, nodes), logits) in members.into_iter().zip(member_nodes).zip(pieces) {
                     let response = ServeResponse::Classification(Classification {
                         model: entry.name().to_string(),
@@ -543,9 +650,14 @@ struct Joiner {
 
 impl Joiner {
     fn shutdown_and_join(&self) {
-        // Closing the queue rejects new submissions, lets the dispatcher
-        // drain the backlog, and breaks any pause.
+        // Order matters: close the queue first (rejects new submissions,
+        // keeps the backlog poppable — the dispatcher's termination proof
+        // relies on queue-closed preceding reactor-closed), then close the
+        // reactor (wakes a blocked dispatcher), then clear any pause under
+        // the control lock so a parked dispatcher and a blocked
+        // `Handle::pause` both observe the shutdown.
         self.shared.queue.close();
+        self.shared.reactor.close();
         {
             let mut control = self.shared.control.lock_unpoisoned();
             control.paused = false;
@@ -561,6 +673,66 @@ impl Joiner {
 impl Drop for Joiner {
     fn drop(&mut self) {
         self.shutdown_and_join();
+    }
+}
+
+/// Per-submission options of [`Handle::submit`]: an optional deadline and
+/// the full-queue policy, builder-style.
+///
+/// ```
+/// use gcod_serve::SubmitOptions;
+/// use std::time::Duration;
+///
+/// // Fire-and-forget, server defaults:
+/// let _ = SubmitOptions::default();
+/// // Must answer within 250ms, and wait for a queue slot rather than
+/// // bounce on backpressure:
+/// let _ = SubmitOptions::default()
+///     .deadline(Duration::from_millis(250))
+///     .blocking();
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    deadline: Option<Duration>,
+    blocking: bool,
+}
+
+impl SubmitOptions {
+    /// The default options: no explicit deadline (the server's
+    /// `default_deadline` applies), non-blocking submission.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requires an answer within `within` of submission; requests still
+    /// queued when the deadline passes resolve with
+    /// [`RejectReason::DeadlineExpired`] instead of executing, and the
+    /// deadline participates in overload shedding and adaptive batching.
+    #[must_use]
+    pub fn deadline(mut self, within: Duration) -> Self {
+        self.deadline = Some(within);
+        self
+    }
+
+    /// Blocks the submitting thread while the queue is full instead of
+    /// rejecting with [`RejectReason::QueueFull`].
+    #[must_use]
+    pub fn blocking(mut self) -> Self {
+        self.blocking = true;
+        self
+    }
+
+    /// The requested deadline, if any.
+    #[must_use]
+    pub fn deadline_within(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Whether a full queue blocks instead of rejecting.
+    #[must_use]
+    pub fn is_blocking(&self) -> bool {
+        self.blocking
     }
 }
 
@@ -586,55 +758,50 @@ impl std::fmt::Debug for Handle {
 }
 
 impl Handle {
-    /// Submits a request without blocking, applying the server's default
-    /// deadline (if any).
+    /// Submits a request under `options` and returns its [`Ticket`].
+    ///
+    /// This is the single submission surface: `SubmitOptions::default()`
+    /// submits without blocking under the server's default deadline;
+    /// [`SubmitOptions::deadline`] attaches a per-request deadline;
+    /// [`SubmitOptions::blocking`] waits for a queue slot instead of
+    /// bouncing on backpressure.
     ///
     /// # Errors
     ///
-    /// [`ServeError::QueueFull`] when the bounded queue is at capacity
-    /// (backpressure — nothing was enqueued), [`ServeError::ShuttingDown`]
-    /// after shutdown began.
-    pub fn submit(&self, request: ServeRequest) -> Result<Ticket> {
-        self.submit_inner(request, self.shared.default_deadline, false)
-    }
-
-    /// Submits a request with an explicit deadline measured from now;
-    /// requests still queued when it passes resolve with
-    /// [`ServeError::DeadlineExpired`] instead of executing.
+    /// All admission failures surface as [`ServeError::Rejected`]:
     ///
-    /// # Errors
-    ///
-    /// As [`submit`](Handle::submit).
-    pub fn submit_with_deadline(&self, request: ServeRequest, within: Duration) -> Result<Ticket> {
-        self.submit_inner(request, Some(within), false)
-    }
-
-    /// Submits a request, blocking while the queue is full instead of
-    /// reporting backpressure.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::ShuttingDown`] when the server shuts down before a
-    /// queue slot frees up.
-    pub fn submit_blocking(&self, request: ServeRequest) -> Result<Ticket> {
-        self.submit_inner(request, self.shared.default_deadline, true)
-    }
-
-    fn submit_inner(
-        &self,
-        request: ServeRequest,
-        deadline: Option<Duration>,
-        blocking: bool,
-    ) -> Result<Ticket> {
+    /// * [`RejectReason::QueueFull`] — the bounded queue is at capacity and
+    ///   the options are non-blocking (nothing was enqueued),
+    /// * [`RejectReason::Overloaded`] — the deadline would expire waiting
+    ///   for the current backlog at the observed service time (shed at the
+    ///   door instead of doing doomed work),
+    /// * [`RejectReason::ShuttingDown`] — shutdown has begun.
+    pub fn submit(&self, request: ServeRequest, options: SubmitOptions) -> Result<Ticket> {
+        let within = options.deadline_within().or(self.shared.default_deadline);
+        // Admission control: with a deadline and a warmed service-time
+        // estimate, reject work whose deadline the backlog already spends.
+        if let Some(within) = within {
+            let est = self.shared.stats.est_request_ns.load(Ordering::SeqCst);
+            if est > 0 {
+                let backlog = self.shared.queue.len() as u64 + 1;
+                let predicted = est.saturating_mul(backlog);
+                let budget = u64::try_from(within.as_nanos()).unwrap_or(u64::MAX);
+                if predicted > budget {
+                    self.shared.stats.rejected.fetch_add(1, Ordering::SeqCst);
+                    self.shared.stats.shed.fetch_add(1, Ordering::SeqCst);
+                    return Err(ServeError::Rejected(RejectReason::Overloaded));
+                }
+            }
+        }
         let id = self.shared.next_id.fetch_add(1, Ordering::SeqCst);
         let (ticket, completion) = ticket_pair(id);
         let submission = Submission {
             request,
             // gcod-check: allow(wall-clock) — client deadlines are wall-clock contracts, not simulated time.
-            deadline: deadline.map(|d| Instant::now() + d),
+            deadline: within.map(|d| Instant::now() + d),
             completion,
         };
-        let pushed = if blocking {
+        let pushed = if options.is_blocking() {
             self.shared.queue.push_blocking(submission)
         } else {
             self.shared.queue.try_push(submission)
@@ -642,16 +809,46 @@ impl Handle {
         match pushed {
             Ok(()) => {
                 self.shared.stats.submitted.fetch_add(1, Ordering::SeqCst);
+                self.shared.reactor.raise(EV_SUBMIT);
                 Ok(ticket)
             }
             Err(PushError::Full(_rejected)) => {
                 self.shared.stats.rejected.fetch_add(1, Ordering::SeqCst);
-                Err(ServeError::QueueFull {
+                Err(ServeError::Rejected(RejectReason::QueueFull {
                     capacity: self.shared.queue_capacity,
-                })
+                }))
             }
-            Err(PushError::Closed(_rejected)) => Err(ServeError::ShuttingDown),
+            Err(PushError::Closed(_rejected)) => {
+                Err(ServeError::Rejected(RejectReason::ShuttingDown))
+            }
         }
+    }
+
+    /// Submits a request with an explicit deadline measured from now.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Handle::submit).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use submit(request, SubmitOptions::default().deadline(within))"
+    )]
+    pub fn submit_with_deadline(&self, request: ServeRequest, within: Duration) -> Result<Ticket> {
+        self.submit(request, SubmitOptions::default().deadline(within))
+    }
+
+    /// Submits a request, blocking while the queue is full instead of
+    /// reporting backpressure.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Handle::submit).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use submit(request, SubmitOptions::default().blocking())"
+    )]
+    pub fn submit_blocking(&self, request: ServeRequest) -> Result<Ticket> {
+        self.submit(request, SubmitOptions::default().blocking())
     }
 
     /// Number of submissions currently queued (excluding the batch being
@@ -665,24 +862,27 @@ impl Handle {
     /// (submissions keep queueing — this is how tests and drain-style
     /// maintenance build deterministic queue states).
     pub fn pause(&self) {
+        {
+            let mut control = self.shared.control.lock_unpoisoned();
+            control.paused = true;
+        }
+        self.shared.reactor.raise(EV_CONTROL);
         let mut control = self.shared.control.lock_unpoisoned();
-        control.paused = true;
-        self.shared.control_changed.notify_all();
-        while !control.parked && !self.shared.queue.is_closed() {
-            let (guard, _) = self
-                .shared
-                .control_changed
-                .wait_timeout(control, self.shared.poll_interval);
-            control = guard;
+        while !control.parked && !self.shared.reactor.is_closed() {
+            // Untimed wait: the dispatcher notifies `control_changed` when
+            // it parks, and shutdown notifies it after closing the reactor.
+            control = self.shared.control_changed.wait(control);
         }
     }
 
     /// Resumes a paused dispatcher.
     pub fn resume(&self) {
-        let mut control = self.shared.control.lock_unpoisoned();
-        control.paused = false;
-        drop(control);
+        {
+            let mut control = self.shared.control.lock_unpoisoned();
+            control.paused = false;
+        }
         self.shared.control_changed.notify_all();
+        self.shared.reactor.raise(EV_CONTROL);
     }
 
     /// A snapshot of the server counters.
@@ -693,7 +893,7 @@ impl Handle {
     /// Shuts the server down gracefully: stops accepting submissions, drains
     /// and resolves every accepted ticket, joins the dispatcher, and returns
     /// the final counters. Idempotent; later submissions report
-    /// [`ServeError::ShuttingDown`].
+    /// [`RejectReason::ShuttingDown`].
     pub fn shutdown(&self) -> ServerStats {
         self.joiner.shutdown_and_join();
         self.shared.server_stats()
@@ -812,7 +1012,7 @@ mod tests {
         handle.pause();
         let tickets: Vec<Ticket> = requests
             .iter()
-            .map(|r| handle.submit(r.clone()).unwrap())
+            .map(|r| handle.submit(r.clone(), SubmitOptions::default()).unwrap())
             .collect();
         handle.resume();
         for (ticket, expected) in tickets.into_iter().zip(expected) {
@@ -822,6 +1022,7 @@ mod tests {
         assert_eq!(stats.submitted, 5);
         assert_eq!(stats.completed_ok, 5);
         assert!(stats.largest_batch >= 3, "alpha requests must coalesce");
+        assert!(stats.est_request_ns > 0, "fused passes warm the estimate");
     }
 
     #[test]
@@ -833,21 +1034,34 @@ mod tests {
         .spawn();
         handle.pause();
         let a = handle
-            .submit(ServeRequest::classify("alpha-gcn", vec![0]))
+            .submit(
+                ServeRequest::classify("alpha-gcn", vec![0]),
+                SubmitOptions::default(),
+            )
             .unwrap();
         let b = handle
-            .submit(ServeRequest::classify("alpha-gcn", vec![1]))
+            .submit(
+                ServeRequest::classify("alpha-gcn", vec![1]),
+                SubmitOptions::default(),
+            )
             .unwrap();
         let err = handle
-            .submit(ServeRequest::classify("alpha-gcn", vec![2]))
+            .submit(
+                ServeRequest::classify("alpha-gcn", vec![2]),
+                SubmitOptions::default(),
+            )
             .unwrap_err();
-        assert_eq!(err, ServeError::QueueFull { capacity: 2 });
+        assert_eq!(
+            err,
+            ServeError::Rejected(RejectReason::QueueFull { capacity: 2 })
+        );
         assert_eq!(handle.queue_len(), 2);
         handle.resume();
         assert!(a.wait().is_ok());
         assert!(b.wait().is_ok());
         let stats = handle.shutdown();
         assert_eq!((stats.submitted, stats.rejected), (2, 1));
+        assert_eq!(stats.shed, 0, "queue-full is not overload shedding");
     }
 
     #[test]
@@ -859,13 +1073,19 @@ mod tests {
         .spawn();
         handle.pause();
         let first = handle
-            .submit(ServeRequest::classify("beta-gcn", vec![0]))
+            .submit(
+                ServeRequest::classify("beta-gcn", vec![0]),
+                SubmitOptions::default(),
+            )
             .unwrap();
         let blocked = {
             let handle = handle.clone();
             std::thread::spawn(move || {
                 handle
-                    .submit_blocking(ServeRequest::classify("beta-gcn", vec![1]))
+                    .submit(
+                        ServeRequest::classify("beta-gcn", vec![1]),
+                        SubmitOptions::default().blocking(),
+                    )
                     .unwrap()
                     .wait()
             })
@@ -882,17 +1102,116 @@ mod tests {
         let handle = build_server(ServerConfig::default()).spawn();
         handle.pause();
         let expired = handle
-            .submit_with_deadline(ServeRequest::classify("alpha-gcn", vec![0]), Duration::ZERO)
+            .submit(
+                ServeRequest::classify("alpha-gcn", vec![0]),
+                SubmitOptions::default().deadline(Duration::ZERO),
+            )
             .unwrap();
         let alive = handle
-            .submit(ServeRequest::classify("alpha-gcn", vec![0]))
+            .submit(
+                ServeRequest::classify("alpha-gcn", vec![0]),
+                SubmitOptions::default(),
+            )
             .unwrap();
         handle.resume();
-        assert_eq!(expired.wait(), Err(ServeError::DeadlineExpired));
+        assert_eq!(
+            expired.wait(),
+            Err(ServeError::Rejected(RejectReason::DeadlineExpired))
+        );
         assert!(alive.wait().is_ok());
         let stats = handle.shutdown();
         assert_eq!(stats.expired, 1);
         assert_eq!((stats.completed_ok, stats.completed_err), (1, 1));
+    }
+
+    #[test]
+    fn warmed_estimate_sheds_doomed_deadlines_at_the_door() {
+        let handle = build_server(ServerConfig::default()).spawn();
+        handle.pause();
+        // Fake a warmed estimate: 1s per request. With one queued request,
+        // a 100ms deadline predicts 2s of wait — shed at submission.
+        let queued = handle
+            .submit(
+                ServeRequest::classify("alpha-gcn", vec![0]),
+                SubmitOptions::default(),
+            )
+            .unwrap();
+        handle
+            .shared
+            .stats
+            .est_request_ns
+            .store(1_000_000_000, Ordering::SeqCst);
+        let err = handle
+            .submit(
+                ServeRequest::classify("alpha-gcn", vec![1]),
+                SubmitOptions::default().deadline(Duration::from_millis(100)),
+            )
+            .unwrap_err();
+        assert_eq!(err, ServeError::Rejected(RejectReason::Overloaded));
+        // A generous deadline clears admission even with the backlog.
+        let generous = handle
+            .submit(
+                ServeRequest::classify("alpha-gcn", vec![1]),
+                SubmitOptions::default().deadline(Duration::from_secs(3600)),
+            )
+            .unwrap();
+        // Deadline-less submissions are never shed.
+        let free = handle
+            .submit(
+                ServeRequest::classify("alpha-gcn", vec![2]),
+                SubmitOptions::default(),
+            )
+            .unwrap();
+        handle.resume();
+        assert!(queued.wait().is_ok());
+        assert!(generous.wait().is_ok());
+        assert!(free.wait().is_ok());
+        let stats = handle.shutdown();
+        assert_eq!((stats.rejected, stats.shed), (1, 1));
+        assert_eq!(stats.completed_ok, 3);
+    }
+
+    #[test]
+    fn adaptive_window_splits_tight_deadline_groups_deterministically() {
+        let oracle = build_server(ServerConfig::default());
+        let requests: Vec<ServeRequest> = (0..4)
+            .map(|i| ServeRequest::classify("alpha-gcn", vec![i, i + 1]))
+            .collect();
+        let expected: Vec<_> = requests.iter().map(|r| oracle.serve_one(r)).collect();
+
+        let handle = build_server(ServerConfig::default()).spawn();
+        handle.pause();
+        // 10s deadlines with a faked 30s/request estimate: the fusion
+        // window is deterministically 1 (slack/est < 1 clamps to one), so
+        // the group executes as four single-member passes — and must still
+        // be bit-identical to the oracle.
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| {
+                handle
+                    .submit(
+                        r.clone(),
+                        SubmitOptions::default().deadline(Duration::from_secs(10)),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        handle
+            .shared
+            .stats
+            .est_request_ns
+            .store(30_000_000_000, Ordering::SeqCst);
+        handle.resume();
+        for (ticket, expected) in tickets.iter().zip(expected) {
+            assert_eq!(ticket.wait(), expected);
+        }
+        let stats = handle.shutdown();
+        assert_eq!(
+            stats.largest_batch, 1,
+            "tight deadlines must cap every fusion window at one"
+        );
+        assert_eq!(stats.completed_ok, 4);
+        assert_eq!(stats.batches, 1, "one dispatcher drain, four windows");
     }
 
     #[test]
@@ -901,7 +1220,7 @@ mod tests {
         handle.pause();
         let tickets: Vec<Ticket> = classify_requests()
             .into_iter()
-            .map(|r| handle.submit(r).unwrap())
+            .map(|r| handle.submit(r, SubmitOptions::default()).unwrap())
             .collect();
         // Shutdown while paused with a full backlog: the drain must still
         // execute and resolve every accepted ticket.
@@ -912,9 +1231,12 @@ mod tests {
         }
         assert_eq!(
             handle
-                .submit(ServeRequest::classify("alpha-gcn", vec![0]))
+                .submit(
+                    ServeRequest::classify("alpha-gcn", vec![0]),
+                    SubmitOptions::default()
+                )
                 .unwrap_err(),
-            ServeError::ShuttingDown
+            ServeError::Rejected(RejectReason::ShuttingDown)
         );
     }
 
@@ -927,8 +1249,8 @@ mod tests {
 
         let handle = build_server(ServerConfig::default()).spawn();
         handle.pause();
-        let good_ticket = handle.submit(good).unwrap();
-        let bad_ticket = handle.submit(bad).unwrap();
+        let good_ticket = handle.submit(good, SubmitOptions::default()).unwrap();
+        let bad_ticket = handle.submit(bad, SubmitOptions::default()).unwrap();
         handle.resume();
         assert_eq!(good_ticket.wait(), expected_good);
         assert!(matches!(bad_ticket.wait(), Err(ServeError::Nn(_))));
@@ -939,9 +1261,36 @@ mod tests {
     fn last_handle_drop_shuts_the_dispatcher_down() {
         let handle = build_server(ServerConfig::default()).spawn();
         let ticket = handle
-            .submit(ServeRequest::classify("beta-gcn", vec![0]))
+            .submit(
+                ServeRequest::classify("beta-gcn", vec![0]),
+                SubmitOptions::default(),
+            )
             .unwrap();
         drop(handle); // joins the dispatcher after the drain
         assert!(ticket.wait().is_ok());
+    }
+
+    /// The deprecated submit trio must keep working for one release; this
+    /// is its only caller in the repo.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_submit_shims_delegate_to_the_new_surface() {
+        let handle = build_server(ServerConfig::default()).spawn();
+        // Deadline shim first: the estimate is still cold, so the zero
+        // deadline reaches triage instead of being shed at admission.
+        handle.pause();
+        let expired = handle
+            .submit_with_deadline(ServeRequest::classify("alpha-gcn", vec![0]), Duration::ZERO)
+            .unwrap();
+        handle.resume();
+        assert_eq!(
+            expired.wait(),
+            Err(ServeError::Rejected(RejectReason::DeadlineExpired))
+        );
+        let blocking = handle
+            .submit_blocking(ServeRequest::classify("alpha-gcn", vec![0]))
+            .unwrap();
+        assert!(blocking.wait().is_ok());
+        handle.shutdown();
     }
 }

@@ -47,13 +47,13 @@
 //! bit-identical to the single-process `GnnModel::forward` path — pinned
 //! by `tests/shard_differential.rs` and the chaos suites.
 
-use crate::error::{Result, ServeError};
+use crate::error::{RejectReason, Result, ServeError};
 use gcod_graph::Graph;
 use gcod_nn::models::GnnModel;
 use gcod_nn::Tensor;
 use gcod_runtime::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use gcod_runtime::sync::{thread, Mutex};
-use gcod_runtime::RecoveryGate;
+use gcod_runtime::{RecoveryGate, Waker};
 use gcod_shard::{
     read_frame, write_frame, ChaosConn, FaultEntry, FaultPlan, ShardError, ShardListener,
     ShardPlan, ShardPlanConfig, ShardReply, ShardRequest, TransportKind, WireError,
@@ -485,6 +485,10 @@ pub struct ShardedModel {
     gate: RecoveryGate,
     state: Mutex<RouterState>,
     stats: Arc<ShardStatsAtomics>,
+    /// Pinged after every completed recovery transition (respawn or
+    /// degrade) so an event-driven host — the serving reactor — can observe
+    /// worker death handling without polling. `None` outside a server.
+    recovery_waker: Mutex<Option<Waker>>,
 }
 
 impl std::fmt::Debug for ShardedModel {
@@ -591,6 +595,7 @@ impl ShardedModel {
                 fallback_logits: None,
             }),
             stats,
+            recovery_waker: Mutex::new(None),
         })
     }
 
@@ -712,6 +717,20 @@ impl ShardedModel {
         Arc::clone(&self.stats)
     }
 
+    /// Registers the reactor waker the supervisor pings after every
+    /// recovery transition (worker respawned, or degraded to the local
+    /// fallback). Installed by `Server::spawn`.
+    pub(crate) fn set_recovery_waker(&self, waker: Waker) {
+        *self.recovery_waker.lock_unpoisoned() = Some(waker);
+    }
+
+    /// Pings the registered recovery waker, if any.
+    fn notify_recovery(&self) {
+        if let Some(waker) = self.recovery_waker.lock_unpoisoned().as_ref() {
+            waker.wake();
+        }
+    }
+
     /// Kills one worker out from under the router — severs its connection
     /// and SIGKILLs a process worker. A test/bench hook: the next RPC to
     /// that shard exercises the full detect → respawn → replay path.
@@ -745,7 +764,8 @@ impl ShardedModel {
     /// # Errors
     ///
     /// [`ServeError::Shard`] for out-of-range nodes or protocol
-    /// violations, [`ServeError::ShuttingDown`] when a failure races
+    /// violations, [`ServeError::Rejected`] with
+    /// [`RejectReason::ShuttingDown`] when a failure races
     /// [`shutdown`](ShardedModel::shutdown).
     pub fn forward_rows(&self, nodes: &[usize]) -> Result<Tensor> {
         let depth = self.stats.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
@@ -951,7 +971,7 @@ impl ShardedModel {
     fn respawn(&self, state: &mut RouterState, shard: usize) -> std::result::Result<(), Outage> {
         let Some(token) = self.gate.begin_recovery() else {
             return Err(if self.gate.is_closed() {
-                Outage::Fatal(ServeError::ShuttingDown)
+                Outage::Fatal(ServeError::Rejected(RejectReason::ShuttingDown))
             } else {
                 Outage::Fatal(protocol(format!(
                     "shard {shard}: recovery gate busy outside the router lock"
@@ -960,6 +980,9 @@ impl ShardedModel {
         };
         let result = self.respawn_locked(state, shard);
         self.gate.finish(token);
+        // Whatever the outcome — fresh worker, degrade, or fatal — a
+        // recovery transition completed; let the reactor observe it.
+        self.notify_recovery();
         result
     }
 

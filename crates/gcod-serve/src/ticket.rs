@@ -1,28 +1,49 @@
 //! The client-side half of an asynchronous submission: a [`Ticket`] the
-//! client blocks on, and the server-side [`Completion`] that fulfils it.
+//! client polls or blocks on, and the server-side [`Completion`] that
+//! fulfils it.
 //!
-//! Completion signalling reuses [`gcod_runtime::Latch`] (a 1-count latch is
-//! exactly a one-shot done flag with blocking wait), with the response stored
-//! in a separate slot the latch publishes.
+//! Completion signalling rides on [`gcod_runtime::reactor::Event`], the
+//! reactor's one-shot sticky completion cell: the dispatcher fills the
+//! result slot, then sets the event, so a waiter can never observe "done"
+//! without the result being readable. The wakeup protocol is the same
+//! model-checked set-then-notify sequence the serving reactor itself uses.
 
 use crate::error::{Result, ServeError};
 use crate::request::ServeResponse;
+use gcod_runtime::reactor::Event;
 use gcod_runtime::sync::Mutex;
-use gcod_runtime::Latch;
 use std::sync::Arc;
 use std::time::Duration;
 
 struct TicketState {
-    done: Latch,
+    done: Event,
     result: Mutex<Option<Result<ServeResponse>>>,
 }
 
 /// A handle to one in-flight request, returned by `Handle::submit`.
 ///
-/// The ticket resolves exactly once: either with the server's response, or
-/// with the error that prevented execution ([`ServeError::DeadlineExpired`],
-/// [`ServeError::UnknownModel`], …). Waiting is synchronous-client style —
-/// submit several tickets, then [`wait`](Ticket::wait) them in any order.
+/// # Contract
+///
+/// The ticket resolves **exactly once** — with the server's response, or
+/// with the error that prevented execution (a rejection such as
+/// [`RejectReason::DeadlineExpired`], [`ServeError::UnknownModel`], …) —
+/// and every accessor takes `&self`, so a resolved ticket can be read any
+/// number of times, from any thread, in any order:
+///
+/// * [`is_done`](Ticket::is_done) — non-blocking completion probe, never
+///   touches the result,
+/// * [`try_result`](Ticket::try_result) — non-blocking; `Some(outcome)`
+///   once resolved, `None` while pending,
+/// * [`wait_timeout`](Ticket::wait_timeout) — blocks up to the timeout;
+///   `Some(outcome)` or `None` on timeout,
+/// * [`wait`](Ticket::wait) — blocks until resolved and returns the
+///   outcome.
+///
+/// All four agree: once any of them observes completion, all of them do,
+/// and they all return clones of the same stored outcome. Tickets are
+/// `Clone`; clones share the same completion state.
+///
+/// [`RejectReason::DeadlineExpired`]: crate::RejectReason::DeadlineExpired
 #[derive(Debug, Clone)]
 pub struct Ticket {
     state: Arc<TicketState>,
@@ -32,7 +53,7 @@ pub struct Ticket {
 impl std::fmt::Debug for TicketState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TicketState")
-            .field("done", &self.done.is_done())
+            .field("done", &self.done.is_set())
             .finish()
     }
 }
@@ -46,11 +67,11 @@ impl Ticket {
 
     /// Whether the server has resolved this ticket.
     pub fn is_done(&self) -> bool {
-        self.state.done.is_done()
+        self.state.done.is_set()
     }
 
     /// Blocks until the server resolves the ticket and returns the outcome.
-    pub fn wait(self) -> Result<ServeResponse> {
+    pub fn wait(&self) -> Result<ServeResponse> {
         self.state.done.wait();
         self.take_result()
     }
@@ -66,7 +87,7 @@ impl Ticket {
 
     /// Non-blocking probe: the outcome if resolved, `None` while pending.
     pub fn try_result(&self) -> Option<Result<ServeResponse>> {
-        if self.state.done.is_done() {
+        if self.state.done.is_set() {
             Some(self.take_result())
         } else {
             None
@@ -74,7 +95,7 @@ impl Ticket {
     }
 
     /// Clones the stored outcome (the slot is filled exactly once before the
-    /// latch completes, so this never observes an empty slot after `done`).
+    /// event is set, so this never observes an empty slot after `done`).
     fn take_result(&self) -> Result<ServeResponse> {
         self.state
             .result
@@ -105,8 +126,8 @@ impl Completion {
         }
         self.fulfilled = true;
         *self.state.result.lock_unpoisoned() = Some(result);
-        // Publish after the slot is filled: waiters wake through the latch.
-        self.state.done.complete_one();
+        // Publish after the slot is filled: waiters wake through the event.
+        self.state.done.set();
     }
 }
 
@@ -121,7 +142,7 @@ impl Drop for Completion {
 /// Creates a linked ticket/completion pair for submission `id`.
 pub(crate) fn ticket_pair(id: u64) -> (Ticket, Completion) {
     let state = Arc::new(TicketState {
-        done: Latch::new(1),
+        done: Event::new(),
         result: Mutex::new(None),
     });
     (
@@ -168,6 +189,8 @@ mod tests {
                 .unwrap(),
             response()
         );
+        // `wait` borrows: a resolved ticket can be read again and again.
+        assert_eq!(ticket.wait().unwrap(), response());
         assert_eq!(ticket.wait().unwrap(), response());
     }
 
@@ -178,6 +201,16 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         completion.fulfill(Ok(response()));
         assert_eq!(waiter.join().unwrap().unwrap(), response());
+    }
+
+    #[test]
+    fn clones_share_the_same_completion() {
+        let (ticket, completion) = ticket_pair(3);
+        let twin = ticket.clone();
+        completion.fulfill(Ok(response()));
+        assert!(twin.is_done());
+        assert_eq!(twin.wait().unwrap(), response());
+        assert_eq!(ticket.wait().unwrap(), response());
     }
 
     #[test]

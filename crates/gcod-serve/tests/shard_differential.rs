@@ -6,7 +6,9 @@
 
 use gcod_graph::{DatasetProfile, Graph, GraphGenerator};
 use gcod_nn::models::{GnnModel, ModelConfig};
-use gcod_serve::{ServeRequest, ServedModel, Server, ShardOptions, ShardedModel, Ticket};
+use gcod_serve::{
+    ServeRequest, ServedModel, Server, ShardOptions, ShardedModel, SubmitOptions, Ticket,
+};
 use gcod_shard::TransportKind;
 
 /// Deterministic graph+model pairs on two distinct dataset profiles.
@@ -100,7 +102,11 @@ fn batched_dispatch_over_shards_matches_the_oracle_and_counts_transport() {
     handle.pause();
     let tickets: Vec<Ticket> = requests
         .iter()
-        .map(|r| handle.submit(r.clone()).expect("submit"))
+        .map(|r| {
+            handle
+                .submit(r.clone(), SubmitOptions::default())
+                .expect("submit")
+        })
         .collect();
     handle.resume();
     for (ticket, expected) in tickets.into_iter().zip(expected) {

@@ -112,8 +112,8 @@ fn main() -> gcod::Result<()> {
                     .iter()
                     .map(|request| {
                         handle
-                            .submit_blocking(request.clone())
-                            .and_then(Ticket::wait)
+                            .submit(request.clone(), SubmitOptions::default().blocking())
+                            .and_then(|ticket| ticket.wait())
                             .map_err(gcod::Error::from)
                     })
                     .collect()

@@ -88,7 +88,10 @@ fn main() -> gcod::Result<()> {
 
     // Surface the transport counters through the queued path too.
     let handle = server.spawn();
-    let ticket = handle.submit(ServeRequest::classify(&name, vec![0, 7]))?;
+    let ticket = handle.submit(
+        ServeRequest::classify(&name, vec![0, 7]),
+        SubmitOptions::default(),
+    )?;
     ticket.wait()?;
     let stats = handle.shutdown();
     println!(

@@ -10,7 +10,7 @@ use gcod_core::GcodError;
 use gcod_graph::GraphError;
 use gcod_nn::NnError;
 use gcod_platform::PlatformError;
-use gcod_serve::ServeError;
+use gcod_serve::{RejectReason, ServeError};
 use std::fmt;
 
 /// Any error the GCoD workspace can produce, unified for facade callers.
@@ -31,8 +31,13 @@ pub enum Error {
     Gcod(GcodError),
     /// An error from a platform simulation.
     Platform(PlatformError),
-    /// An error from the serving front-end (queue backpressure, deadlines,
-    /// routing).
+    /// The serving front-end refused to run a request (queue backpressure,
+    /// deadline expiry, overload shedding, shutdown) — hoisted out of
+    /// [`ServeError`] so facade callers match the structured
+    /// [`RejectReason`] one level deep, like every other flattened arm.
+    Rejected(RejectReason),
+    /// An error from the serving front-end (model/backend routing,
+    /// sharded-serving failures).
     Serve(ServeError),
 }
 
@@ -48,6 +53,7 @@ impl fmt::Display for Error {
             Error::Nn(e) => write!(f, "model error: {e}"),
             Error::Gcod(e) => write!(f, "{e}"),
             Error::Platform(e) => write!(f, "platform error: {e}"),
+            Error::Rejected(reason) => write!(f, "serving rejected: {reason}"),
             Error::Serve(e) => write!(f, "serving error: {e}"),
         }
     }
@@ -61,6 +67,7 @@ impl std::error::Error for Error {
             Error::Nn(e) => Some(e),
             Error::Gcod(e) => Some(e),
             Error::Platform(e) => Some(e),
+            Error::Rejected(_) => None,
             Error::Serve(e) => Some(e),
         }
     }
@@ -106,6 +113,7 @@ impl From<ServeError> for Error {
         match e {
             ServeError::Nn(n) => Error::Nn(n),
             ServeError::Platform(p) => Error::Platform(p),
+            ServeError::Rejected(reason) => Error::Rejected(reason),
             other => Error::Serve(other),
         }
     }
@@ -152,8 +160,16 @@ mod tests {
             platform: "gcod".to_string(),
         }));
         assert!(matches!(err, Error::Platform(_)));
-        let err = Error::from(ServeError::QueueFull { capacity: 4 });
-        assert!(matches!(err, Error::Serve(ServeError::QueueFull { .. })));
+        let err = Error::from(ServeError::Rejected(RejectReason::QueueFull {
+            capacity: 4,
+        }));
+        assert_eq!(
+            err,
+            Error::Rejected(RejectReason::QueueFull { capacity: 4 })
+        );
+        assert!(err.to_string().contains("rejected"));
+        let err = Error::from(ServeError::Canceled);
+        assert!(matches!(err, Error::Serve(ServeError::Canceled)));
         assert!(err.to_string().contains("serving error"));
         assert!(std::error::Error::source(&err).is_some());
     }

@@ -276,7 +276,10 @@ impl Experiment {
     /// # fn main() -> gcod::Result<()> {
     /// let served = Experiment::on_dataset("cora")?.scale(0.05).serve()?;
     /// let handle = Server::new().register(served).spawn();
-    /// let ticket = handle.submit(ServeRequest::classify("cora-gcn", vec![0, 1]))?;
+    /// let ticket = handle.submit(
+    ///     ServeRequest::classify("cora-gcn", vec![0, 1]),
+    ///     SubmitOptions::default(),
+    /// )?;
     /// println!("{:?}", ticket.wait()?);
     /// handle.shutdown();
     /// # Ok(())

@@ -40,10 +40,10 @@ pub use gcod_accel::simulator::GcodAccelerator;
 pub use gcod_baselines::{suite, PlatformSpec};
 
 pub use gcod_serve::{
-    Backend, Classification, Handle, PerfPrediction, ServeError, ServeRequest, ServeResponse,
-    ServedModel, Server, ServerConfig, ServerStats, ShardHealth, ShardOptions,
+    Backend, Classification, Handle, PerfPrediction, RejectReason, ServeError, ServeRequest,
+    ServeResponse, ServedModel, Server, ServerConfig, ServerStats, ShardHealth, ShardOptions,
     ShardShutdownOutcome, ShardTransportStats, ShardedModel, ShutdownReport, SpawnMode,
-    SupervisorPolicy, Ticket,
+    SubmitOptions, SupervisorPolicy, Ticket,
 };
 
 pub use gcod_shard::{FaultAction, FaultPlan, ShardPlan, ShardPlanConfig, TransportKind};

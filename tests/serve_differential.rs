@@ -65,13 +65,23 @@ fn request_stream() -> Vec<ServeRequest> {
 /// dispatcher sees the whole stream at once, maximising coalescing) and
 /// returns the responses in request order.
 fn run_batched(server: Server, requests: &[ServeRequest]) -> Vec<gcod::Result<ServeResponse>> {
+    run_batched_with(server, requests, SubmitOptions::default())
+}
+
+/// As [`run_batched`], with explicit per-submission options (deadlines put
+/// the stream on the adaptive-batching path).
+fn run_batched_with(
+    server: Server,
+    requests: &[ServeRequest],
+    options: SubmitOptions,
+) -> Vec<gcod::Result<ServeResponse>> {
     let handle = server.spawn();
     handle.pause();
     let tickets: Vec<Ticket> = requests
         .iter()
         .map(|r| {
             handle
-                .submit(r.clone())
+                .submit(r.clone(), options)
                 .expect("queue sized for the stream")
         })
         .collect();
@@ -137,7 +147,7 @@ fn mixed_dataset_queues_coalesce_per_model_only() {
     handle.pause();
     let tickets: Vec<Ticket> = requests
         .iter()
-        .map(|r| handle.submit(r.clone()).unwrap())
+        .map(|r| handle.submit(r.clone(), SubmitOptions::default()).unwrap())
         .collect();
     handle.resume();
     for (ticket, expected) in tickets.into_iter().zip(expected) {
@@ -191,6 +201,31 @@ fn served_experiment_models_answer_identically_batched_and_sequential() {
 }
 
 #[test]
+fn adaptive_batching_with_deadlines_is_bit_identical_across_fusion_windows() {
+    // The adaptive batcher sizes each fused pass from the oldest queued
+    // deadline and the observed service time. However the stream fragments
+    // — any window in [1, max_batch], re-chosen per group once the
+    // estimate warms — the bytes must match the fixed-window oracle.
+    let requests = request_stream();
+    let oracle = build_server(1, ServerConfig::default());
+    let expected = oracle_responses(&oracle, &requests);
+    // Generous deadlines: always on the adaptive path, never expiring.
+    let options = SubmitOptions::default().deadline(Duration::from_secs(3600));
+    for max_batch in [1usize, 2, 4, 32] {
+        let config = ServerConfig {
+            max_batch,
+            ..ServerConfig::default()
+        };
+        let adaptive = run_batched_with(build_server(1, config.clone()), &requests, options);
+        assert_eq!(adaptive, expected, "adaptive, max_batch={max_batch}");
+        // And deadline-carrying traffic matches deadline-less traffic on
+        // the same configuration — adaptivity never changes answers.
+        let fixed = run_batched(build_server(1, config), &requests);
+        assert_eq!(fixed, expected, "fixed, max_batch={max_batch}");
+    }
+}
+
+#[test]
 fn deadlines_and_backpressure_surface_through_the_facade_error() {
     let handle = build_server(
         1,
@@ -202,22 +237,33 @@ fn deadlines_and_backpressure_surface_through_the_facade_error() {
     .spawn();
     handle.pause();
     let expired = handle
-        .submit_with_deadline(ServeRequest::classify("small-gcn", vec![0]), Duration::ZERO)
+        .submit(
+            ServeRequest::classify("small-gcn", vec![0]),
+            SubmitOptions::default().deadline(Duration::ZERO),
+        )
         .unwrap();
     let _live = handle
-        .submit(ServeRequest::classify("small-gcn", vec![0]))
+        .submit(
+            ServeRequest::classify("small-gcn", vec![0]),
+            SubmitOptions::default(),
+        )
         .unwrap();
     let full = handle
-        .submit(ServeRequest::classify("small-gcn", vec![1]))
+        .submit(
+            ServeRequest::classify("small-gcn", vec![1]),
+            SubmitOptions::default(),
+        )
         .unwrap_err();
+    // Rejections are hoisted into the facade's structured arm: one match,
+    // reason included.
     assert!(matches!(
         gcod::Error::from(full),
-        gcod::Error::Serve(ServeError::QueueFull { capacity: 2 })
+        gcod::Error::Rejected(RejectReason::QueueFull { capacity: 2 })
     ));
     handle.resume();
     assert!(matches!(
         expired.wait().map_err(gcod::Error::from),
-        Err(gcod::Error::Serve(ServeError::DeadlineExpired))
+        Err(gcod::Error::Rejected(RejectReason::DeadlineExpired))
     ));
     handle.shutdown();
 }

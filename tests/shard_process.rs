@@ -76,7 +76,9 @@ fn sharded_server_end_to_end_over_processes() {
     let options = ShardOptions::new(2).with_worker_bin(worker_bin());
     let sharded = ShardedModel::launch("m", &graph, &model, &options).expect("launch");
     let handle = Server::new().register_sharded(sharded).spawn();
-    let ticket = handle.submit(request).expect("submit");
+    let ticket = handle
+        .submit(request, SubmitOptions::default())
+        .expect("submit");
     assert_eq!(ticket.wait().expect("wait"), expected);
     let stats = handle.shutdown();
     assert_eq!(stats.shard.shards, 2);
